@@ -1,0 +1,77 @@
+"""Experiment ``fig-breadcrumbs`` — Lemma 19: the breadcrumb structure.
+
+Algorithm DLE may disconnect the particle system, but not arbitrarily: when
+it terminates there is a contracted particle at *every* grid distance
+``0..eps_G(l)`` from the leader, and none beyond.  This is what makes the
+``O(D_G)``-round reconnection possible.  The benchmark measures, over a
+suite of shapes, the fraction of distances covered (always 1.0) and how
+spread out the system is when DLE finishes.
+"""
+
+import pytest
+
+from repro.amoebot.scheduler import Scheduler
+from repro.amoebot.system import ParticleSystem
+from repro.analysis.tables import format_table
+from repro.core.dle import DLEAlgorithm, verify_unique_leader
+from repro.grid.coords import grid_distance
+from repro.grid.generators import make_shape
+from repro.grid.metrics import compute_metrics
+from repro.grid.shape import connected_components
+
+from conftest import run_once
+
+CASES = [
+    ("hexagon", 4),
+    ("holey", 3),
+    ("holey", 5),
+    ("annulus", 4),
+    ("holey_blob", 4),
+    ("blob", 4),
+]
+
+
+def breadcrumb_stats(family, size, seed=0):
+    shape = make_shape(family, size, seed=seed)
+    metrics = compute_metrics(shape)
+    system = ParticleSystem.from_shape(shape, orientation_seed=seed)
+    algorithm = DLEAlgorithm()
+    result = Scheduler(order="random", seed=seed).run(algorithm, system)
+    leader = verify_unique_leader(system)
+    distances = sorted(
+        grid_distance(leader.head, p.head) for p in system.particles()
+    )
+    eps = max(grid_distance(leader.head, p) for p in shape.points)
+    covered = {d for d in distances}
+    missing = [d for d in range(eps + 1) if d not in covered]
+    return {
+        "family": family,
+        "size": size,
+        "n": metrics.n,
+        "eps_G(l)": eps,
+        "max particle distance": distances[-1],
+        "missing distances": len(missing),
+        "components after DLE": len(connected_components(system.occupied_points())),
+        "dle_rounds": result.rounds,
+    }
+
+
+@pytest.mark.parametrize("family,size", CASES,
+                         ids=[f"{f}{s}" for f, s in CASES])
+def test_breadcrumbs_case(benchmark, family, size):
+    stats = run_once(benchmark, breadcrumb_stats, family, size)
+    benchmark.extra_info.update(stats)
+    # Lemma 19: every distance up to eps_G(l) is occupied and none beyond it.
+    assert stats["missing distances"] == 0
+    assert stats["max particle distance"] == stats["eps_G(l)"]
+
+
+def test_breadcrumbs_report(benchmark, capsys):
+    rows = run_once(benchmark,
+                    lambda: [breadcrumb_stats(f, s) for f, s in CASES])
+    with capsys.disabled():
+        print("\n" + format_table(
+            rows,
+            title="FIG breadcrumbs — Lemma 19: one particle at every grid "
+                  "distance from the leader when DLE terminates"))
+    assert all(r["missing distances"] == 0 for r in rows)

@@ -1,0 +1,67 @@
+"""Experiment ``fig-collect-scaling`` — Theorem 23: Collect runs in
+``O(D_G)`` rounds.
+
+After Algorithm DLE terminates, Algorithm Collect gathers the (possibly
+disconnected) particles back into a connected configuration.  We measure its
+charged rounds on growing shapes and fit against the grid diameter ``D_G``.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_experiment, run_scaling_experiment
+from repro.analysis.tables import format_scaling_series, summarize_scaling
+from repro.core.collect import (
+    OMP_ROUNDS_PER_UNIT,
+    PRP_ROUNDS_PER_UNIT,
+    ROTATIONS_PER_PHASE,
+    SDP_ROUNDS_PER_UNIT,
+)
+from repro.grid.generators import make_shape
+from repro.grid.metrics import compute_metrics
+
+from conftest import attach_record, run_once
+
+FAMILIES = ("hexagon", "holey", "blob")
+SIZES = (2, 3, 4, 6, 8)
+PER_PHASE_UNIT = (OMP_ROUNDS_PER_UNIT
+                  + ROTATIONS_PER_PHASE * PRP_ROUNDS_PER_UNIT
+                  + SDP_ROUNDS_PER_UNIT)
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+@pytest.mark.parametrize("size", SIZES)
+def test_collect_rounds_point(benchmark, family, size):
+    shape = make_shape(family, size, seed=0)
+    metrics = compute_metrics(shape)
+    record = run_once(benchmark, run_experiment, "collect", shape,
+                      family=family, size=size, seed=0, metrics=metrics)
+    attach_record(benchmark, record)
+    assert record.succeeded
+    # Doubling phases 1, 2, 4, ... <= 2 D_G plus the final empty phase and
+    # the reconnection pass.
+    assert record.rounds <= 5 * PER_PHASE_UNIT * max(1, metrics.grid_diam) \
+        + 2 * PER_PHASE_UNIT
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_collect_scaling_series(benchmark, family, capsys):
+    records = run_once(benchmark, run_scaling_experiment, "collect", family,
+                       SIZES, seed=0)
+    summary = summarize_scaling(records, "D_G")
+    benchmark.extra_info.update({
+        "family": family,
+        "exponent": round(summary["exponent"], 3),
+        "slope": round(summary["slope"], 3),
+        "linear_r2": round(summary["linear_r2"], 4),
+    })
+    with capsys.disabled():
+        print("\n" + format_scaling_series(
+            records, "D_G",
+            title=f"FIG collect-scaling — Collect rounds vs D_G ({family})"))
+    # The stem doubles, so rounds are a staircase in D_G: the growth exponent
+    # stays close to linear and the per-D_G cost is bounded by the doubling
+    # geometry (phases 1, 2, ..., <= 2 D_G plus two extra passes), even
+    # though a straight-line fit over a handful of points is noisy.
+    assert summary["exponent"] < 1.5
+    ratios = [r.rounds / max(1, r.metrics.grid_diam) for r in records]
+    assert max(ratios) <= 7 * PER_PHASE_UNIT

@@ -1,0 +1,56 @@
+"""Experiment ``fig-dle-scaling`` — Theorem 18: DLE runs in ``O(D_A)`` rounds.
+
+We measure Algorithm DLE's rounds on growing shapes from three families
+(solid hexagons, hexagons with holes, thin annuli) and fit the growth of
+rounds against the area diameter ``D_A``.  The paper's claim is reproduced
+when the fitted exponent is close to 1 — in particular clearly below the
+quadratic behaviour of the prior deterministic algorithms in Table 1.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_experiment, run_scaling_experiment
+from repro.analysis.tables import format_scaling_series, summarize_scaling
+from repro.grid.generators import make_shape
+from repro.grid.metrics import compute_metrics
+
+from conftest import attach_record, run_once
+
+FAMILIES = ("hexagon", "holey", "annulus")
+SIZES = (2, 3, 4, 6, 8)
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+@pytest.mark.parametrize("size", SIZES)
+def test_dle_rounds_point(benchmark, family, size):
+    """One data point of the figure: DLE on one shape."""
+    shape = make_shape(family, size, seed=0)
+    metrics = compute_metrics(shape)
+    record = run_once(benchmark, run_experiment, "dle", shape,
+                      family=family, size=size, seed=0, metrics=metrics)
+    attach_record(benchmark, record)
+    assert record.succeeded
+    # Theorem 18 with the explicit constant of Lemma 17.
+    assert record.rounds <= 10 * metrics.area_diameter + 6
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_dle_scaling_series(benchmark, family, capsys):
+    """The full series for one family, with the linear / power-law fits."""
+    records = run_once(benchmark, run_scaling_experiment, "dle", family,
+                       SIZES, seed=0)
+    summary = summarize_scaling(records, "D_A")
+    benchmark.extra_info.update({
+        "family": family,
+        "exponent": round(summary["exponent"], 3),
+        "slope": round(summary["slope"], 3),
+        "linear_r2": round(summary["linear_r2"], 4),
+    })
+    with capsys.disabled():
+        print("\n" + format_scaling_series(
+            records, "D_A",
+            title=f"FIG dle-scaling — DLE rounds vs D_A ({family})"))
+    # Linear, not quadratic: the fitted exponent stays well below 2 and the
+    # linear fit explains the data.
+    assert summary["exponent"] < 1.5
+    assert summary["linear_r2"] > 0.9

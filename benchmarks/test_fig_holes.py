@@ -1,0 +1,84 @@
+"""Experiment ``fig-holes-advantage`` — holes: where DLE wins.
+
+Two claims from the paper's introduction and Table 1 are reproduced here:
+
+1. Erosion-only deterministic algorithms ([22]/[27]) require hole-free
+   shapes; on shapes with holes they do not elect a unique leader.
+2. Algorithm DLE's bound is ``O(D_A)``, the diameter of the *area*, which on
+   thin annuli is far smaller than the shape diameter ``D``; its measured
+   rounds track ``D_A`` and stay roughly constant while ``D`` grows.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_experiment
+from repro.analysis.tables import format_table
+from repro.grid.generators import annulus
+from repro.grid.metrics import compute_metrics
+
+from conftest import attach_record, run_once
+
+#: (outer radius, inner radius) pairs of constant thickness 3: D grows with
+#: the radius while D_A stays (roughly) the thickness-limited crossing.
+ANNULI = [(5, 2), (7, 4), (9, 6), (11, 8), (13, 10)]
+
+
+@pytest.mark.parametrize("radii", ANNULI, ids=lambda r: f"annulus{r[0]}_{r[1]}")
+def test_dle_on_thin_annuli(benchmark, radii):
+    outer, inner = radii
+    shape = annulus(outer, inner)
+    metrics = compute_metrics(shape)
+    record = run_once(benchmark, run_experiment, "dle", shape,
+                      family="annulus", size=outer, seed=0, metrics=metrics)
+    attach_record(benchmark, record)
+    assert record.succeeded
+    assert metrics.area_diameter < metrics.diameter
+    assert record.rounds <= 10 * metrics.area_diameter + 6
+
+
+@pytest.mark.parametrize("radii", ANNULI[:3], ids=lambda r: f"annulus{r[0]}_{r[1]}")
+def test_erosion_fails_on_annuli(benchmark, radii):
+    outer, inner = radii
+    shape = annulus(outer, inner)
+    metrics = compute_metrics(shape)
+    record = run_once(benchmark, run_experiment, "erosion", shape,
+                      family="annulus", size=outer, seed=0, metrics=metrics)
+    attach_record(benchmark, record)
+    assert not record.succeeded
+
+
+def test_holes_advantage_report(benchmark, capsys):
+    """The full figure: D vs D_A vs measured DLE rounds on thin annuli."""
+
+    def build():
+        rows = []
+        for outer, inner in ANNULI:
+            shape = annulus(outer, inner)
+            metrics = compute_metrics(shape)
+            dle = run_experiment("dle", shape, family="annulus", size=outer,
+                                 seed=0, metrics=metrics)
+            erosion = run_experiment("erosion", shape, family="annulus",
+                                     size=outer, seed=0, metrics=metrics)
+            rows.append({
+                "annulus": f"{inner}<d<={outer}",
+                "n": metrics.n,
+                "D": metrics.diameter,
+                "D_A": metrics.area_diameter,
+                "DLE rounds": dle.rounds,
+                "DLE ok": dle.succeeded,
+                "erosion ok": erosion.succeeded,
+            })
+        return rows
+
+    rows = run_once(benchmark, build)
+    with capsys.disabled():
+        print("\n" + format_table(
+            rows, title="FIG holes-advantage — thin annuli: D grows, D_A and "
+                        "DLE rounds stay small; erosion cannot elect at all"))
+    benchmark.extra_info["num_annuli"] = len(rows)
+    assert all(not row["erosion ok"] for row in rows)
+    assert all(row["DLE ok"] for row in rows)
+    # The qualitative shape of the figure: while D more than doubles across
+    # the ladder, the DLE rounds grow far slower (they track D_A).
+    assert rows[-1]["D"] >= 2 * rows[0]["D"]
+    assert rows[-1]["DLE rounds"] <= 2 * rows[0]["DLE rounds"] + 10

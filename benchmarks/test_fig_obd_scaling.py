@@ -1,0 +1,75 @@
+"""Experiment ``fig-obd-scaling`` — Theorem 41: OBD runs in ``O(L_out + D)``
+rounds.
+
+The outer-boundary-detection primitive removes the known-boundary assumption
+at the cost of ``O(L_out + D)`` rounds.  Spirals (boundary length
+proportional to ``n``) and holey hexagons (many competing inner boundaries)
+stress the two terms of the bound.
+"""
+
+import pytest
+
+from repro.analysis.experiments import ExperimentRecord, run_experiment, run_scaling_experiment
+from repro.analysis.fitting import fit_linear, fit_power_law
+from repro.analysis.tables import format_table
+from repro.grid.generators import make_shape
+from repro.grid.metrics import compute_metrics
+
+from conftest import attach_record, run_once
+
+FAMILIES = ("spiral", "holey", "hexagon")
+SIZES = (2, 3, 4, 6, 8)
+
+
+def _combined(records):
+    xs = [r.metrics.l_out + r.metrics.diameter for r in records]
+    ys = [r.rounds for r in records]
+    return xs, ys
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+@pytest.mark.parametrize("size", SIZES)
+def test_obd_rounds_point(benchmark, family, size):
+    shape = make_shape(family, size, seed=0)
+    metrics = compute_metrics(shape)
+    record = run_once(benchmark, run_experiment, "obd", shape,
+                      family=family, size=size, seed=0, metrics=metrics)
+    attach_record(benchmark, record)
+    assert record.succeeded
+    # Outer ring <= 3 L_out v-nodes at 25 rounds each (Lemma 35 charge),
+    # plus the check, the announcement lap and a flood of at most D + 1.
+    assert record.rounds <= 90 * (metrics.l_out + metrics.diameter) + 20
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_obd_scaling_series(benchmark, family, capsys):
+    records = run_once(benchmark, run_scaling_experiment, "obd", family,
+                       SIZES, seed=0)
+    xs, ys = _combined(records)
+    linear = fit_linear(xs, ys)
+    power = fit_power_law(xs, ys)
+    benchmark.extra_info.update({
+        "family": family,
+        "exponent": round(power.exponent, 3),
+        "slope": round(linear.slope, 3),
+        "linear_r2": round(linear.r_squared, 4),
+    })
+    rows = [
+        {
+            "family": r.family,
+            "size": r.size,
+            "L_out+D": x,
+            "rounds": r.rounds,
+            "rounds/(L_out+D)": round(r.rounds / x, 2),
+        }
+        for r, x in zip(records, xs)
+    ]
+    with capsys.disabled():
+        print("\n" + format_table(
+            rows, title=f"FIG obd-scaling — OBD rounds vs L_out + D ({family})"))
+        print(f"linear fit : rounds ≈ {linear.slope:.2f} * (L_out + D) "
+              f"+ {linear.intercept:.1f}  (R² = {linear.r_squared:.3f})")
+        print(f"power fit  : exponent {power.exponent:.2f} "
+              f"(R² = {power.r_squared:.3f})")
+    assert power.exponent < 1.5
+    assert linear.r_squared > 0.9

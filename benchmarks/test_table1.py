@@ -1,0 +1,68 @@
+"""Experiment ``table1`` — the paper's Table 1, reproduced empirically.
+
+For every algorithm class implemented in the repository (randomized boundary
+election, erosion-only deterministic election, this paper's DLE, and this
+paper's full OBD+DLE+Collect pipeline) we measure the rounds needed on a
+common suite of shapes: solid hexagons, random blobs and hexagons with
+holes.  The printed table is the artefact recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.analysis.experiments import (
+    TABLE1_ALGORITHMS,
+    TABLE1_FAMILIES,
+    run_experiment,
+    run_table1_experiment,
+)
+from repro.analysis.tables import format_table1
+from repro.grid.generators import make_shape
+from repro.grid.metrics import compute_metrics
+
+from conftest import attach_record, run_once
+
+SIZES = (2, 3, 4)
+
+_metrics_cache = {}
+
+
+def _shape_and_metrics(family, size):
+    key = (family, size)
+    if key not in _metrics_cache:
+        shape = make_shape(family, size, seed=0)
+        _metrics_cache[key] = (shape, compute_metrics(shape))
+    return _metrics_cache[key]
+
+
+@pytest.mark.parametrize("family", TABLE1_FAMILIES)
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("algorithm", sorted(TABLE1_ALGORITHMS))
+def test_table1_cell(benchmark, algorithm, family, size):
+    """One cell of the Table 1 reproduction: one algorithm on one shape."""
+    shape, metrics = _shape_and_metrics(family, size)
+    record = run_once(
+        benchmark, run_experiment, algorithm, shape,
+        family=family, size=size, seed=0, metrics=metrics,
+    )
+    attach_record(benchmark, record)
+    benchmark.extra_info["paper_row"] = TABLE1_ALGORITHMS[algorithm]
+    # The erosion baseline is *expected* to fail exactly when the shape has
+    # holes — that is the "No holes" assumption column of Table 1 (random
+    # blobs occasionally enclose a hole too).  Everything else must succeed.
+    if algorithm == "erosion" and metrics.num_holes > 0:
+        assert not record.succeeded
+    else:
+        assert record.succeeded
+
+
+def test_table1_full_report(benchmark, capsys):
+    """Regenerate and print the whole comparison table in one go."""
+    records = run_once(benchmark, run_table1_experiment, sizes=SIZES, seed=0)
+    table = format_table1(records)
+    with capsys.disabled():
+        print("\n" + "=" * 72)
+        print("TABLE 1 REPRODUCTION (measured rounds per algorithm and shape)")
+        print("=" * 72)
+        print(table)
+    benchmark.extra_info["num_records"] = len(records)
+    assert len(records) == len(TABLE1_ALGORITHMS) * len(TABLE1_FAMILIES) * len(SIZES)

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Why movement (and temporary disconnection) matters: holes.
+
+The paper's motivation (Section 1, Table 1): previous *deterministic*
+leader-election algorithms either assumed the initial shape has no holes
+(erosion-only algorithms, [22]/[27]) or paid a quadratic-in-``n`` round cost.
+Algorithm DLE handles holes in ``O(D_A)`` rounds by letting particles move
+inwards and temporarily disconnect.
+
+This example runs the erosion-only baseline and Algorithm DLE side by side
+on:
+
+* a solid hexagon (no holes)          — both succeed,
+* a thin annulus (one big hole)       — erosion stalls, DLE succeeds, and
+  DLE's round count tracks ``D_A`` (cutting across the hole), which is much
+  smaller than the shape diameter ``D`` (walking around it).
+
+Run with::
+
+    python examples/holes_vs_erosion.py
+"""
+
+from repro import (
+    ParticleSystem,
+    annulus,
+    compute_metrics,
+    hexagon,
+    run_erosion_election,
+)
+from repro.amoebot.scheduler import Scheduler
+from repro.core.dle import DLEAlgorithm, verify_unique_leader
+
+
+def run_dle(shape, seed=0):
+    system = ParticleSystem.from_shape(shape, orientation_seed=seed)
+    algorithm = DLEAlgorithm()
+    result = Scheduler(order="random", seed=seed).run(algorithm, system)
+    verify_unique_leader(system)
+    return result.rounds
+
+
+def describe(name, shape):
+    metrics = compute_metrics(shape)
+    print(f"\n=== {name}  (n={metrics.n}, D={metrics.diameter}, "
+          f"D_A={metrics.area_diameter}, holes={metrics.num_holes})")
+
+    erosion_system = ParticleSystem.from_shape(shape, orientation_seed=0)
+    erosion = run_erosion_election(erosion_system, seed=0)
+    if erosion.succeeded:
+        print(f"  erosion baseline : unique leader in {erosion.rounds} rounds")
+    else:
+        status = "stalled" if erosion.stalled else "failed"
+        print(f"  erosion baseline : {status} after {erosion.rounds} rounds "
+              f"({erosion.num_leaders} leaders) — cannot handle holes")
+
+    dle_rounds = run_dle(shape, seed=0)
+    print(f"  Algorithm DLE    : unique leader in {dle_rounds} rounds "
+          f"(bound O(D_A) = O({metrics.area_diameter}))")
+
+
+def main() -> None:
+    describe("solid hexagon, radius 6", hexagon(6))
+    describe("thin annulus, radii 9..11", annulus(11, 8))
+    describe("thin annulus, radii 13..15", annulus(15, 12))
+
+    print(
+        "\nNote how on the annuli the erosion baseline cannot elect a leader"
+        "\nat all, while DLE terminates in a number of rounds that tracks the"
+        "\nsmall area diameter D_A rather than the large shape diameter D."
+    )
+
+
+if __name__ == "__main__":
+    main()

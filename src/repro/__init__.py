@@ -1,0 +1,124 @@
+"""repro — a reproduction of "Efficient Deterministic Leader Election for
+Programmable Matter" (Dufoulon, Kutten, Moses Jr., PODC 2021).
+
+The package implements, from scratch:
+
+* a triangular-grid and amoebot-model substrate (:mod:`repro.grid`,
+  :mod:`repro.amoebot`),
+* the paper's contribution — Algorithm DLE, Algorithm Collect and the
+  outer-boundary-detection primitive OBD (:mod:`repro.core`),
+* the prior-work baselines of Table 1 (:mod:`repro.baselines`), and
+* the experiment harness that regenerates the paper's comparison table and
+  asymptotic claims (:mod:`repro.analysis`).
+
+Quick start::
+
+    from repro import hexagon_with_holes, ParticleSystem, elect_leader
+
+    shape = hexagon_with_holes(radius=7)
+    system = ParticleSystem.from_shape(shape, orientation_seed=1)
+    outcome = elect_leader(system)
+    print(outcome.stage_rounds())
+"""
+
+from .amoebot import (
+    AmoebotAlgorithm,
+    IllegalMoveError,
+    Particle,
+    ParticleSystem,
+    Scheduler,
+    SchedulerResult,
+    run_algorithm,
+)
+from .analysis import (
+    run_experiment,
+    run_scaling_experiment,
+    run_table1_experiment,
+    format_records,
+    format_scaling_series,
+    format_table1,
+)
+from .apps import SpanningTreeAlgorithm, verify_spanning_tree
+from .baselines import run_erosion_election, run_randomized_election
+from .io import (
+    load_records,
+    load_shape,
+    load_system,
+    save_records,
+    save_shape,
+    save_system,
+)
+from .core import (
+    CollectSimulator,
+    DLEAlgorithm,
+    ElectionOutcome,
+    OuterBoundaryDetection,
+    elect_leader,
+    elect_leader_known_boundary,
+    verify_unique_leader,
+)
+from .grid import (
+    Shape,
+    ShapeMetrics,
+    annulus,
+    compute_metrics,
+    hexagon,
+    hexagon_with_holes,
+    line_shape,
+    make_shape,
+    parallelogram,
+    random_blob,
+    random_holey_blob,
+    spiral,
+)
+from .viz import render_shape, render_system
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AmoebotAlgorithm",
+    "CollectSimulator",
+    "DLEAlgorithm",
+    "ElectionOutcome",
+    "IllegalMoveError",
+    "OuterBoundaryDetection",
+    "Particle",
+    "ParticleSystem",
+    "Scheduler",
+    "SchedulerResult",
+    "Shape",
+    "ShapeMetrics",
+    "SpanningTreeAlgorithm",
+    "annulus",
+    "compute_metrics",
+    "elect_leader",
+    "elect_leader_known_boundary",
+    "format_records",
+    "format_scaling_series",
+    "format_table1",
+    "hexagon",
+    "hexagon_with_holes",
+    "line_shape",
+    "load_records",
+    "load_shape",
+    "load_system",
+    "make_shape",
+    "parallelogram",
+    "random_blob",
+    "random_holey_blob",
+    "render_shape",
+    "render_system",
+    "run_algorithm",
+    "run_erosion_election",
+    "run_experiment",
+    "run_randomized_election",
+    "run_scaling_experiment",
+    "run_table1_experiment",
+    "save_records",
+    "save_shape",
+    "save_system",
+    "spiral",
+    "verify_spanning_tree",
+    "verify_unique_leader",
+    "__version__",
+]

@@ -1,0 +1,43 @@
+"""Amoebot-model substrate: particles, system state, schedulers."""
+
+from .adversary import (
+    ADVERSARY_FACTORIES,
+    alternating_order,
+    inside_out_order,
+    outside_in_order,
+    sticky_order,
+)
+from .algorithm import (
+    STATUS_FOLLOWER,
+    STATUS_KEY,
+    STATUS_LEADER,
+    STATUS_UNDECIDED,
+    AmoebotAlgorithm,
+    StatusMixin,
+)
+from .particle import Particle
+from .scheduler import Scheduler, SchedulerResult, run_algorithm
+from .system import IllegalMoveError, ParticleSystem
+from .trace import Trace, observe_round
+
+__all__ = [
+    "ADVERSARY_FACTORIES",
+    "AmoebotAlgorithm",
+    "alternating_order",
+    "inside_out_order",
+    "outside_in_order",
+    "sticky_order",
+    "IllegalMoveError",
+    "Particle",
+    "ParticleSystem",
+    "STATUS_FOLLOWER",
+    "STATUS_KEY",
+    "STATUS_LEADER",
+    "STATUS_UNDECIDED",
+    "Scheduler",
+    "SchedulerResult",
+    "StatusMixin",
+    "Trace",
+    "observe_round",
+    "run_algorithm",
+]

@@ -1,0 +1,113 @@
+"""Adversarial activation-order policies for the strong scheduler.
+
+The paper's scheduler is adversarial-but-fair: within every asynchronous
+round the adversary chooses the order in which particles are activated.  The
+basic policies (`round_robin`, `random`, `reversed`) are order-oblivious;
+the factories below build *state-dependent* adversaries that inspect the
+current configuration before every round and try to slow the election down:
+
+* :func:`outside_in_order` — activates the particles closest to the leader
+  point / centroid first, so the particles whose points are about to become
+  erodable (those far out on the boundary) are reached as late as possible;
+* :func:`inside_out_order` — the opposite, a friendly schedule;
+* :func:`sticky_order` — keeps one fixed victim particle last in every
+  round, the classical "one slow particle" adversary;
+* :func:`alternating_order` — flips between forward and reversed id order,
+  which breaks algorithms that accidentally rely on a fixed sweep direction.
+
+All factories return a policy with the scheduler's expected signature
+``(round_index, ids, rng) -> ids`` and always return a permutation of the
+input ids, so fairness (every particle once per round) is preserved — these
+are adversaries over ordering, not over enabling.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Sequence
+
+from ..grid.coords import Point, grid_distance
+from .system import ParticleSystem
+
+__all__ = [
+    "outside_in_order",
+    "inside_out_order",
+    "sticky_order",
+    "alternating_order",
+    "ADVERSARY_FACTORIES",
+]
+
+OrderPolicy = Callable[[int, List[int], random.Random], List[int]]
+
+
+def _reference_point(system: ParticleSystem) -> Point:
+    """A deterministic reference point: the centroid-most occupied point."""
+    points = sorted(system.occupied_points())
+    mean_q = sum(p[0] for p in points) / len(points)
+    mean_r = sum(p[1] for p in points) / len(points)
+    return min(points, key=lambda p: (abs(p[0] - mean_q) + abs(p[1] - mean_r), p))
+
+
+def outside_in_order(system: ParticleSystem) -> OrderPolicy:
+    """Activate central particles first and peripheral particles last.
+
+    Erosion-style algorithms make progress at the outer boundary, so
+    delaying the peripheral particles within each round is the natural
+    slow-down attempt for DLE and the erosion baseline.
+    """
+
+    def policy(round_index: int, ids: List[int], rng: random.Random) -> List[int]:
+        center = _reference_point(system)
+        return sorted(
+            ids,
+            key=lambda pid: (grid_distance(system.get_particle(pid).head, center), pid),
+        )
+
+    policy.__name__ = "outside_in"
+    return policy
+
+
+def inside_out_order(system: ParticleSystem) -> OrderPolicy:
+    """Activate peripheral particles first (the friendly counterpart)."""
+
+    def policy(round_index: int, ids: List[int], rng: random.Random) -> List[int]:
+        center = _reference_point(system)
+        return sorted(
+            ids,
+            key=lambda pid: (-grid_distance(system.get_particle(pid).head, center), pid),
+        )
+
+    policy.__name__ = "inside_out"
+    return policy
+
+
+def sticky_order(victim_index: int = 0) -> OrderPolicy:
+    """Always activate one chosen particle last in every round."""
+
+    def policy(round_index: int, ids: List[int], rng: random.Random) -> List[int]:
+        victim = ids[victim_index % len(ids)]
+        rest = [pid for pid in ids if pid != victim]
+        return rest + [victim]
+
+    policy.__name__ = "sticky"
+    return policy
+
+
+def alternating_order() -> OrderPolicy:
+    """Alternate between forward and reversed id order every round."""
+
+    def policy(round_index: int, ids: List[int], rng: random.Random) -> List[int]:
+        return list(ids) if round_index % 2 == 0 else list(reversed(ids))
+
+    policy.__name__ = "alternating"
+    return policy
+
+
+#: Named adversary factories taking the particle system and returning a
+#: scheduler order policy.  Used by the scheduler-ablation benchmark.
+ADVERSARY_FACTORIES = {
+    "outside_in": outside_in_order,
+    "inside_out": inside_out_order,
+    "sticky": lambda system: sticky_order(0),
+    "alternating": lambda system: alternating_order(),
+}

@@ -1,0 +1,91 @@
+"""The algorithm interface executed by the scheduler.
+
+An amoebot algorithm is defined by three hooks:
+
+* :meth:`AmoebotAlgorithm.setup` — initialise the memory of every particle
+  from the initial configuration (the paper's "Initialization" blocks);
+* :meth:`AmoebotAlgorithm.activate` — one atomic activation of one particle:
+  read neighbour memories, compute, write memories, optionally perform a
+  single movement operation;
+* :meth:`AmoebotAlgorithm.is_terminated` — whether the particle has reached a
+  final state (a state in which an activation does nothing).
+
+Only information available to the particle may be used inside
+``activate``: its own memory, the memories of neighbouring particles, which
+adjacent points are occupied, and port translations.  Global information
+(the full shape, particle ids, grid coordinates) must not influence
+decisions; it may only be used for instrumentation.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Optional
+
+from .particle import Particle
+from .system import ParticleSystem
+
+__all__ = ["AmoebotAlgorithm", "StatusMixin", "STATUS_KEY",
+           "STATUS_UNDECIDED", "STATUS_LEADER", "STATUS_FOLLOWER"]
+
+#: Memory key conventionally used for the leader-election output variable.
+STATUS_KEY = "status"
+STATUS_UNDECIDED = "undecided"
+STATUS_LEADER = "leader"
+STATUS_FOLLOWER = "follower"
+
+
+class AmoebotAlgorithm(ABC):
+    """Base class for algorithms executed on a :class:`ParticleSystem`."""
+
+    #: Human readable algorithm name (used in experiment reports).
+    name: str = "amoebot-algorithm"
+
+    @abstractmethod
+    def setup(self, system: ParticleSystem) -> None:
+        """Initialise particle memories from the initial configuration."""
+
+    @abstractmethod
+    def activate(self, particle: Particle, system: ParticleSystem) -> None:
+        """Perform one atomic activation of ``particle``."""
+
+    @abstractmethod
+    def is_terminated(self, particle: Particle, system: ParticleSystem) -> bool:
+        """Whether ``particle`` has reached a final state."""
+
+    # -- optional hooks -----------------------------------------------------
+
+    def on_round_end(self, round_index: int, system: ParticleSystem) -> None:
+        """Called by the scheduler after each asynchronous round (optional)."""
+
+    def has_terminated(self, system: ParticleSystem) -> bool:
+        """Whether every particle has reached a final state."""
+        return all(self.is_terminated(p, system) for p in system.particles())
+
+
+class StatusMixin:
+    """Helpers shared by the leader-election algorithms in this package."""
+
+    @staticmethod
+    def status_of(particle: Particle) -> str:
+        return particle.get(STATUS_KEY, STATUS_UNDECIDED)
+
+    @staticmethod
+    def set_status(particle: Particle, status: str) -> None:
+        particle[STATUS_KEY] = status
+
+    @staticmethod
+    def leaders(system: ParticleSystem) -> list:
+        """All particles currently holding leader status."""
+        return [p for p in system.particles()
+                if p.get(STATUS_KEY) == STATUS_LEADER]
+
+    @staticmethod
+    def followers(system: ParticleSystem) -> list:
+        return [p for p in system.particles()
+                if p.get(STATUS_KEY) == STATUS_FOLLOWER]
+
+    @staticmethod
+    def undecided(system: ParticleSystem) -> list:
+        return [p for p in system.particles()
+                if p.get(STATUS_KEY, STATUS_UNDECIDED) == STATUS_UNDECIDED]

@@ -1,0 +1,124 @@
+"""Particles of the amoebot model (Section 2.2 of the paper).
+
+A particle occupies one grid point when *contracted* and two adjacent points
+(head and tail) when *expanded*.  Particles have no identifiers visible to
+the algorithms; the integer ``particle_id`` exists purely for bookkeeping by
+the simulator and must never be read by algorithm code.
+
+Each particle labels the six incident edges of an occupied point with port
+numbers ``0..5``.  All particles share clockwise chirality (the common
+assumption adopted by the paper), but each has its own rotation offset, so
+port ``0`` of two different particles generally points in different global
+directions.  Following Section 2.2 we also assume that a particle knows, for
+each neighbouring particle, the port number the neighbour assigns to the
+shared edge; the simulator exposes this through
+:meth:`Particle.port_from_neighbor`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..grid.coords import (
+    NUM_DIRECTIONS,
+    Point,
+    direction_between,
+    neighbor,
+)
+
+__all__ = ["Particle"]
+
+
+class Particle:
+    """A single amoebot particle.
+
+    Algorithm state lives in :attr:`memory`, a dictionary that models the
+    particle's constant-size local memory.  Algorithms read the memory of
+    neighbouring particles and may write to it, exactly as permitted by the
+    amoebot model.
+    """
+
+    __slots__ = ("particle_id", "head", "tail", "orientation", "memory")
+
+    def __init__(self, particle_id: int, point: Point, orientation: int = 0):
+        if not 0 <= orientation < NUM_DIRECTIONS:
+            raise ValueError("orientation must be in 0..5")
+        self.particle_id = particle_id
+        self.head: Point = point
+        self.tail: Point = point
+        self.orientation = orientation
+        self.memory: Dict[str, Any] = {}
+
+    # -- occupancy ----------------------------------------------------------
+
+    @property
+    def is_contracted(self) -> bool:
+        """True iff the particle occupies a single point."""
+        return self.head == self.tail
+
+    @property
+    def is_expanded(self) -> bool:
+        """True iff the particle occupies two adjacent points."""
+        return self.head != self.tail
+
+    @property
+    def occupied_points(self) -> Tuple[Point, ...]:
+        """The point(s) currently occupied (head first)."""
+        if self.is_contracted:
+            return (self.head,)
+        return (self.head, self.tail)
+
+    def occupies(self, point: Point) -> bool:
+        """True iff the particle occupies ``point``."""
+        return point == self.head or point == self.tail
+
+    # -- ports --------------------------------------------------------------
+
+    def port_to_direction(self, port: int) -> int:
+        """Global direction of the given local port number."""
+        if not 0 <= port < NUM_DIRECTIONS:
+            raise ValueError("port must be in 0..5")
+        return (port + self.orientation) % NUM_DIRECTIONS
+
+    def direction_to_port(self, direction: int) -> int:
+        """Local port number of the given global direction."""
+        return (direction - self.orientation) % NUM_DIRECTIONS
+
+    def port_between(self, origin: Point, target: Point) -> int:
+        """The port this particle assigns to neighbour point ``target`` as
+        seen from its occupied point ``origin`` (``port(p, u, v)`` in the
+        paper's notation)."""
+        if not self.occupies(origin):
+            raise ValueError(f"particle does not occupy {origin}")
+        return self.direction_to_port(direction_between(origin, target))
+
+    def neighbor_point(self, origin: Point, port: int) -> Point:
+        """The grid point reached from ``origin`` through local port ``port``."""
+        if not self.occupies(origin):
+            raise ValueError(f"particle does not occupy {origin}")
+        return neighbor(origin, self.port_to_direction(port))
+
+    def head_neighbor(self, port: int) -> Point:
+        """The grid point reached from the particle's head via ``port``."""
+        return neighbor(self.head, self.port_to_direction(port))
+
+    # -- memory helpers ------------------------------------------------------
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Read a memory variable (with a default)."""
+        return self.memory.get(key, default)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.memory[key]
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        self.memory[key] = value
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.memory
+
+    # -- debugging -----------------------------------------------------------
+
+    def __repr__(self) -> str:
+        state = "contracted" if self.is_contracted else f"expanded->{self.tail}"
+        return f"Particle(id={self.particle_id}, head={self.head}, {state})"

@@ -1,0 +1,155 @@
+"""Strong schedulers for the amoebot model.
+
+The paper assumes a *strong* scheduler: particles are activated one at a
+time, each activation is atomic, and every fair execution activates every
+particle infinitely often.  The adversary chooses the activation order.
+
+An *asynchronous round* is a minimal execution fragment in which every
+particle is activated at least once; the round complexity of an algorithm is
+the number of rounds until all particles reach a final state (Section 2.2).
+
+This module provides several activation-order policies:
+
+* ``round_robin`` — a fixed cyclic order (the canonical fair schedule);
+* ``random`` — an independent uniformly random permutation per round
+  (seeded, reproducible);
+* ``reversed`` — round-robin in reverse id order (useful to catch
+  order-dependent bugs);
+* a user-supplied callable producing the order for each round, which lets
+  tests construct adversarial schedules.
+
+All policies activate each particle exactly once per round, which makes the
+reported round count a faithful upper-bound witness of the definition above
+(any schedule activating particles more often can only be grouped into at
+least as many rounds).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .algorithm import AmoebotAlgorithm
+from .system import ParticleSystem
+
+__all__ = ["SchedulerResult", "Scheduler", "run_algorithm"]
+
+OrderPolicy = Callable[[int, List[int], random.Random], List[int]]
+
+
+def _round_robin_order(round_index: int, ids: List[int],
+                       rng: random.Random) -> List[int]:
+    return list(ids)
+
+
+def _reversed_order(round_index: int, ids: List[int],
+                    rng: random.Random) -> List[int]:
+    return list(reversed(ids))
+
+
+def _random_order(round_index: int, ids: List[int],
+                  rng: random.Random) -> List[int]:
+    order = list(ids)
+    rng.shuffle(order)
+    return order
+
+
+_POLICIES: Dict[str, OrderPolicy] = {
+    "round_robin": _round_robin_order,
+    "reversed": _reversed_order,
+    "random": _random_order,
+}
+
+
+@dataclass
+class SchedulerResult:
+    """Outcome of running an algorithm to termination."""
+
+    rounds: int
+    activations: int
+    terminated: bool
+    moves: int
+    #: Optional per-round statistics recorded by the algorithm's trace hook.
+    history: List[dict] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        status = "terminated" if self.terminated else "TIMED OUT"
+        return (
+            f"SchedulerResult({status}, rounds={self.rounds}, "
+            f"activations={self.activations}, moves={self.moves})"
+        )
+
+
+class Scheduler:
+    """Runs an :class:`AmoebotAlgorithm` on a :class:`ParticleSystem`."""
+
+    def __init__(self, order: str | OrderPolicy = "random",
+                 seed: int = 0) -> None:
+        if callable(order):
+            self._policy: OrderPolicy = order
+            self.order_name = getattr(order, "__name__", "custom")
+        else:
+            try:
+                self._policy = _POLICIES[order]
+            except KeyError:
+                raise ValueError(
+                    f"unknown scheduler order {order!r}; "
+                    f"known: {sorted(_POLICIES)}"
+                ) from None
+            self.order_name = order
+        self.seed = seed
+
+    def run(self, algorithm: AmoebotAlgorithm, system: ParticleSystem,
+            max_rounds: int = 1_000_000,
+            round_hook: Optional[Callable[[int, ParticleSystem], None]] = None,
+            ) -> SchedulerResult:
+        """Run ``algorithm`` until all particles terminate.
+
+        ``max_rounds`` bounds the execution; if it is reached the result is
+        returned with ``terminated=False`` rather than raising, so callers
+        (e.g. negative tests about algorithms that cannot terminate) can
+        inspect the partial execution.
+        """
+        rng = random.Random(self.seed)
+        algorithm.setup(system)
+        moves_before = system.move_count
+        activations = 0
+        rounds = 0
+        history: List[dict] = []
+        while rounds < max_rounds:
+            if algorithm.has_terminated(system):
+                break
+            ids = system.particle_ids()
+            order = self._policy(rounds, ids, rng)
+            if sorted(order) != sorted(ids):
+                raise ValueError(
+                    "scheduler order policy must activate every particle "
+                    "exactly once per round"
+                )
+            for particle_id in order:
+                particle = system.get_particle(particle_id)
+                if algorithm.is_terminated(particle, system):
+                    continue
+                algorithm.activate(particle, system)
+                activations += 1
+            rounds += 1
+            algorithm.on_round_end(rounds, system)
+            if round_hook is not None:
+                round_hook(rounds, system)
+        terminated = algorithm.has_terminated(system)
+        return SchedulerResult(
+            rounds=rounds,
+            activations=activations,
+            terminated=terminated,
+            moves=system.move_count - moves_before,
+            history=history,
+        )
+
+
+def run_algorithm(algorithm: AmoebotAlgorithm, system: ParticleSystem,
+                  order: str | OrderPolicy = "random", seed: int = 0,
+                  max_rounds: int = 1_000_000) -> SchedulerResult:
+    """Convenience wrapper: build a scheduler and run the algorithm."""
+    return Scheduler(order=order, seed=seed).run(algorithm, system,
+                                                 max_rounds=max_rounds)

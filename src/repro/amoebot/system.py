@@ -1,0 +1,272 @@
+"""The particle system: occupancy bookkeeping and movement operations.
+
+This is the mutable world state shared by all particles.  It enforces the
+movement rules of the amoebot model (Section 2.2):
+
+* a contracted particle may *expand* into an empty adjacent point;
+* an expanded particle may *contract* into its head or into its tail;
+* a contracted particle and an adjacent expanded particle may perform a
+  *handover* in which the contracted one expands into a point vacated by the
+  expanded one.
+
+The system does **not** force connectivity: the paper explicitly allows the
+particle system to disconnect temporarily (that is the point of Algorithm
+DLE).  Callers that want the classical connectivity requirement can assert
+:meth:`ParticleSystem.is_connected` themselves.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..grid.coords import Point, direction_between, neighbor, neighbors
+from ..grid.shape import Shape, is_connected
+from .particle import Particle
+
+__all__ = ["ParticleSystem", "IllegalMoveError"]
+
+
+class IllegalMoveError(RuntimeError):
+    """Raised when an algorithm requests a movement the model forbids."""
+
+
+class ParticleSystem:
+    """A collection of particles occupying points of the triangular grid."""
+
+    def __init__(self) -> None:
+        self._particles: Dict[int, Particle] = {}
+        self._occupancy: Dict[Point, int] = {}
+        self._next_id = 0
+        #: Total number of expansion / contraction / handover operations
+        #: performed so far (movement complexity, used by some experiments).
+        self.move_count = 0
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_shape(cls, shape: Shape | Iterable[Point],
+                   orientation_seed: Optional[int] = None) -> "ParticleSystem":
+        """Create a contracted particle on every point of ``shape``.
+
+        If ``orientation_seed`` is None all particles share orientation 0
+        (handy for debugging); otherwise each particle receives a pseudo
+        random orientation offset, modelling the fact that particles agree on
+        chirality but not on a global compass.
+        """
+        system = cls()
+        points = shape.points if isinstance(shape, Shape) else frozenset(shape)
+        rng = random.Random(orientation_seed) if orientation_seed is not None else None
+        for point in sorted(points):
+            orientation = rng.randrange(6) if rng is not None else 0
+            system.add_particle(point, orientation=orientation)
+        return system
+
+    def add_particle(self, point: Point, orientation: int = 0) -> Particle:
+        """Add a contracted particle at an empty point."""
+        if point in self._occupancy:
+            raise IllegalMoveError(f"point {point} is already occupied")
+        particle = Particle(self._next_id, point, orientation=orientation)
+        self._particles[particle.particle_id] = particle
+        self._occupancy[point] = particle.particle_id
+        self._next_id += 1
+        return particle
+
+    # -- inspection ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._particles)
+
+    def __iter__(self) -> Iterator[Particle]:
+        return iter(self.particles())
+
+    def particles(self) -> List[Particle]:
+        """All particles, in a deterministic (id) order."""
+        return [self._particles[i] for i in sorted(self._particles)]
+
+    def particle_ids(self) -> List[int]:
+        return sorted(self._particles)
+
+    def get_particle(self, particle_id: int) -> Particle:
+        return self._particles[particle_id]
+
+    def particle_at(self, point: Point) -> Optional[Particle]:
+        """The particle occupying ``point``, or None."""
+        pid = self._occupancy.get(point)
+        if pid is None:
+            return None
+        return self._particles[pid]
+
+    def is_occupied(self, point: Point) -> bool:
+        return point in self._occupancy
+
+    def occupied_points(self) -> frozenset:
+        """All currently occupied points."""
+        return frozenset(self._occupancy)
+
+    def shape(self) -> Shape:
+        """The current shape of the particle system."""
+        return Shape(self._occupancy)
+
+    def is_connected(self) -> bool:
+        """Whether the set of occupied points is connected."""
+        return is_connected(frozenset(self._occupancy))
+
+    def all_contracted(self) -> bool:
+        return all(p.is_contracted for p in self._particles.values())
+
+    def neighbors_of(self, particle: Particle) -> List[Particle]:
+        """The neighbouring particles of ``particle`` (particles occupying a
+        point adjacent to one of its occupied points), in a deterministic
+        order without duplicates."""
+        seen = set()
+        result: List[Particle] = []
+        for origin in particle.occupied_points:
+            for point in neighbors(origin):
+                other = self.particle_at(point)
+                if other is None or other is particle:
+                    continue
+                if other.particle_id not in seen:
+                    seen.add(other.particle_id)
+                    result.append(other)
+        return result
+
+    def neighbor_particle(self, origin: Point, direction: int) -> Optional[Particle]:
+        """The particle occupying the neighbour of ``origin`` in ``direction``."""
+        return self.particle_at(neighbor(origin, direction))
+
+    # -- movement operations ---------------------------------------------------
+
+    def expand(self, particle: Particle, target: Point) -> None:
+        """Expand a contracted particle into the empty adjacent point
+        ``target``; the old point becomes the particle's tail."""
+        if particle.is_expanded:
+            raise IllegalMoveError("cannot expand an already expanded particle")
+        origin = particle.head
+        direction_between(origin, target)  # raises if not adjacent
+        if target in self._occupancy:
+            raise IllegalMoveError(f"cannot expand into occupied point {target}")
+        particle.tail = origin
+        particle.head = target
+        self._occupancy[target] = particle.particle_id
+        self.move_count += 1
+
+    def expand_toward(self, particle: Particle, direction: int) -> Point:
+        """Expand a contracted particle along a global direction and return
+        the new head point."""
+        target = neighbor(particle.head, direction)
+        self.expand(particle, target)
+        return target
+
+    def contract_to_head(self, particle: Particle) -> None:
+        """Contract an expanded particle into its head (vacating the tail)."""
+        if particle.is_contracted:
+            raise IllegalMoveError("cannot contract a contracted particle")
+        tail = particle.tail
+        del self._occupancy[tail]
+        particle.tail = particle.head
+        self.move_count += 1
+
+    def contract_to_tail(self, particle: Particle) -> None:
+        """Contract an expanded particle into its tail (vacating the head)."""
+        if particle.is_contracted:
+            raise IllegalMoveError("cannot contract a contracted particle")
+        head = particle.head
+        del self._occupancy[head]
+        particle.head = particle.tail
+        self.move_count += 1
+
+    def handover(self, contracted: Particle, expanded: Particle,
+                 into: Optional[Point] = None) -> None:
+        """Handover between a contracted and an adjacent expanded particle.
+
+        The contracted particle expands into a point currently occupied by
+        the expanded particle (``into``; defaults to the expanded particle's
+        tail) and the expanded particle simultaneously contracts into its
+        other point.
+        """
+        if not contracted.is_contracted:
+            raise IllegalMoveError("first handover argument must be contracted")
+        if not expanded.is_expanded:
+            raise IllegalMoveError("second handover argument must be expanded")
+        if into is None:
+            into = expanded.tail
+        if not expanded.occupies(into):
+            raise IllegalMoveError(f"{into} is not occupied by the expanded particle")
+        direction_between(contracted.head, into)  # adjacency check
+        # The expanded particle vacates ``into`` and keeps its other point.
+        keep = expanded.head if into == expanded.tail else expanded.tail
+        expanded.head = keep
+        expanded.tail = keep
+        # The contracted particle expands into the vacated point.
+        contracted.tail = contracted.head
+        contracted.head = into
+        self._occupancy[into] = contracted.particle_id
+        self.move_count += 1
+
+    # -- bulk helpers used by structured simulations --------------------------
+
+    def teleport(self, particle: Particle, target: Point) -> None:
+        """Move a contracted particle to an arbitrary empty point.
+
+        This is **not** an amoebot operation; it is only used by structured
+        simulations (Algorithm Collect) whose round counts are charged
+        analytically, and by tests setting up configurations.
+        """
+        if particle.is_expanded:
+            raise IllegalMoveError("cannot teleport an expanded particle")
+        if target == particle.head:
+            return
+        if target in self._occupancy:
+            raise IllegalMoveError(f"cannot teleport onto occupied point {target}")
+        del self._occupancy[particle.head]
+        particle.head = target
+        particle.tail = target
+        self._occupancy[target] = particle.particle_id
+
+    def bulk_relocate(self, targets: Dict[int, Point]) -> None:
+        """Atomically move several contracted particles to new points.
+
+        Like :meth:`teleport`, this is a bookkeeping operation for structured
+        simulations, not an amoebot move.  The final occupancy is validated:
+        no two particles may end on the same point and no relocated particle
+        may land on a particle that did not move.
+        """
+        for pid in targets:
+            particle = self._particles[pid]
+            if particle.is_expanded:
+                raise IllegalMoveError(
+                    "bulk_relocate only supports contracted particles"
+                )
+        new_points = list(targets.values())
+        if len(set(new_points)) != len(new_points):
+            raise IllegalMoveError("bulk_relocate targets collide with each other")
+        moving = set(targets)
+        for point in new_points:
+            occupant = self._occupancy.get(point)
+            if occupant is not None and occupant not in moving:
+                raise IllegalMoveError(
+                    f"bulk_relocate target {point} is occupied by a particle "
+                    "that is not being moved"
+                )
+        for pid in targets:
+            particle = self._particles[pid]
+            del self._occupancy[particle.head]
+        for pid, point in targets.items():
+            particle = self._particles[pid]
+            particle.head = point
+            particle.tail = point
+            self._occupancy[point] = pid
+
+    def snapshot(self) -> Dict[int, Tuple[Point, Point]]:
+        """A copy of the occupancy state: id -> (head, tail)."""
+        return {
+            pid: (p.head, p.tail) for pid, p in self._particles.items()
+        }
+
+    def __repr__(self) -> str:
+        expanded = sum(1 for p in self._particles.values() if p.is_expanded)
+        return (
+            f"ParticleSystem(n={len(self._particles)}, expanded={expanded}, "
+            f"moves={self.move_count})"
+        )

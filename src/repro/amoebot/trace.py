@@ -1,0 +1,61 @@
+"""Lightweight execution tracing for experiments and debugging.
+
+A :class:`Trace` collects per-round observations (dictionaries) during an
+execution.  Algorithms and experiment drivers may attach one; when no trace
+is attached, recording is a no-op so the hot path stays cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from .system import ParticleSystem
+
+__all__ = ["Trace", "ROUND_OBSERVERS", "observe_round"]
+
+
+@dataclass
+class Trace:
+    """A sequence of per-round observation records."""
+
+    records: List[Dict[str, Any]] = field(default_factory=list)
+    enabled: bool = True
+
+    def record(self, **fields: Any) -> None:
+        """Append one observation record."""
+        if self.enabled:
+            self.records.append(dict(fields))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def column(self, key: str) -> List[Any]:
+        """Extract one column across all records (missing values skipped)."""
+        return [r[key] for r in self.records if key in r]
+
+    def last(self) -> Optional[Dict[str, Any]]:
+        return self.records[-1] if self.records else None
+
+
+#: Registry of reusable per-round observers; each maps a ParticleSystem to a
+#: dictionary of observed values.
+ROUND_OBSERVERS: Dict[str, Callable[[ParticleSystem], Dict[str, Any]]] = {
+    "occupancy": lambda system: {
+        "n_points": len(system.occupied_points()),
+        "expanded": sum(1 for p in system.particles() if p.is_expanded),
+    },
+    "connectivity": lambda system: {
+        "connected": system.is_connected(),
+    },
+}
+
+
+def observe_round(system: ParticleSystem,
+                  observers: Optional[List[str]] = None) -> Dict[str, Any]:
+    """Run the named observers (default: all) and merge their outputs."""
+    names = observers if observers is not None else sorted(ROUND_OBSERVERS)
+    result: Dict[str, Any] = {}
+    for name in names:
+        result.update(ROUND_OBSERVERS[name](system))
+    return result

@@ -1,0 +1,38 @@
+"""Experiment drivers, result tables and fitting helpers."""
+
+from .experiments import (
+    ALGORITHMS,
+    TABLE1_ALGORITHMS,
+    TABLE1_FAMILIES,
+    ExperimentRecord,
+    run_experiment,
+    run_scaling_experiment,
+    run_table1_experiment,
+)
+from .fitting import LinearFit, PowerFit, fit_linear, fit_power_law
+from .tables import (
+    format_records,
+    format_scaling_series,
+    format_table,
+    format_table1,
+    summarize_scaling,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "ExperimentRecord",
+    "LinearFit",
+    "PowerFit",
+    "TABLE1_ALGORITHMS",
+    "TABLE1_FAMILIES",
+    "fit_linear",
+    "fit_power_law",
+    "format_records",
+    "format_scaling_series",
+    "format_table",
+    "format_table1",
+    "run_experiment",
+    "run_scaling_experiment",
+    "run_table1_experiment",
+    "summarize_scaling",
+]

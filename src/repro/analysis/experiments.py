@@ -1,0 +1,250 @@
+"""Experiment drivers shared by the examples and the benchmark harness.
+
+Every driver takes a :class:`~repro.grid.shape.Shape`, builds a fresh
+particle system, runs one algorithm (or pipeline) and returns an
+:class:`ExperimentRecord` bundling the measured round count, a success flag
+and the shape parameters the paper's bounds refer to.  The drivers are the
+single source of truth for how the reproduction measures each algorithm, so
+benchmarks, examples and EXPERIMENTS.md all agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..amoebot.system import ParticleSystem
+from ..baselines.erosion import run_erosion_election
+from ..baselines.randomized import run_randomized_election
+from ..core.collect import CollectSimulator
+from ..core.dle import DLEAlgorithm, verify_unique_leader
+from ..core.full import elect_leader, elect_leader_known_boundary
+from ..core.obd import OuterBoundaryDetection
+from ..amoebot.scheduler import Scheduler
+from ..grid.generators import make_shape
+from ..grid.metrics import ShapeMetrics, compute_metrics
+from ..grid.shape import Shape
+
+__all__ = [
+    "ExperimentRecord",
+    "ALGORITHMS",
+    "run_experiment",
+    "run_scaling_experiment",
+    "run_table1_experiment",
+    "TABLE1_ALGORITHMS",
+    "TABLE1_FAMILIES",
+]
+
+
+@dataclass
+class ExperimentRecord:
+    """One (algorithm, shape) measurement."""
+
+    algorithm: str
+    family: str
+    size: int
+    seed: int
+    rounds: int
+    succeeded: bool
+    metrics: ShapeMetrics
+    details: Dict[str, object] = field(default_factory=dict)
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dictionary view used by the table formatter."""
+        row: Dict[str, object] = {
+            "algorithm": self.algorithm,
+            "family": self.family,
+            "size": self.size,
+            "rounds": self.rounds,
+            "ok": self.succeeded,
+        }
+        row.update(self.metrics.as_dict())
+        return row
+
+
+def _fresh_system(shape: Shape, seed: int) -> ParticleSystem:
+    return ParticleSystem.from_shape(shape, orientation_seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Individual algorithm drivers
+# ---------------------------------------------------------------------------
+
+def _run_dle(shape: Shape, seed: int) -> Dict[str, object]:
+    system = _fresh_system(shape, seed)
+    algorithm = DLEAlgorithm()
+    result = Scheduler(order="random", seed=seed).run(algorithm, system)
+    succeeded = result.terminated
+    if succeeded:
+        try:
+            verify_unique_leader(system)
+        except Exception:
+            succeeded = False
+    return {
+        "rounds": result.rounds,
+        "succeeded": succeeded,
+        "moves": result.moves,
+        "connected_after": system.is_connected(),
+    }
+
+
+def _run_dle_collect(shape: Shape, seed: int) -> Dict[str, object]:
+    system = _fresh_system(shape, seed)
+    outcome = elect_leader_known_boundary(system, reconnect=True, seed=seed)
+    return {
+        "rounds": outcome.total_rounds,
+        "succeeded": outcome.reconnected and outcome.connected_after,
+        "dle_rounds": outcome.dle_rounds,
+        "collect_rounds": outcome.collect_rounds,
+    }
+
+
+def _run_collect_only(shape: Shape, seed: int) -> Dict[str, object]:
+    system = _fresh_system(shape, seed)
+    algorithm = DLEAlgorithm()
+    Scheduler(order="random", seed=seed).run(algorithm, system)
+    leader = verify_unique_leader(system)
+    result = CollectSimulator(system, leader).run()
+    return {
+        "rounds": result.rounds,
+        "succeeded": result.connected,
+        "phases": result.num_phases,
+    }
+
+
+def _run_obd(shape: Shape, seed: int) -> Dict[str, object]:
+    system = _fresh_system(shape, seed)
+    result = OuterBoundaryDetection(system).run()
+    expected = shape.outer_boundary
+    succeeded = result.outer_boundary_points == set(expected)
+    return {
+        "rounds": result.rounds,
+        "succeeded": succeeded,
+        "competition_rounds": result.competition_rounds,
+        "flood_rounds": result.flood_rounds,
+        "num_boundaries": result.num_boundaries,
+    }
+
+
+def _run_full(shape: Shape, seed: int) -> Dict[str, object]:
+    system = _fresh_system(shape, seed)
+    outcome = elect_leader(system, reconnect=True, seed=seed)
+    return {
+        "rounds": outcome.total_rounds,
+        "succeeded": outcome.reconnected and outcome.connected_after,
+        "obd_rounds": outcome.obd_rounds,
+        "dle_rounds": outcome.dle_rounds,
+        "collect_rounds": outcome.collect_rounds,
+    }
+
+
+def _run_erosion(shape: Shape, seed: int) -> Dict[str, object]:
+    system = _fresh_system(shape, seed)
+    outcome = run_erosion_election(system, seed=seed)
+    return {
+        "rounds": outcome.rounds,
+        "succeeded": outcome.succeeded,
+        "stalled": outcome.stalled,
+        "num_leaders": outcome.num_leaders,
+    }
+
+
+def _run_randomized(shape: Shape, seed: int) -> Dict[str, object]:
+    system = _fresh_system(shape, seed)
+    outcome = run_randomized_election(system, seed=seed)
+    return {
+        "rounds": outcome.rounds,
+        "succeeded": outcome.succeeded,
+        "phases": outcome.phases,
+    }
+
+
+#: Registry of runnable algorithms / pipelines.
+ALGORITHMS: Dict[str, Callable[[Shape, int], Dict[str, object]]] = {
+    "dle": _run_dle,
+    "dle+collect": _run_dle_collect,
+    "collect": _run_collect_only,
+    "obd": _run_obd,
+    "obd+dle+collect": _run_full,
+    "erosion": _run_erosion,
+    "randomized": _run_randomized,
+}
+
+#: Algorithms compared in the Table 1 reproduction, with the paper row each
+#: stands for.
+TABLE1_ALGORITHMS: Dict[str, str] = {
+    "randomized": "[19]/[10] randomized, O(L_max) / O(L_out + D)",
+    "erosion": "[22]/[27] deterministic erosion, O(n), no holes",
+    "dle": "This paper, DLE with known boundary, O(D_A)",
+    "obd+dle+collect": "This paper, full pipeline, O(L_out + D)",
+}
+
+#: Shape families used for the Table 1 reproduction.
+TABLE1_FAMILIES: Sequence[str] = ("hexagon", "blob", "holey")
+
+
+# ---------------------------------------------------------------------------
+# Experiment drivers
+# ---------------------------------------------------------------------------
+
+def run_experiment(algorithm: str, shape: Shape, family: str = "custom",
+                   size: int = 0, seed: int = 0,
+                   metrics: Optional[ShapeMetrics] = None) -> ExperimentRecord:
+    """Run one algorithm on one shape and return the measurement record."""
+    try:
+        driver = ALGORITHMS[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; known: {sorted(ALGORITHMS)}"
+        ) from None
+    if metrics is None:
+        metrics = compute_metrics(shape)
+    details = driver(shape, seed)
+    rounds = int(details.pop("rounds"))
+    succeeded = bool(details.pop("succeeded"))
+    return ExperimentRecord(
+        algorithm=algorithm,
+        family=family,
+        size=size,
+        seed=seed,
+        rounds=rounds,
+        succeeded=succeeded,
+        metrics=metrics,
+        details=details,
+    )
+
+
+def run_scaling_experiment(algorithm: str, family: str, sizes: Iterable[int],
+                           seed: int = 0) -> List[ExperimentRecord]:
+    """Run one algorithm on a growing sequence of shapes from one family."""
+    records: List[ExperimentRecord] = []
+    for size in sizes:
+        shape = make_shape(family, size, seed=seed)
+        records.append(
+            run_experiment(algorithm, shape, family=family, size=size, seed=seed)
+        )
+    return records
+
+
+def run_table1_experiment(sizes: Iterable[int] = (2, 3, 4), seed: int = 0,
+                          families: Sequence[str] = TABLE1_FAMILIES,
+                          algorithms: Optional[Sequence[str]] = None,
+                          ) -> List[ExperimentRecord]:
+    """Measurements behind the Table 1 reproduction.
+
+    Every algorithm in ``algorithms`` (default: the Table 1 set) is run on
+    every (family, size) pair.  Failures (e.g. the erosion baseline on holey
+    shapes) are recorded, not raised — they are part of the comparison.
+    """
+    selected = list(algorithms) if algorithms is not None else list(TABLE1_ALGORITHMS)
+    records: List[ExperimentRecord] = []
+    for family in families:
+        for size in sizes:
+            shape = make_shape(family, size, seed=seed)
+            metrics = compute_metrics(shape)
+            for algorithm in selected:
+                records.append(
+                    run_experiment(algorithm, shape, family=family, size=size,
+                                   seed=seed, metrics=metrics)
+                )
+    return records

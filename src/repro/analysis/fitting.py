@@ -1,0 +1,85 @@
+"""Small fitting helpers for the scaling experiments.
+
+The paper's claims are asymptotic (``O(D_A)``, ``O(D_G)``, ``O(L_out + D)``),
+so the experiments fit measured round counts against the named parameter and
+report the growth exponent and the linear-fit quality.  A reproduction is
+considered to match the claim when the fitted exponent of ``rounds ~ x^a`` is
+close to 1 (and clearly below 2, the bound of the prior deterministic
+algorithms in Table 1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = ["LinearFit", "PowerFit", "fit_linear", "fit_power_law"]
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Least-squares fit of ``y = slope * x + intercept``."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+
+@dataclass(frozen=True)
+class PowerFit:
+    """Least-squares fit of ``y = scale * x ** exponent`` (log-log space)."""
+
+    exponent: float
+    scale: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.scale * (x ** self.exponent)
+
+
+def _check_inputs(xs: Sequence[float], ys: Sequence[float]) -> None:
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    if len(xs) < 2:
+        raise ValueError("at least two data points are required")
+
+
+def _least_squares(xs: List[float], ys: List[float]) -> Tuple[float, float, float]:
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    if sxx == 0:
+        raise ValueError("all x values are identical; cannot fit")
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    ss_res = sum((y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys))
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return slope, intercept, r_squared
+
+
+def fit_linear(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
+    """Least-squares linear fit."""
+    _check_inputs(xs, ys)
+    slope, intercept, r2 = _least_squares(list(map(float, xs)), list(map(float, ys)))
+    return LinearFit(slope=slope, intercept=intercept, r_squared=r2)
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerFit:
+    """Fit ``y = scale * x ** exponent`` by linear regression in log-log space.
+
+    All data points must be strictly positive.
+    """
+    _check_inputs(xs, ys)
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("power-law fitting requires strictly positive data")
+    log_x = [math.log(float(x)) for x in xs]
+    log_y = [math.log(float(y)) for y in ys]
+    slope, intercept, r2 = _least_squares(log_x, log_y)
+    return PowerFit(exponent=slope, scale=math.exp(intercept), r_squared=r2)

@@ -1,0 +1,127 @@
+"""Plain-text report formatting for the reproduced tables and figures.
+
+The benchmark harness and the examples print their results through these
+helpers, so that the artefacts recorded in EXPERIMENTS.md can be regenerated
+verbatim with a single function call.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from .experiments import ExperimentRecord, TABLE1_ALGORITHMS
+from .fitting import fit_linear, fit_power_law
+
+__all__ = [
+    "format_table",
+    "format_records",
+    "format_table1",
+    "format_scaling_series",
+    "summarize_scaling",
+]
+
+
+def format_table(rows: Sequence[Mapping[str, object]],
+                 columns: Optional[Sequence[str]] = None,
+                 title: Optional[str] = None) -> str:
+    """Render a list of dictionaries as an aligned plain-text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no data)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = [str(c) for c in columns]
+    body = [[_format_cell(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(header[i]), max((len(r[i]) for r in body), default=0))
+        for i in range(len(columns))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    return str(value)
+
+
+def format_records(records: Sequence[ExperimentRecord],
+                   title: Optional[str] = None) -> str:
+    """Render experiment records with the standard column set."""
+    columns = ["algorithm", "family", "size", "n", "D", "D_A", "D_G",
+               "L_out", "holes", "rounds", "ok"]
+    return format_table([r.as_row() for r in records], columns, title=title)
+
+
+def format_table1(records: Sequence[ExperimentRecord]) -> str:
+    """The Table 1 reproduction: one block per algorithm with the paper row
+    it stands in for, followed by its measurements on the common shapes."""
+    by_algorithm: Dict[str, List[ExperimentRecord]] = defaultdict(list)
+    for record in records:
+        by_algorithm[record.algorithm].append(record)
+    blocks: List[str] = []
+    for algorithm, algorithm_records in sorted(by_algorithm.items()):
+        paper_row = TABLE1_ALGORITHMS.get(algorithm, "(not in Table 1)")
+        title = f"== {algorithm} — {paper_row}"
+        blocks.append(format_records(algorithm_records, title=title))
+    return "\n\n".join(blocks)
+
+
+def format_scaling_series(records: Sequence[ExperimentRecord], parameter: str,
+                          title: Optional[str] = None) -> str:
+    """Render a scaling series: the named shape parameter vs. rounds, with a
+    linear and a power-law fit of rounds against the parameter."""
+    rows = []
+    for record in records:
+        row = record.as_row()
+        rows.append({
+            "family": row["family"],
+            "size": row["size"],
+            parameter: row[parameter],
+            "rounds": row["rounds"],
+            "rounds/" + parameter: (
+                row["rounds"] / row[parameter] if row[parameter] else float("nan")
+            ),
+            "ok": row["ok"],
+        })
+    table = format_table(rows, title=title)
+    summary = summarize_scaling(records, parameter)
+    fit_lines = [
+        "",
+        f"linear fit  : rounds ≈ {summary['slope']:.2f} * {parameter} "
+        f"+ {summary['intercept']:.1f}   (R² = {summary['linear_r2']:.3f})",
+        f"power fit   : rounds ≈ {summary['scale']:.2f} * {parameter}^"
+        f"{summary['exponent']:.2f}   (R² = {summary['power_r2']:.3f})",
+    ]
+    return table + "\n" + "\n".join(fit_lines)
+
+
+def summarize_scaling(records: Sequence[ExperimentRecord],
+                      parameter: str) -> Dict[str, float]:
+    """Fit rounds against a shape parameter and return the fit summary."""
+    xs: List[float] = []
+    ys: List[float] = []
+    for record in records:
+        value = record.as_row()[parameter]
+        xs.append(float(value))
+        ys.append(float(record.rounds))
+    linear = fit_linear(xs, ys)
+    power = fit_power_law(xs, ys)
+    return {
+        "slope": linear.slope,
+        "intercept": linear.intercept,
+        "linear_r2": linear.r_squared,
+        "exponent": power.exponent,
+        "scale": power.scale,
+        "power_r2": power.r_squared,
+        "points": float(len(xs)),
+    }

@@ -1,0 +1,9 @@
+"""Downstream applications built on top of the elected leader."""
+
+from .spanning_tree import (
+    SpanningTreeAlgorithm,
+    SpanningTreeError,
+    verify_spanning_tree,
+)
+
+__all__ = ["SpanningTreeAlgorithm", "SpanningTreeError", "verify_spanning_tree"]

@@ -1,0 +1,17 @@
+"""Prior-work baselines re-implemented for the Table 1 comparison."""
+
+from .erosion import ErosionLeaderElection, ErosionOutcome, run_erosion_election
+from .randomized import (
+    RandomizedBoundaryElection,
+    RandomizedElectionOutcome,
+    run_randomized_election,
+)
+
+__all__ = [
+    "ErosionLeaderElection",
+    "ErosionOutcome",
+    "RandomizedBoundaryElection",
+    "RandomizedElectionOutcome",
+    "run_erosion_election",
+    "run_randomized_election",
+]

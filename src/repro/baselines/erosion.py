@@ -1,0 +1,186 @@
+"""Erosion-only deterministic leader election (baseline, no movement).
+
+This baseline represents the family of deterministic algorithms that elect a
+leader by *eroding* boundary particles without ever moving them — Di Luna et
+al. [22] and Gastineau et al. [27] in the paper's Table 1.  Those algorithms
+require the initial shape to be **hole-free**: a particle occupying a
+strictly-convex-and-erodable point of the current candidate set withdraws
+(becomes a follower), and the last remaining candidate is the leader.  Their
+round complexity is ``O(n)`` in general (``O(r + m_tree)`` for [27], which is
+``Omega(D)``), and they are simply inapplicable when the shape has holes —
+which is exactly the gap the paper's Algorithm DLE closes.
+
+The implementation below is a faithful per-activation algorithm on the
+amoebot simulator.  Like Algorithm DLE it maintains per-port ``eligible``
+flags, but the eligible set starts as the *occupied points only* (there is
+no hole to include when the shape is hole-free) and particles never move.
+On a shape with holes the erosion stalls (no SCE point of the remaining
+candidate set is guaranteed to exist once the candidate set wraps around a
+hole) or elects several leaders; :func:`run_erosion_election` detects both
+failure modes and reports them, which the benchmark harness uses to
+reproduce the "No holes" restriction column of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+from ..amoebot.algorithm import (
+    STATUS_FOLLOWER,
+    STATUS_KEY,
+    STATUS_LEADER,
+    STATUS_UNDECIDED,
+    AmoebotAlgorithm,
+    StatusMixin,
+)
+from ..amoebot.particle import Particle
+from ..amoebot.scheduler import Scheduler
+from ..amoebot.system import ParticleSystem
+from ..grid.coords import NUM_DIRECTIONS, Point, neighbor
+
+__all__ = ["ErosionLeaderElection", "ErosionOutcome", "run_erosion_election"]
+
+ELIGIBLE_KEY = "eligible"
+TERMINATED_KEY = "terminated"
+
+
+class ErosionLeaderElection(AmoebotAlgorithm, StatusMixin):
+    """SCE-erosion leader election without movement (hole-free shapes)."""
+
+    name = "erosion-baseline"
+
+    def __init__(self) -> None:
+        #: Instrumentation: candidate points still eligible.
+        self.eligible_points: Set[Point] = set()
+        #: Number of state changes in the current round (stall detection).
+        self._changes_this_round = 0
+        #: Set once a full round passes with no change and no termination.
+        self.stalled = False
+
+    # -- setup -----------------------------------------------------------------
+
+    def setup(self, system: ParticleSystem) -> None:
+        shape = system.shape()
+        if not shape.is_connected():
+            raise ValueError("erosion baseline requires a connected configuration")
+        if not system.all_contracted():
+            raise ValueError("erosion baseline requires a contracted configuration")
+        occupied = system.occupied_points()
+        self.eligible_points = set(occupied)
+        self.stalled = False
+        self._changes_this_round = 0
+        for particle in system.particles():
+            particle[STATUS_KEY] = STATUS_UNDECIDED
+            particle[TERMINATED_KEY] = False
+            eligible = [False] * NUM_DIRECTIONS
+            for port in range(NUM_DIRECTIONS):
+                eligible[port] = particle.head_neighbor(port) in occupied
+            particle[ELIGIBLE_KEY] = eligible
+
+    # -- termination --------------------------------------------------------------
+
+    def is_terminated(self, particle: Particle, system: ParticleSystem) -> bool:
+        return bool(particle.get(TERMINATED_KEY, False)) or self.stalled
+
+    def on_round_end(self, round_index: int, system: ParticleSystem) -> None:
+        if self._changes_this_round == 0:
+            # Nothing changed during a whole round: the configuration is a
+            # fixed point, so it will never change again.  On hole-free
+            # shapes this only happens after termination; with holes it is
+            # the stall the paper's Table 1 restrictions predict.
+            if not all(p.get(TERMINATED_KEY, False) for p in system.particles()):
+                self.stalled = True
+        self._changes_this_round = 0
+
+    # -- activation ---------------------------------------------------------------
+
+    def activate(self, particle: Particle, system: ParticleSystem) -> None:
+        status = particle[STATUS_KEY]
+        neighbors_particles = system.neighbors_of(particle)
+
+        if status != STATUS_UNDECIDED:
+            if all(q[STATUS_KEY] != STATUS_UNDECIDED for q in neighbors_particles):
+                if not particle[TERMINATED_KEY]:
+                    particle[TERMINATED_KEY] = True
+                    self._changes_this_round += 1
+            return
+
+        eligible = particle[ELIGIBLE_KEY]
+        eligible_dirs = [d for d in range(NUM_DIRECTIONS)
+                         if eligible[particle.direction_to_port(d)]]
+
+        if not eligible_dirs:
+            particle[STATUS_KEY] = STATUS_LEADER
+            self._changes_this_round += 1
+            return
+
+        if not self._is_sce(eligible_dirs):
+            return
+
+        # Erode: the particle withdraws from candidacy and its point leaves
+        # the eligible set; neighbours with an adjacent head fix their flags.
+        point = particle.head
+        self.eligible_points.discard(point)
+        particle[STATUS_KEY] = STATUS_FOLLOWER
+        self._changes_this_round += 1
+        for q in neighbors_particles:
+            head = q.head
+            if any(neighbor(point, d) == head for d in range(NUM_DIRECTIONS)):
+                q[ELIGIBLE_KEY][q.port_between(head, point)] = False
+
+    @staticmethod
+    def _is_sce(eligible_dirs: List[int]) -> bool:
+        """Same purely local SCE test as Algorithm DLE: 1-3 eligible
+        neighbours forming one contiguous clockwise arc."""
+        k = len(eligible_dirs)
+        if k == 0 or k > 3:
+            return False
+        eligible_set = set(eligible_dirs)
+        starts = sum(
+            1 for d in eligible_set
+            if (d - 1) % NUM_DIRECTIONS not in eligible_set
+        )
+        return starts == 1
+
+
+@dataclass
+class ErosionOutcome:
+    """Result of running the erosion baseline."""
+
+    rounds: int
+    succeeded: bool
+    stalled: bool
+    num_leaders: int
+    leader_point: Optional[Point] = None
+
+
+def run_erosion_election(system: ParticleSystem, scheduler_order: str = "random",
+                         seed: int = 0,
+                         max_rounds: Optional[int] = None) -> ErosionOutcome:
+    """Run the erosion baseline and classify the outcome.
+
+    ``succeeded`` is True only when a unique leader was elected and every
+    other particle is a follower.  On shapes with holes the run typically
+    ends ``stalled`` (the documented restriction of this algorithm family).
+    """
+    if max_rounds is None:
+        max_rounds = 10 * len(system) + 100
+    algorithm = ErosionLeaderElection()
+    scheduler = Scheduler(order=scheduler_order, seed=seed)
+    result = scheduler.run(algorithm, system, max_rounds=max_rounds)
+    leaders = [p for p in system.particles() if p.get(STATUS_KEY) == STATUS_LEADER]
+    followers = [p for p in system.particles() if p.get(STATUS_KEY) == STATUS_FOLLOWER]
+    succeeded = (
+        not algorithm.stalled
+        and result.terminated
+        and len(leaders) == 1
+        and len(leaders) + len(followers) == len(system)
+    )
+    return ErosionOutcome(
+        rounds=result.rounds,
+        succeeded=succeeded,
+        stalled=algorithm.stalled,
+        num_leaders=len(leaders),
+        leader_point=leaders[0].head if len(leaders) == 1 else None,
+    )

@@ -1,0 +1,181 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The CLI exposes the experiment harness without writing any Python:
+
+* ``python -m repro table1``                  — reproduce the Table 1 comparison
+* ``python -m repro scaling dle --families hexagon holey`` — scaling figures
+* ``python -m repro elect --family holey --size 4``        — one election run
+* ``python -m repro metrics --family annulus --size 5``    — shape parameters
+* ``python -m repro families``                — list the shape families
+
+Every command accepts ``--json PATH`` to additionally dump the raw records
+(via :mod:`repro.io`) so results can be post-processed elsewhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .amoebot.system import ParticleSystem
+from .analysis.experiments import (
+    ALGORITHMS,
+    TABLE1_FAMILIES,
+    run_scaling_experiment,
+    run_table1_experiment,
+)
+from .analysis.tables import (
+    format_records,
+    format_scaling_series,
+    format_table,
+    format_table1,
+)
+from .core.full import elect_leader, elect_leader_known_boundary
+from .grid.generators import SHAPE_FAMILIES, make_shape
+from .grid.metrics import compute_metrics
+from .io import save_records
+from .viz.ascii_art import render_system
+
+__all__ = ["main", "build_parser"]
+
+#: Default parameter against which each algorithm's scaling is reported.
+DEFAULT_PARAMETER = {
+    "dle": "D_A",
+    "dle+collect": "D_G",
+    "collect": "D_G",
+    "obd": "L_out",
+    "obd+dle+collect": "L_out",
+    "erosion": "n",
+    "randomized": "L_out",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing and documentation)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction harness for 'Efficient Deterministic "
+                    "Leader Election for Programmable Matter' (PODC 2021).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    table1 = sub.add_parser("table1", help="reproduce the Table 1 comparison")
+    table1.add_argument("--sizes", type=int, nargs="+", default=[2, 3, 4])
+    table1.add_argument("--families", nargs="+", default=list(TABLE1_FAMILIES),
+                        choices=sorted(SHAPE_FAMILIES))
+    table1.add_argument("--seed", type=int, default=0)
+    table1.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the raw records to a JSON file")
+
+    scaling = sub.add_parser("scaling", help="scaling figure for one algorithm")
+    scaling.add_argument("algorithm", choices=sorted(ALGORITHMS))
+    scaling.add_argument("--families", nargs="+", default=["hexagon", "holey"],
+                         choices=sorted(SHAPE_FAMILIES))
+    scaling.add_argument("--sizes", type=int, nargs="+", default=[2, 3, 4, 6, 8])
+    scaling.add_argument("--parameter", default=None,
+                         help="shape parameter to fit against "
+                              "(default depends on the algorithm)")
+    scaling.add_argument("--seed", type=int, default=0)
+    scaling.add_argument("--json", metavar="PATH", default=None)
+
+    elect = sub.add_parser("elect", help="run one leader election end to end")
+    elect.add_argument("--family", default="holey", choices=sorted(SHAPE_FAMILIES))
+    elect.add_argument("--size", type=int, default=3)
+    elect.add_argument("--seed", type=int, default=0)
+    elect.add_argument("--known-boundary", action="store_true",
+                       help="skip OBD and use the oracle boundary input")
+    elect.add_argument("--no-reconnect", action="store_true",
+                       help="skip Algorithm Collect")
+    elect.add_argument("--render", action="store_true",
+                       help="print the final configuration as ASCII art")
+
+    metrics = sub.add_parser("metrics", help="print the parameters of a shape")
+    metrics.add_argument("--family", default="hexagon", choices=sorted(SHAPE_FAMILIES))
+    metrics.add_argument("--size", type=int, default=3)
+    metrics.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("families", help="list the available shape families")
+    return parser
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    records = run_table1_experiment(sizes=tuple(args.sizes), seed=args.seed,
+                                    families=tuple(args.families))
+    print(format_table1(records))
+    if args.json:
+        save_records(records, args.json)
+        print(f"\nraw records written to {args.json}")
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    parameter = args.parameter or DEFAULT_PARAMETER.get(args.algorithm, "n")
+    all_records = []
+    for family in args.families:
+        records = run_scaling_experiment(args.algorithm, family,
+                                         tuple(args.sizes), seed=args.seed)
+        all_records.extend(records)
+        title = f"{args.algorithm} rounds vs {parameter} ({family})"
+        print(format_scaling_series(records, parameter, title=title))
+        print()
+    if args.json:
+        save_records(all_records, args.json)
+        print(f"raw records written to {args.json}")
+    return 0
+
+
+def _cmd_elect(args: argparse.Namespace) -> int:
+    shape = make_shape(args.family, args.size, seed=args.seed)
+    metrics = compute_metrics(shape)
+    print(format_table([metrics.as_dict()], title="shape parameters"))
+    system = ParticleSystem.from_shape(shape, orientation_seed=args.seed)
+    runner = elect_leader_known_boundary if args.known_boundary else elect_leader
+    outcome = runner(system, reconnect=not args.no_reconnect, seed=args.seed)
+    print("\nleader point     :", outcome.leader_point)
+    print("rounds per stage :", outcome.stage_rounds())
+    print("connected after  :", outcome.connected_after)
+    if args.render:
+        print("\n" + render_system(system))
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    shape = make_shape(args.family, args.size, seed=args.seed)
+    metrics = compute_metrics(shape)
+    print(format_table([metrics.as_dict()],
+                       title=f"{args.family} size {args.size}"))
+    return 0
+
+
+def _cmd_families(args: argparse.Namespace) -> int:
+    rows = []
+    for name in sorted(SHAPE_FAMILIES):
+        shape = make_shape(name, 2, seed=0)
+        rows.append({
+            "family": name,
+            "n(size=2)": len(shape),
+            "holes(size=2)": len(shape.holes),
+        })
+    print(format_table(rows, title="shape families"))
+    return 0
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "scaling": _cmd_scaling,
+    "elect": _cmd_elect,
+    "metrics": _cmd_metrics,
+    "families": _cmd_families,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""The paper's contribution: DLE, Collect, OBD and their composition."""
+
+from .collect import CollectPhase, CollectResult, CollectSimulator
+from .dle import DLEAlgorithm, LeaderElectionError, verify_unique_leader
+from .full import ElectionOutcome, elect_leader, elect_leader_known_boundary
+from .obd import (
+    BoundaryCompetition,
+    BoundaryCompetitionResult,
+    OBDResult,
+    OuterBoundaryDetection,
+    Segment,
+)
+
+__all__ = [
+    "BoundaryCompetition",
+    "BoundaryCompetitionResult",
+    "CollectPhase",
+    "CollectResult",
+    "CollectSimulator",
+    "DLEAlgorithm",
+    "ElectionOutcome",
+    "LeaderElectionError",
+    "OBDResult",
+    "OuterBoundaryDetection",
+    "Segment",
+    "elect_leader",
+    "elect_leader_known_boundary",
+    "verify_unique_leader",
+]

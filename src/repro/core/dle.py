@@ -1,0 +1,256 @@
+"""Algorithm DLE — Disconnecting Leader Election (Section 4.1 of the paper).
+
+This is a faithful, per-activation implementation of the paper's pseudocode
+(page 11).  Every particle keeps
+
+* ``outer[0..5]`` — the read-only input stating, for each head port, whether
+  the neighbouring point lies on the outer face of the *initial* shape
+  (the "boundary known initially" assumption; it is discharged by the OBD
+  primitive in :mod:`repro.core.obd`), and
+* ``eligible[0..5]`` — whether the point behind each head port is still in
+  the eligible set ``S_e``.
+
+The eligible set starts as the area of the initial shape (occupied points
+plus hole points) and only shrinks.  An activated, contracted, undecided
+particle occupying a strictly-convex-and-erodable (SCE) point of ``S_e``
+removes its point from ``S_e`` and, when the removal uncovers an empty
+eligible point, expands into it (moving "inwards"); otherwise it becomes a
+follower.  The last particle whose point remains eligible becomes the unique
+leader.  The particle system may disconnect during the execution — that is
+the algorithm's distinguishing feature — and can be reconnected afterwards
+by :class:`repro.core.collect.CollectAlgorithm`.
+
+Instrumentation: the algorithm object mirrors ``S_e`` in
+:attr:`DLEAlgorithm.eligible_points` (never read by particle code) so tests
+can check the invariants of Lemma 11 and Lemma 19 and experiments can report
+the erosion progress.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..amoebot.algorithm import (
+    STATUS_FOLLOWER,
+    STATUS_KEY,
+    STATUS_LEADER,
+    STATUS_UNDECIDED,
+    AmoebotAlgorithm,
+    StatusMixin,
+)
+from ..amoebot.particle import Particle
+from ..amoebot.system import ParticleSystem
+from ..grid.coords import NUM_DIRECTIONS, Point, neighbor
+from ..grid.shape import Shape
+
+__all__ = ["DLEAlgorithm", "LeaderElectionError", "verify_unique_leader"]
+
+OUTER_KEY = "outer"
+ELIGIBLE_KEY = "eligible"
+TERMINATED_KEY = "terminated"
+#: Memory key under which the OBD primitive stores the per-port outer-face
+#: information it detected; DLE reads it when ``outer_from_memory=True``.
+OUTER_INPUT_MEMORY_KEY = "obd_outer"
+
+
+class LeaderElectionError(RuntimeError):
+    """Raised when a leader-election postcondition is violated."""
+
+
+def verify_unique_leader(system: ParticleSystem) -> Particle:
+    """Check the (disconnecting) leader-election predicate and return the
+    unique leader.
+
+    Raises :class:`LeaderElectionError` if there is not exactly one leader or
+    if some particle is neither leader nor follower.
+    """
+    leaders = [p for p in system.particles()
+               if p.get(STATUS_KEY) == STATUS_LEADER]
+    followers = [p for p in system.particles()
+                 if p.get(STATUS_KEY) == STATUS_FOLLOWER]
+    if len(leaders) != 1:
+        raise LeaderElectionError(
+            f"expected exactly one leader, found {len(leaders)}"
+        )
+    if len(leaders) + len(followers) != len(system):
+        undecided = len(system) - len(leaders) - len(followers)
+        raise LeaderElectionError(
+            f"{undecided} particles are neither leader nor follower"
+        )
+    return leaders[0]
+
+
+class DLEAlgorithm(AmoebotAlgorithm, StatusMixin):
+    """The paper's Algorithm DLE, executed per atomic activation."""
+
+    name = "dle"
+
+    def __init__(self, outer_from_memory: bool = False,
+                 strict_checks: bool = True) -> None:
+        """``outer_from_memory`` makes setup read the ``outer`` input arrays
+        from particle memory (key ``obd_outer``) instead of computing them
+        from the initial shape; this is how the OBD primitive discharges the
+        known-boundary assumption.  ``strict_checks`` enables internal
+        assertions (Claim 10) that are cheap and recommended."""
+        self.outer_from_memory = outer_from_memory
+        self.strict_checks = strict_checks
+        #: Instrumentation mirror of the eligible set ``S_e``.
+        self.eligible_points: Set[Point] = set()
+        #: The last eligible point (the leader's point ``l``), once known.
+        self.leader_point: Optional[Point] = None
+        #: Number of points removed from ``S_e`` so far.
+        self.erosions = 0
+
+    # -- setup ----------------------------------------------------------------
+
+    def setup(self, system: ParticleSystem) -> None:
+        initial_shape = system.shape()
+        if not initial_shape.is_connected():
+            raise ValueError("DLE requires a connected initial configuration")
+        if not system.all_contracted():
+            raise ValueError("DLE requires a contracted initial configuration")
+        self.eligible_points = set(initial_shape.area_points)
+        self.leader_point = None
+        self.erosions = 0
+        for particle in system.particles():
+            outer = self._outer_input(particle, initial_shape)
+            particle[OUTER_KEY] = list(outer)
+            particle[STATUS_KEY] = STATUS_UNDECIDED
+            particle[TERMINATED_KEY] = False
+            # Initialization (line 6): eligible iff the neighbour is not on
+            # the outer face, i.e. it is occupied or a hole point.
+            particle[ELIGIBLE_KEY] = [not flag for flag in outer]
+
+    def _outer_input(self, particle: Particle, shape: Shape) -> List[bool]:
+        if self.outer_from_memory:
+            stored = particle.get(OUTER_INPUT_MEMORY_KEY)
+            if stored is None or len(stored) != NUM_DIRECTIONS:
+                raise ValueError(
+                    "outer_from_memory=True but particle has no "
+                    f"{OUTER_INPUT_MEMORY_KEY!r} array of length 6"
+                )
+            return [bool(flag) for flag in stored]
+        outer = []
+        for port in range(NUM_DIRECTIONS):
+            point = particle.head_neighbor(port)
+            outer.append(shape.point_in_outer_face(point))
+        return outer
+
+    # -- termination ------------------------------------------------------------
+
+    def is_terminated(self, particle: Particle, system: ParticleSystem) -> bool:
+        return bool(particle.get(TERMINATED_KEY, False))
+
+    # -- activation ---------------------------------------------------------------
+
+    def activate(self, particle: Particle, system: ParticleSystem) -> None:
+        # Line 9: an expanded particle contracts into its head.
+        if particle.is_expanded:
+            system.contract_to_head(particle)
+            return
+
+        status = particle[STATUS_KEY]
+        neighbors_particles = system.neighbors_of(particle)
+
+        # Lines 10-11: a decided particle surrounded by decided particles
+        # terminates (vacuously true when it has no neighbours).
+        if status != STATUS_UNDECIDED:
+            if all(q[STATUS_KEY] != STATUS_UNDECIDED
+                   for q in neighbors_particles):
+                particle[TERMINATED_KEY] = True
+            return
+
+        # Lines 12-28: the particle is contracted, undecided, at point v.
+        point = particle.head
+        eligible = particle[ELIGIBLE_KEY]
+
+        # eligible[] is indexed by *port*; translate to global directions once
+        # so the geometric tests below are direction based.
+        eligible_dirs = [d for d in range(NUM_DIRECTIONS)
+                         if eligible[particle.direction_to_port(d)]]
+
+        # Lines 14-15: no eligible neighbour left -> become the leader.
+        if not eligible_dirs:
+            particle[STATUS_KEY] = STATUS_LEADER
+            self.leader_point = point
+            return
+
+        # Line 16: otherwise the point must be SCE w.r.t. S_e to act.
+        if not self._is_sce(eligible_dirs):
+            return
+
+        # Lines 17-19: remove v from S_e and fix the neighbours' flags.
+        self._mark_ineligible(point, particle, system)
+
+        # Lines 20-26: keep the outer boundary of S_e occupied by expanding
+        # into the unique empty eligible neighbour, if one exists.
+        empty_eligible = [
+            d for d in eligible_dirs
+            if not system.is_occupied(neighbor(point, d))
+        ]
+        if self.strict_checks and len(empty_eligible) > 1:
+            raise LeaderElectionError(
+                "Claim 10 violated: SCE point has more than one empty "
+                f"eligible neighbour at {point}"
+            )
+        if empty_eligible:
+            direction = empty_eligible[0]
+            target = neighbor(point, direction)
+            # Line 23: the port of the new head that points back to v.
+            port_back = (particle.port_between(point, target) + 3) % NUM_DIRECTIONS
+            new_eligible = [True] * NUM_DIRECTIONS
+            new_eligible[port_back] = False
+            particle[ELIGIBLE_KEY] = new_eligible
+            system.expand(particle, target)
+        else:
+            # Line 28: nowhere to go -> the particle becomes a follower.
+            particle[STATUS_KEY] = STATUS_FOLLOWER
+
+    # -- helpers ----------------------------------------------------------------
+
+    @staticmethod
+    def _is_sce(eligible_dirs: List[int]) -> bool:
+        """SCE test from purely local information.
+
+        The non-eligible directions must form a single contiguous cyclic arc
+        (single local boundary; since ``S_e`` stays simply connected, Lemma
+        11, that boundary is automatically an outer one) of size at least
+        three (strict convexity: boundary count ``|B| - 2 > 0``).
+        Equivalently: 1-3 eligible directions forming a contiguous arc.
+        """
+        k = len(eligible_dirs)
+        if k == 0 or k > 3:
+            return False
+        eligible_set = set(eligible_dirs)
+        # The eligible directions form a contiguous cyclic arc iff there is
+        # exactly one index d with d eligible and (d - 1) mod 6 not eligible.
+        starts = sum(
+            1 for d in eligible_set
+            if (d - 1) % NUM_DIRECTIONS not in eligible_set
+        )
+        return starts == 1
+
+    def _mark_ineligible(self, point: Point, particle: Particle,
+                         system: ParticleSystem) -> None:
+        """Remove ``point`` from ``S_e`` (lines 17-19)."""
+        self.eligible_points.discard(point)
+        self.erosions += 1
+        for q in system.neighbors_of(particle):
+            head = q.head
+            if head in self._adjacent_points(point):
+                q_eligible = q[ELIGIBLE_KEY]
+                q_eligible[q.port_between(head, point)] = False
+
+    @staticmethod
+    def _adjacent_points(point: Point) -> Set[Point]:
+        return {neighbor(point, d) for d in range(NUM_DIRECTIONS)}
+
+    # -- instrumentation --------------------------------------------------------
+
+    def leader(self, system: ParticleSystem) -> Particle:
+        """Return the unique leader, verifying the DLE predicate."""
+        return verify_unique_leader(system)
+
+    def eligible_set_size(self) -> int:
+        """Current size of the instrumented eligible set ``S_e``."""
+        return len(self.eligible_points)

@@ -1,0 +1,143 @@
+"""End-to-end leader election pipelines composing the paper's components.
+
+Two pipelines are provided, matching the two rows the paper contributes to
+Table 1:
+
+* :func:`elect_leader_known_boundary` — assumes particles initially know
+  which ports face the outer boundary (the paper's first result) and runs
+  Algorithm DLE followed, optionally, by Algorithm Collect.  Round
+  complexity ``O(D_A)`` for election, ``O(D_A + D_G)`` with reconnection.
+* :func:`elect_leader` — removes the assumption by running primitive OBD
+  first, for ``O(L_out + D)`` rounds overall.
+
+Both return an :class:`ElectionOutcome` bundling the elected leader, the
+per-stage round counts and the final configuration facts that the test suite
+checks (unique leader, everyone else follower, system connected again when
+reconnection was requested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..amoebot.scheduler import Scheduler, SchedulerResult
+from ..amoebot.system import ParticleSystem
+from ..grid.shape import Shape
+from .collect import CollectResult, CollectSimulator
+from .dle import DLEAlgorithm, verify_unique_leader
+from .obd import OBDResult, OuterBoundaryDetection
+
+__all__ = ["ElectionOutcome", "elect_leader_known_boundary", "elect_leader"]
+
+
+@dataclass
+class ElectionOutcome:
+    """Result of an end-to-end leader-election run."""
+
+    total_rounds: int
+    dle_rounds: int
+    obd_rounds: int = 0
+    collect_rounds: int = 0
+    leader_point: Optional[tuple] = None
+    connected_after: bool = False
+    reconnected: bool = False
+    #: Underlying per-stage results, for detailed inspection.
+    dle_result: Optional[SchedulerResult] = None
+    obd_result: Optional[OBDResult] = None
+    collect_result: Optional[CollectResult] = None
+
+    def stage_rounds(self) -> Dict[str, int]:
+        """Round counts per pipeline stage."""
+        return {
+            "obd": self.obd_rounds,
+            "dle": self.dle_rounds,
+            "collect": self.collect_rounds,
+            "total": self.total_rounds,
+        }
+
+
+def _run_dle(system: ParticleSystem, outer_from_memory: bool,
+             scheduler_order: str, seed: int,
+             max_rounds: int) -> tuple[DLEAlgorithm, SchedulerResult]:
+    algorithm = DLEAlgorithm(outer_from_memory=outer_from_memory)
+    scheduler = Scheduler(order=scheduler_order, seed=seed)
+    result = scheduler.run(algorithm, system, max_rounds=max_rounds)
+    if not result.terminated:
+        raise RuntimeError(
+            f"Algorithm DLE did not terminate within {max_rounds} rounds"
+        )
+    return algorithm, result
+
+
+def _run_collect(system: ParticleSystem) -> CollectResult:
+    leader = verify_unique_leader(system)
+    simulator = CollectSimulator(system, leader)
+    return simulator.run()
+
+
+def elect_leader_known_boundary(system: ParticleSystem,
+                                reconnect: bool = True,
+                                scheduler_order: str = "random",
+                                seed: int = 0,
+                                max_rounds: int = 1_000_000) -> ElectionOutcome:
+    """Leader election under the known-outer-boundary assumption.
+
+    Runs Algorithm DLE (faithful per-activation execution) and, when
+    ``reconnect`` is true, Algorithm Collect to restore connectivity.
+    """
+    _, dle_result = _run_dle(system, outer_from_memory=False,
+                             scheduler_order=scheduler_order, seed=seed,
+                             max_rounds=max_rounds)
+    leader = verify_unique_leader(system)
+    collect_result: Optional[CollectResult] = None
+    collect_rounds = 0
+    if reconnect:
+        collect_result = _run_collect(system)
+        collect_rounds = collect_result.rounds
+    return ElectionOutcome(
+        total_rounds=dle_result.rounds + collect_rounds,
+        dle_rounds=dle_result.rounds,
+        collect_rounds=collect_rounds,
+        leader_point=leader.head,
+        connected_after=system.is_connected(),
+        reconnected=bool(collect_result and collect_result.connected),
+        dle_result=dle_result,
+        collect_result=collect_result,
+    )
+
+
+def elect_leader(system: ParticleSystem,
+                 reconnect: bool = True,
+                 scheduler_order: str = "random",
+                 seed: int = 0,
+                 max_rounds: int = 1_000_000) -> ElectionOutcome:
+    """Leader election without the known-boundary assumption.
+
+    Runs primitive OBD first (``O(L_out + D)`` rounds), feeds the detected
+    boundary information to Algorithm DLE, and optionally reconnects with
+    Algorithm Collect.
+    """
+    obd = OuterBoundaryDetection(system)
+    obd_result = obd.run()
+    _, dle_result = _run_dle(system, outer_from_memory=True,
+                             scheduler_order=scheduler_order, seed=seed,
+                             max_rounds=max_rounds)
+    leader = verify_unique_leader(system)
+    collect_result: Optional[CollectResult] = None
+    collect_rounds = 0
+    if reconnect:
+        collect_result = _run_collect(system)
+        collect_rounds = collect_result.rounds
+    return ElectionOutcome(
+        total_rounds=obd_result.rounds + dle_result.rounds + collect_rounds,
+        dle_rounds=dle_result.rounds,
+        obd_rounds=obd_result.rounds,
+        collect_rounds=collect_rounds,
+        leader_point=leader.head,
+        connected_after=system.is_connected(),
+        reconnected=bool(collect_result and collect_result.connected),
+        dle_result=dle_result,
+        obd_result=obd_result,
+        collect_result=collect_result,
+    )

@@ -1,0 +1,160 @@
+"""Exact shape metrics used by the paper's bounds.
+
+All quantities are defined in Section 2 of the paper:
+
+* ``n``      — number of particles / occupied points,
+* ``n_A``    — number of points of the area (shape plus holes),
+* ``D``      — diameter of the shape w.r.t. shortest paths inside the shape,
+* ``D_A``    — diameter of the shape w.r.t. shortest paths inside the area,
+* ``D_G``    — diameter of the shape w.r.t. the full triangular grid,
+* ``L_out``  — number of points on the outer boundary,
+* ``L_max``  — maximum boundary length over all boundaries,
+* ``eps_G(v)`` — eccentricity of ``v`` w.r.t. the grid (greatest grid
+  distance from ``v`` to any shape point).
+
+Distances within a point set are computed by breadth-first search; the grid
+metric has the closed form of :func:`repro.grid.coords.grid_distance`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import AbstractSet, Dict, Iterable, List, Optional, Tuple
+
+from .coords import Point, grid_distance, neighbors
+from .shape import Shape
+
+__all__ = [
+    "bfs_distances",
+    "eccentricity_within",
+    "diameter_within",
+    "grid_eccentricity",
+    "grid_diameter",
+    "ShapeMetrics",
+    "compute_metrics",
+]
+
+
+def bfs_distances(source: Point, allowed: AbstractSet[Point],
+                  targets: Optional[AbstractSet[Point]] = None) -> Dict[Point, int]:
+    """Shortest-path distances from ``source`` to points of ``allowed``.
+
+    Paths may only use points of ``allowed``.  If ``targets`` is given the
+    search stops once all targets have been reached (distances to some other
+    points may be missing from the result).
+    """
+    if source not in allowed:
+        raise ValueError("source must belong to the allowed set")
+    distances: Dict[Point, int] = {source: 0}
+    remaining = set(targets) - {source} if targets is not None else None
+    queue = deque([source])
+    while queue:
+        current = queue.popleft()
+        d = distances[current]
+        for nxt in neighbors(current):
+            if nxt in allowed and nxt not in distances:
+                distances[nxt] = d + 1
+                queue.append(nxt)
+                if remaining is not None:
+                    remaining.discard(nxt)
+        if remaining is not None and not remaining:
+            break
+    return distances
+
+
+def eccentricity_within(source: Point, shape_points: AbstractSet[Point],
+                        allowed: AbstractSet[Point]) -> int:
+    """Eccentricity of ``source``: the greatest distance (within ``allowed``)
+    from ``source`` to any point of ``shape_points``."""
+    distances = bfs_distances(source, allowed, targets=shape_points)
+    missing = [p for p in shape_points if p not in distances]
+    if missing:
+        raise ValueError(
+            f"{len(missing)} shape points are unreachable from {source} "
+            "within the allowed set"
+        )
+    return max(distances[p] for p in shape_points)
+
+
+def diameter_within(shape_points: AbstractSet[Point],
+                    allowed: AbstractSet[Point]) -> int:
+    """Diameter of ``shape_points`` w.r.t. shortest paths within ``allowed``.
+
+    This is the greatest eccentricity over the shape's points (Section 2.1).
+    """
+    if not shape_points:
+        raise ValueError("diameter of an empty point set")
+    return max(
+        eccentricity_within(p, shape_points, allowed) for p in shape_points
+    )
+
+
+def grid_eccentricity(source: Point, shape_points: AbstractSet[Point]) -> int:
+    """Eccentricity of ``source`` w.r.t. the full grid metric."""
+    if not shape_points:
+        raise ValueError("eccentricity w.r.t. an empty point set")
+    return max(grid_distance(source, p) for p in shape_points)
+
+
+def grid_diameter(shape_points: AbstractSet[Point]) -> int:
+    """Diameter of the point set w.r.t. the full grid metric (``D_G``)."""
+    if not shape_points:
+        raise ValueError("diameter of an empty point set")
+    points = sorted(shape_points)
+    return max(
+        grid_distance(a, b)
+        for i, a in enumerate(points)
+        for b in points[i + 1:]
+    ) if len(points) > 1 else 0
+
+
+@dataclass(frozen=True)
+class ShapeMetrics:
+    """The bundle of parameters appearing in the paper's complexity bounds."""
+
+    n: int
+    n_area: int
+    diameter: int
+    area_diameter: int
+    grid_diam: int
+    l_out: int
+    l_max: int
+    num_holes: int
+
+    def as_dict(self) -> Dict[str, int]:
+        """Dictionary view with the paper's notation as keys."""
+        return {
+            "n": self.n,
+            "n_A": self.n_area,
+            "D": self.diameter,
+            "D_A": self.area_diameter,
+            "D_G": self.grid_diam,
+            "L_out": self.l_out,
+            "L_max": self.l_max,
+            "holes": self.num_holes,
+        }
+
+
+def compute_metrics(shape: Shape) -> ShapeMetrics:
+    """Compute all metrics of a connected shape.
+
+    The computation is exact (all-sources BFS); it is intended for the shape
+    sizes used in tests and benchmarks (up to a few thousand points).
+    """
+    if not shape.is_connected():
+        raise ValueError("metrics are defined for connected shapes only")
+    points = shape.points
+    area = shape.area_points
+    diameter = diameter_within(points, points)
+    area_diameter = diameter_within(points, area)
+    return ShapeMetrics(
+        n=len(points),
+        n_area=len(area),
+        diameter=diameter,
+        area_diameter=area_diameter,
+        grid_diam=grid_diameter(points),
+        l_out=shape.outer_boundary_length,
+        l_max=shape.max_boundary_length,
+        num_holes=len(shape.holes),
+    )

@@ -1,0 +1,5 @@
+"""Text-based visualisation helpers."""
+
+from .ascii_art import render_points, render_shape, render_system
+
+__all__ = ["render_points", "render_shape", "render_system"]

@@ -1,0 +1,82 @@
+"""ASCII rendering of shapes and particle-system configurations.
+
+The triangular grid is drawn with one character cell per grid point, rows
+offset by half a cell to suggest the lattice geometry.  This is deliberately
+simple — it exists so the examples can show what "the system disconnects and
+then reconnects" looks like without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional
+
+from ..amoebot.algorithm import STATUS_FOLLOWER, STATUS_KEY, STATUS_LEADER
+from ..amoebot.system import ParticleSystem
+from ..grid.coords import Point, bounding_box, to_cartesian
+from ..grid.shape import Shape
+
+__all__ = ["render_points", "render_shape", "render_system"]
+
+DEFAULT_GLYPHS = {
+    "occupied": "o",
+    "leader": "L",
+    "follower": ".",
+    "undecided": "o",
+    "expanded_head": "O",
+    "expanded_tail": "~",
+    "hole": "*",
+    "empty": " ",
+}
+
+
+def render_points(points: Mapping[Point, str], empty: str = " ") -> str:
+    """Render a mapping of grid point -> single-character glyph.
+
+    Each grid row is horizontally shifted by ``r`` half-characters so the
+    output roughly preserves the triangular-lattice geometry.
+    """
+    if not points:
+        return "(empty)"
+    min_q, min_r, max_q, max_r = bounding_box(points.keys())
+    lines = []
+    for r in range(min_r, max_r + 1):
+        offset = r - min_r
+        cells = []
+        for q in range(min_q, max_q + 1):
+            glyph = points.get((q, r), empty)
+            cells.append(glyph)
+        lines.append(" " * offset + " ".join(cells))
+    return "\n".join(lines)
+
+
+def render_shape(shape: Shape, show_holes: bool = True,
+                 glyphs: Optional[Dict[str, str]] = None) -> str:
+    """Render a shape; hole points are marked when ``show_holes`` is set."""
+    glyphs = {**DEFAULT_GLYPHS, **(glyphs or {})}
+    cells: Dict[Point, str] = {p: glyphs["occupied"] for p in shape.points}
+    if show_holes:
+        for p in shape.hole_points:
+            cells[p] = glyphs["hole"]
+    return render_points(cells, empty=glyphs["empty"])
+
+
+def render_system(system: ParticleSystem, show_status: bool = True,
+                  glyphs: Optional[Dict[str, str]] = None) -> str:
+    """Render the particle system; the leader, followers and expanded
+    particles get distinct glyphs when ``show_status`` is set."""
+    glyphs = {**DEFAULT_GLYPHS, **(glyphs or {})}
+    cells: Dict[Point, str] = {}
+    for particle in system.particles():
+        if particle.is_expanded:
+            cells[particle.head] = glyphs["expanded_head"]
+            cells[particle.tail] = glyphs["expanded_tail"]
+            continue
+        glyph = glyphs["occupied"]
+        if show_status:
+            status = particle.get(STATUS_KEY)
+            if status == STATUS_LEADER:
+                glyph = glyphs["leader"]
+            elif status == STATUS_FOLLOWER:
+                glyph = glyphs["follower"]
+        cells[particle.head] = glyph
+    return render_points(cells, empty=glyphs["empty"])

@@ -1,0 +1,106 @@
+"""Tests for the adversarial scheduler order policies.
+
+The paper's correctness results hold for *every* fair strong scheduler, so
+Algorithm DLE and the erosion baseline must elect a unique leader under each
+adversary, and DLE must stay within its Theorem 18 round bound.
+"""
+
+import random
+
+import pytest
+
+from repro.amoebot.adversary import (
+    ADVERSARY_FACTORIES,
+    alternating_order,
+    inside_out_order,
+    outside_in_order,
+    sticky_order,
+)
+from repro.amoebot.scheduler import Scheduler
+from repro.amoebot.system import ParticleSystem
+from repro.baselines.erosion import run_erosion_election
+from repro.core.dle import DLEAlgorithm, verify_unique_leader
+from repro.grid.generators import annulus, hexagon, hexagon_with_holes
+from repro.grid.metrics import compute_metrics
+
+
+class TestPoliciesArePermutations:
+    @pytest.mark.parametrize("name", sorted(ADVERSARY_FACTORIES))
+    def test_returns_permutation(self, name):
+        system = ParticleSystem.from_shape(hexagon(2))
+        policy = ADVERSARY_FACTORIES[name](system)
+        ids = system.particle_ids()
+        for round_index in range(3):
+            order = policy(round_index, list(ids), random.Random(0))
+            assert sorted(order) == sorted(ids)
+
+    def test_outside_in_puts_central_particles_first(self):
+        system = ParticleSystem.from_shape(hexagon(3))
+        policy = outside_in_order(system)
+        order = policy(0, system.particle_ids(), random.Random(0))
+        center_particle = system.particle_at((0, 0))
+        assert order[0] == center_particle.particle_id
+
+    def test_inside_out_is_reverse_of_outside_in_extremes(self):
+        system = ParticleSystem.from_shape(hexagon(3))
+        inward = outside_in_order(system)(0, system.particle_ids(), random.Random(0))
+        outward = inside_out_order(system)(0, system.particle_ids(), random.Random(0))
+        assert inward[0] != outward[0]
+
+    def test_sticky_keeps_victim_last(self):
+        system = ParticleSystem.from_shape(hexagon(2))
+        policy = sticky_order(victim_index=0)
+        ids = system.particle_ids()
+        for round_index in range(3):
+            order = policy(round_index, list(ids), random.Random(0))
+            assert order[-1] == ids[0]
+
+    def test_alternating_flips_each_round(self):
+        policy = alternating_order()
+        ids = [1, 2, 3]
+        assert policy(0, ids, random.Random(0)) == [1, 2, 3]
+        assert policy(1, ids, random.Random(0)) == [3, 2, 1]
+
+
+class TestAlgorithmsUnderAdversaries:
+    SHAPES = {
+        "hexagon": hexagon(3),
+        "annulus": annulus(5, 2),
+        "holey": hexagon_with_holes(7),
+    }
+
+    @pytest.mark.parametrize("adversary", sorted(ADVERSARY_FACTORIES))
+    @pytest.mark.parametrize("shape_name", sorted(SHAPES))
+    def test_dle_correct_under_every_adversary(self, adversary, shape_name):
+        shape = self.SHAPES[shape_name]
+        metrics = compute_metrics(shape)
+        system = ParticleSystem.from_shape(shape, orientation_seed=1)
+        policy = ADVERSARY_FACTORIES[adversary](system)
+        algorithm = DLEAlgorithm()
+        result = Scheduler(order=policy, seed=1).run(algorithm, system)
+        assert result.terminated
+        verify_unique_leader(system)
+        assert result.rounds <= 10 * metrics.area_diameter + 6
+
+    @pytest.mark.parametrize("adversary", sorted(ADVERSARY_FACTORIES))
+    def test_erosion_correct_under_every_adversary_on_hexagon(self, adversary):
+        system = ParticleSystem.from_shape(hexagon(3), orientation_seed=2)
+        policy = ADVERSARY_FACTORIES[adversary](system)
+        outcome = run_erosion_election(system, scheduler_order=policy, seed=2)
+        assert outcome.succeeded
+
+    def test_adversary_can_slow_dle_down(self):
+        # The adversary changes the measured rounds (ordering matters) while
+        # correctness is unaffected; on a hexagon the outside-in order delays
+        # boundary particles and never speeds the election up.
+        shape = hexagon(5)
+        baseline_system = ParticleSystem.from_shape(shape, orientation_seed=0)
+        baseline = Scheduler(order="round_robin").run(DLEAlgorithm(),
+                                                      baseline_system)
+        adversary_system = ParticleSystem.from_shape(shape, orientation_seed=0)
+        policy = outside_in_order(adversary_system)
+        adversarial = Scheduler(order=policy).run(DLEAlgorithm(),
+                                                  adversary_system)
+        verify_unique_leader(baseline_system)
+        verify_unique_leader(adversary_system)
+        assert adversarial.rounds >= baseline.rounds

@@ -1,0 +1,155 @@
+"""Tests for the experiment drivers, fitting helpers and report tables."""
+
+import math
+
+import pytest
+
+from repro.analysis.experiments import (
+    ALGORITHMS,
+    TABLE1_ALGORITHMS,
+    ExperimentRecord,
+    run_experiment,
+    run_scaling_experiment,
+    run_table1_experiment,
+)
+from repro.analysis.fitting import fit_linear, fit_power_law
+from repro.analysis.tables import (
+    format_records,
+    format_scaling_series,
+    format_table,
+    format_table1,
+    summarize_scaling,
+)
+from repro.grid.generators import annulus, hexagon, make_shape
+
+
+class TestFitting:
+    def test_linear_fit_exact(self):
+        xs = [1, 2, 3, 4]
+        ys = [3, 5, 7, 9]
+        fit = fit_linear(xs, ys)
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.predict(10) == pytest.approx(21.0)
+
+    def test_power_fit_exact(self):
+        xs = [1, 2, 4, 8]
+        ys = [3 * x ** 2 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(2.0)
+        assert fit.scale == pytest.approx(3.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_power_fit_linear_data(self):
+        xs = [2, 4, 8, 16, 32]
+        ys = [5 * x for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(1.0)
+
+    def test_fit_requires_two_points(self):
+        with pytest.raises(ValueError):
+            fit_linear([1], [2])
+
+    def test_fit_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            fit_linear([1, 2], [1])
+
+    def test_power_fit_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            fit_power_law([0, 1], [1, 2])
+
+    def test_linear_fit_rejects_constant_x(self):
+        with pytest.raises(ValueError):
+            fit_linear([2, 2, 2], [1, 2, 3])
+
+
+class TestRunExperiment:
+    def test_dle_record_fields(self):
+        shape = hexagon(2)
+        record = run_experiment("dle", shape, family="hexagon", size=2, seed=1)
+        assert record.algorithm == "dle"
+        assert record.succeeded
+        assert record.rounds > 0
+        assert record.metrics.n == len(shape)
+        row = record.as_row()
+        assert row["D_A"] == record.metrics.area_diameter
+        assert row["ok"] is True
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            run_experiment("magic", hexagon(1))
+
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    def test_every_algorithm_runs_on_small_hexagon(self, algorithm):
+        record = run_experiment(algorithm, hexagon(2), family="hexagon",
+                                size=2, seed=0)
+        assert record.rounds >= 0
+        assert isinstance(record.succeeded, bool)
+
+    def test_erosion_failure_recorded_not_raised(self):
+        record = run_experiment("erosion", annulus(4, 1), family="annulus",
+                                size=1, seed=0)
+        assert not record.succeeded
+
+    def test_scaling_experiment_sizes(self):
+        records = run_scaling_experiment("dle", "hexagon", sizes=(1, 2, 3), seed=0)
+        assert [r.size for r in records] == [1, 2, 3]
+        assert all(r.family == "hexagon" for r in records)
+        rounds = [r.rounds for r in records]
+        assert rounds == sorted(rounds)
+
+    def test_table1_experiment_structure(self):
+        records = run_table1_experiment(sizes=(2,), families=("hexagon",),
+                                        algorithms=("dle", "randomized"))
+        assert len(records) == 2
+        assert {r.algorithm for r in records} == {"dle", "randomized"}
+
+    def test_table1_default_algorithms_registered(self):
+        for name in TABLE1_ALGORITHMS:
+            assert name in ALGORITHMS
+
+
+class TestTables:
+    def _records(self):
+        return run_scaling_experiment("dle", "hexagon", sizes=(1, 2, 3), seed=0)
+
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+        text = format_table(rows, ["a", "b"], title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert "(no data)" in format_table([], ["a"])
+
+    def test_format_records_contains_metrics(self):
+        text = format_records(self._records(), title="dle scaling")
+        assert "dle scaling" in text
+        assert "D_A" in text
+        assert "rounds" in text
+
+    def test_format_table1_mentions_paper_rows(self):
+        records = run_table1_experiment(sizes=(2,), families=("hexagon",),
+                                        algorithms=("dle", "erosion"))
+        text = format_table1(records)
+        assert "This paper" in text
+        assert "erosion" in text
+
+    def test_scaling_series_reports_fits(self):
+        text = format_scaling_series(self._records(), "D_A", title="fig")
+        assert "linear fit" in text
+        assert "power fit" in text
+
+    def test_summarize_scaling_linear_for_dle(self):
+        summary = summarize_scaling(self._records(), "D_A")
+        assert summary["points"] == 3
+        # DLE rounds are essentially D_A, so the exponent is close to one.
+        assert 0.5 <= summary["exponent"] <= 1.5
+
+    def test_bool_and_float_formatting(self):
+        text = format_table([{"ok": True, "x": 1.23456}], ["ok", "x"])
+        assert "yes" in text
+        assert "1.23" in text

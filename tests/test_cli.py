@@ -1,0 +1,82 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_scaling_requires_known_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scaling", "magic"])
+
+    def test_elect_defaults(self):
+        args = build_parser().parse_args(["elect"])
+        assert args.family == "holey"
+        assert args.size == 3
+        assert not args.known_boundary
+
+
+class TestCommands:
+    def test_families(self, capsys):
+        assert main(["families"]) == 0
+        out = capsys.readouterr().out
+        assert "hexagon" in out
+        assert "annulus" in out
+
+    def test_metrics(self, capsys):
+        assert main(["metrics", "--family", "hexagon", "--size", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "D_A" in out
+        assert "19" in out  # n of a radius-2 hexagon
+
+    def test_elect_known_boundary(self, capsys):
+        code = main(["elect", "--family", "hexagon", "--size", "2",
+                     "--known-boundary", "--render"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "leader point" in out
+        assert "connected after  : True" in out
+        assert "L" in out  # rendered leader glyph
+
+    def test_elect_full_pipeline_no_reconnect(self, capsys):
+        code = main(["elect", "--family", "hexagon", "--size", "2",
+                     "--no-reconnect"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "'collect': 0" in out
+
+    def test_table1_with_json_dump(self, capsys, tmp_path):
+        path = tmp_path / "table1.json"
+        code = main(["table1", "--sizes", "2", "--families", "hexagon",
+                     "--json", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "This paper" in out
+        data = json.loads(path.read_text())
+        assert len(data) > 0
+        assert {"algorithm", "rounds", "metrics"} <= set(data[0])
+
+    def test_scaling_command(self, capsys):
+        code = main(["scaling", "dle", "--families", "hexagon",
+                     "--sizes", "2", "3", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rounds vs D_A" in out
+        assert "linear fit" in out
+
+    def test_scaling_custom_parameter(self, capsys):
+        code = main(["scaling", "obd", "--families", "hexagon",
+                     "--sizes", "2", "3", "--parameter", "L_out"])
+        assert code == 0
+        assert "rounds vs L_out" in capsys.readouterr().out

@@ -1,0 +1,187 @@
+"""Tests for Algorithm Collect: reconnection, phase doubling, round bounds."""
+
+import pytest
+
+from repro.amoebot.scheduler import Scheduler
+from repro.amoebot.system import ParticleSystem
+from repro.core.collect import (
+    CollectSimulator,
+    OMP_ROUNDS_PER_UNIT,
+    PRP_ROUNDS_PER_UNIT,
+    ROTATIONS_PER_PHASE,
+    SDP_ROUNDS_PER_UNIT,
+)
+from repro.core.dle import DLEAlgorithm, verify_unique_leader
+from repro.grid.coords import grid_distance
+from repro.grid.generators import (
+    annulus,
+    hexagon,
+    hexagon_with_holes,
+    line_shape,
+    random_blob,
+    random_holey_blob,
+    spiral,
+)
+from repro.grid.metrics import compute_metrics, grid_eccentricity
+from repro.grid.shape import Shape
+
+PER_PHASE_UNIT = (OMP_ROUNDS_PER_UNIT
+                  + ROTATIONS_PER_PHASE * PRP_ROUNDS_PER_UNIT
+                  + SDP_ROUNDS_PER_UNIT)
+
+SHAPES = {
+    "hexagon3": hexagon(3),
+    "hexagon5": hexagon(5),
+    "line12": line_shape(12),
+    "annulus": annulus(6, 3),
+    "holey_hexagon": hexagon_with_holes(7),
+    "blob": random_blob(80, seed=2),
+    "holey_blob": random_holey_blob(90, seed=4),
+    "spiral": spiral(4, 3),
+    "pair": Shape([(0, 0), (1, 0)]),
+    "single": Shape([(0, 0)]),
+}
+
+
+def run_dle_then_collect(shape, seed=0):
+    system = ParticleSystem.from_shape(shape, orientation_seed=seed)
+    algorithm = DLEAlgorithm()
+    Scheduler(order="random", seed=seed).run(algorithm, system)
+    leader = verify_unique_leader(system)
+    simulator = CollectSimulator(system, leader)
+    result = simulator.run()
+    return system, leader, result
+
+
+class TestReconnection:
+    @pytest.mark.parametrize("name", sorted(SHAPES))
+    def test_system_connected_after_collect(self, name):
+        system, _, result = run_dle_then_collect(SHAPES[name], seed=1)
+        assert result.connected
+        assert system.is_connected()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_reconnects_disconnected_dle_output(self, seed):
+        # The holey blob is the shape family where DLE actually leaves the
+        # system disconnected; Collect must repair it.
+        shape = SHAPES["holey_blob"]
+        system = ParticleSystem.from_shape(shape, orientation_seed=seed)
+        algorithm = DLEAlgorithm()
+        Scheduler(order="random", seed=seed).run(algorithm, system)
+        leader = verify_unique_leader(system)
+        was_connected = system.is_connected()
+        result = CollectSimulator(system, leader).run()
+        assert result.connected
+        assert system.is_connected()
+        if not was_connected:
+            assert result.num_phases >= 1
+
+    def test_particle_count_preserved(self):
+        shape = SHAPES["annulus"]
+        system, _, _ = run_dle_then_collect(shape, seed=3)
+        assert len(system) == len(shape)
+        assert len(system.occupied_points()) == len(shape)
+        assert system.all_contracted()
+
+    def test_leader_stays_at_its_point(self):
+        shape = SHAPES["hexagon3"]
+        system, leader, result = run_dle_then_collect(shape, seed=2)
+        assert leader.head == result.leader_point
+
+
+class TestPhases:
+    def test_stem_doubles_each_phase(self):
+        # Corollary 22: at the start of phase i the stem has size 2^(i-1),
+        # as long as particles remain to be collected.
+        shape = SHAPES["hexagon5"]
+        _, _, result = run_dle_then_collect(shape, seed=1)
+        collecting = [p for p in result.phases if p.newly_collected > 0]
+        for i, phase in enumerate(collecting):
+            assert phase.stem_size == 2 ** i
+
+    def test_phase_collects_annulus_of_distances(self):
+        # Lemma 21: the phase with stem size k collects every particle at
+        # grid distance k..2k-1, so afterwards none remain uncollected there.
+        shape = SHAPES["hexagon3"]
+        system = ParticleSystem.from_shape(shape, orientation_seed=5)
+        algorithm = DLEAlgorithm()
+        Scheduler(order="random", seed=5).run(algorithm, system)
+        leader = verify_unique_leader(system)
+        simulator = CollectSimulator(system, leader)
+        phase = simulator.run_phase(1, 1)
+        assert phase.stem_size == 1
+        remaining = simulator._uncollected_at_distances(1, 1)
+        assert remaining == []
+
+    def test_last_phase_collects_nothing(self):
+        _, _, result = run_dle_then_collect(SHAPES["blob"], seed=2)
+        assert result.phases[-1].newly_collected == 0
+        assert all(p.newly_collected > 0 for p in result.phases[:-1])
+
+    def test_number_of_phases_logarithmic(self):
+        import math
+        shape = SHAPES["hexagon5"]
+        system, leader, result = run_dle_then_collect(shape, seed=1)
+        eps = grid_eccentricity(result.leader_point, shape.area_points)
+        assert result.num_phases <= math.floor(math.log2(max(1, eps))) + 3
+
+    def test_single_particle_terminates_immediately(self):
+        system = ParticleSystem.from_shape(SHAPES["single"])
+        algorithm = DLEAlgorithm()
+        Scheduler().run(algorithm, system)
+        leader = verify_unique_leader(system)
+        result = CollectSimulator(system, leader).run()
+        assert result.connected
+        assert result.num_phases == 1
+        assert result.phases[0].newly_collected == 0
+
+
+class TestRoundCharging:
+    def test_phase_rounds_formula(self):
+        shape = SHAPES["hexagon3"]
+        _, _, result = run_dle_then_collect(shape, seed=0)
+        for phase in result.phases:
+            assert phase.rounds == PER_PHASE_UNIT * max(1, phase.stem_size)
+
+    @pytest.mark.parametrize("name", ["hexagon3", "hexagon5", "annulus",
+                                      "holey_hexagon", "blob", "line12"])
+    def test_theorem23_rounds_linear_in_grid_diameter(self, name):
+        shape = SHAPES[name]
+        metrics = compute_metrics(shape)
+        _, _, result = run_dle_then_collect(shape, seed=1)
+        # Phase sizes 1, 2, 4, ..., <= 2 D_G sum to < 4 D_G; adding the empty
+        # final phase and the reconnection pass keeps the total within
+        # 5 * PER_PHASE_UNIT * D_G + a small constant.
+        bound = 5 * PER_PHASE_UNIT * max(1, metrics.grid_diam) + 2 * PER_PHASE_UNIT
+        assert result.rounds <= bound
+
+    def test_rounds_grow_with_eccentricity(self):
+        small = run_dle_then_collect(hexagon(2), seed=0)[2].rounds
+        large = run_dle_then_collect(hexagon(6), seed=0)[2].rounds
+        assert large > small
+
+
+class TestValidation:
+    def test_rejects_expanded_leader(self):
+        system = ParticleSystem.from_shape(Shape([(0, 0), (1, 0)]))
+        leader = system.particle_at((0, 0))
+        system.expand(leader, (0, -1))
+        with pytest.raises(ValueError):
+            CollectSimulator(system, leader)
+
+    def test_rejects_expanded_particles(self):
+        system = ParticleSystem.from_shape(Shape([(0, 0), (1, 0), (2, 0)]))
+        leader = system.particle_at((0, 0))
+        other = system.particle_at((2, 0))
+        system.expand(other, (3, 0))
+        with pytest.raises(ValueError):
+            CollectSimulator(system, leader)
+
+    def test_collected_configuration_contains_all_particles(self):
+        shape = SHAPES["annulus"]
+        system, leader, result = run_dle_then_collect(shape, seed=4)
+        simulator_points = system.occupied_points()
+        # Everything ends within the eccentricity of the leader.
+        eps = max(grid_distance(leader.head, p) for p in simulator_points)
+        for point in simulator_points:
+            assert grid_distance(leader.head, point) <= eps

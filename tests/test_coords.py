@@ -1,0 +1,226 @@
+"""Unit tests for the triangular-grid coordinate helpers."""
+
+import math
+
+import pytest
+
+from repro.grid.coords import (
+    DIRECTIONS,
+    DIRECTION_NAMES,
+    NUM_DIRECTIONS,
+    are_adjacent,
+    bounding_box,
+    direction_between,
+    direction_index,
+    disk,
+    grid_distance,
+    line,
+    neighbor,
+    neighbors,
+    normalize,
+    opposite_direction,
+    ring,
+    rotate_ccw,
+    rotate_cw,
+    to_cartesian,
+    translate,
+)
+
+
+class TestDirections:
+    def test_six_directions(self):
+        assert len(DIRECTIONS) == 6
+        assert len(DIRECTION_NAMES) == 6
+        assert NUM_DIRECTIONS == 6
+
+    def test_directions_are_distinct(self):
+        assert len(set(DIRECTIONS)) == 6
+
+    def test_directions_sum_to_zero(self):
+        # Opposite pairs cancel, so the six offsets sum to the origin.
+        total = (sum(d[0] for d in DIRECTIONS), sum(d[1] for d in DIRECTIONS))
+        assert total == (0, 0)
+
+    def test_direction_index_by_name(self):
+        assert direction_index("E") == 0
+        assert direction_index("w") == 3
+
+    def test_direction_index_by_int(self):
+        for i in range(6):
+            assert direction_index(i) == i
+
+    def test_direction_index_invalid_name(self):
+        with pytest.raises(ValueError):
+            direction_index("NORTH")
+
+    def test_direction_index_out_of_range(self):
+        with pytest.raises(ValueError):
+            direction_index(6)
+
+    def test_opposite_direction(self):
+        for i in range(6):
+            assert opposite_direction(i) == (i + 3) % 6
+            # Geometrically the offsets must cancel.
+            d = DIRECTIONS[i]
+            o = DIRECTIONS[opposite_direction(i)]
+            assert (d[0] + o[0], d[1] + o[1]) == (0, 0)
+
+    def test_rotate_cw_full_turn_is_identity(self):
+        for i in range(6):
+            assert rotate_cw(i, 6) == i
+
+    def test_rotate_ccw_inverts_cw(self):
+        for i in range(6):
+            for steps in range(6):
+                assert rotate_ccw(rotate_cw(i, steps), steps) == i
+
+    def test_directions_listed_clockwise(self):
+        # In the planar embedding with y pointing down, clockwise successor
+        # directions differ by +60 degrees of screen angle.
+        angles = []
+        for d in DIRECTIONS:
+            x, y = to_cartesian(d)
+            angles.append(math.atan2(y, x))
+        for i in range(6):
+            delta = (angles[(i + 1) % 6] - angles[i]) % (2 * math.pi)
+            assert delta == pytest.approx(math.pi / 3)
+
+
+class TestNeighbors:
+    def test_neighbors_count_and_distance(self):
+        point = (3, -2)
+        ns = neighbors(point)
+        assert len(ns) == 6
+        assert all(grid_distance(point, u) == 1 for u in ns)
+
+    def test_neighbor_direction_roundtrip(self):
+        point = (0, 0)
+        for d in range(6):
+            u = neighbor(point, d)
+            assert direction_between(point, u) == d
+
+    def test_direction_between_non_adjacent_raises(self):
+        with pytest.raises(ValueError):
+            direction_between((0, 0), (2, 0))
+
+    def test_are_adjacent(self):
+        assert are_adjacent((0, 0), (1, 0))
+        assert are_adjacent((0, 0), (0, -1))
+        assert not are_adjacent((0, 0), (0, 0))
+        assert not are_adjacent((0, 0), (2, -1))
+
+    def test_adjacency_is_symmetric(self):
+        for d in range(6):
+            u = neighbor((5, 7), d)
+            assert are_adjacent((5, 7), u)
+            assert are_adjacent(u, (5, 7))
+
+
+class TestGridDistance:
+    def test_distance_to_self_is_zero(self):
+        assert grid_distance((4, -1), (4, -1)) == 0
+
+    def test_distance_symmetry(self):
+        assert grid_distance((0, 0), (3, -5)) == grid_distance((3, -5), (0, 0))
+
+    def test_distance_along_axes(self):
+        for d in range(6):
+            p = translate((0, 0), d, 7)
+            assert grid_distance((0, 0), p) == 7
+
+    def test_triangle_inequality_samples(self):
+        points = [(0, 0), (3, -2), (-1, 4), (5, 5), (-3, -3)]
+        for a in points:
+            for b in points:
+                for c in points:
+                    assert (grid_distance(a, c)
+                            <= grid_distance(a, b) + grid_distance(b, c))
+
+    def test_distance_matches_cartesian_order(self):
+        # Farther in grid distance implies (weakly) farther in the plane for
+        # points along a straight axis.
+        origin = (0, 0)
+        previous = 0.0
+        for k in range(1, 6):
+            x, y = to_cartesian(translate(origin, 1, k))
+            dist = math.hypot(x, y)
+            assert dist > previous
+            previous = dist
+
+
+class TestLinesRingsDisks:
+    def test_line_length_and_spacing(self):
+        pts = line((2, 2), 0, 5)
+        assert len(pts) == 5
+        assert pts[0] == (2, 2)
+        for a, b in zip(pts, pts[1:]):
+            assert are_adjacent(a, b)
+
+    def test_line_zero_length(self):
+        assert line((0, 0), 0, 0) == []
+
+    def test_line_negative_length_raises(self):
+        with pytest.raises(ValueError):
+            line((0, 0), 0, -1)
+
+    def test_ring_radius_zero(self):
+        assert ring((1, 1), 0) == [(1, 1)]
+
+    @pytest.mark.parametrize("radius", [1, 2, 3, 5, 8])
+    def test_ring_size(self, radius):
+        points = ring((0, 0), radius)
+        assert len(points) == 6 * radius
+        assert len(set(points)) == 6 * radius
+
+    @pytest.mark.parametrize("radius", [1, 2, 4])
+    def test_ring_points_at_exact_distance(self, radius):
+        center = (2, -3)
+        for p in ring(center, radius):
+            assert grid_distance(center, p) == radius
+
+    def test_ring_consecutive_points_adjacent(self):
+        points = ring((0, 0), 4)
+        for a, b in zip(points, points[1:] + points[:1]):
+            assert are_adjacent(a, b)
+
+    def test_ring_negative_radius_raises(self):
+        with pytest.raises(ValueError):
+            ring((0, 0), -1)
+
+    @pytest.mark.parametrize("radius", [0, 1, 2, 3, 6])
+    def test_disk_size(self, radius):
+        # |disk(r)| = 1 + 3 r (r + 1), the centred hexagonal numbers.
+        points = disk((0, 0), radius)
+        assert len(points) == 1 + 3 * radius * (radius + 1)
+        assert len(set(points)) == len(points)
+
+    def test_disk_contains_all_closer_points(self):
+        center = (0, 0)
+        d = set(disk(center, 3))
+        for p in disk(center, 3):
+            assert grid_distance(center, p) <= 3
+        assert set(disk(center, 2)) <= d
+
+    def test_translate_repeated_matches_line(self):
+        start = (1, -1)
+        assert translate(start, 2, 4) == line(start, 2, 5)[-1]
+
+
+class TestBoundingBoxNormalize:
+    def test_bounding_box_simple(self):
+        assert bounding_box([(0, 0), (2, -1), (1, 3)]) == (0, -1, 2, 3)
+
+    def test_bounding_box_single_point(self):
+        assert bounding_box([(4, 5)]) == (4, 5, 4, 5)
+
+    def test_bounding_box_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_box([])
+
+    def test_normalize_translation_invariance(self):
+        pts = [(0, 0), (1, 0), (0, 1)]
+        shifted = [(q + 7, r - 4) for q, r in pts]
+        assert normalize(pts) == normalize(shifted)
+
+    def test_normalize_empty(self):
+        assert normalize([]) == []

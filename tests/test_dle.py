@@ -1,0 +1,273 @@
+"""Tests for Algorithm DLE: correctness, invariants and round bounds.
+
+The invariants checked here are the ones the paper's analysis establishes:
+
+* Theorem 12  — DLE elects exactly one leader, everyone else a follower;
+* Lemma 11    — the eligible set stays simply connected and non-empty, its
+  boundary points stay occupied, the ``eligible`` flags stay consistent, and
+  expanded particles have their head inside / tail outside the eligible set;
+* Theorem 18  — termination within ``O(D_A)`` rounds (the proof's explicit
+  constant gives ``10 * D_A + O(1)``);
+* Lemma 19    — "breadcrumbs": at termination there is a contracted particle
+  at every grid distance up to ``eps_G(l)`` from the leader, and none beyond.
+"""
+
+import pytest
+
+from repro.amoebot.algorithm import STATUS_FOLLOWER, STATUS_KEY, STATUS_LEADER
+from repro.amoebot.scheduler import Scheduler
+from repro.amoebot.system import ParticleSystem
+from repro.core.dle import DLEAlgorithm, LeaderElectionError, verify_unique_leader
+from repro.grid.coords import grid_distance
+from repro.grid.generators import (
+    annulus,
+    comb,
+    hexagon,
+    hexagon_with_holes,
+    line_shape,
+    parallelogram,
+    random_blob,
+    random_holey_blob,
+    spiral,
+)
+from repro.grid.metrics import compute_metrics
+from repro.grid.shape import Shape
+
+SHAPES = {
+    "single": Shape([(0, 0)]),
+    "pair": Shape([(0, 0), (1, 0)]),
+    "hexagon2": hexagon(2),
+    "hexagon4": hexagon(4),
+    "line9": line_shape(9),
+    "parallelogram": parallelogram(5, 3),
+    "comb": comb(4, 3),
+    "spiral": spiral(4, 3),
+    "blob": random_blob(70, seed=3),
+    "holey_hexagon": hexagon_with_holes(7),
+    "annulus": annulus(5, 2),
+    "punctured": hexagon(3).without((0, 0)),
+    "holey_blob": random_holey_blob(90, seed=4),
+}
+
+
+def run_dle(shape, order="random", seed=0, max_rounds=100_000):
+    system = ParticleSystem.from_shape(shape, orientation_seed=seed)
+    algorithm = DLEAlgorithm()
+    result = Scheduler(order=order, seed=seed).run(algorithm, system,
+                                                   max_rounds=max_rounds)
+    return system, algorithm, result
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("name", sorted(SHAPES))
+    def test_unique_leader_on_every_shape(self, name):
+        system, algorithm, result = run_dle(SHAPES[name], seed=1)
+        assert result.terminated
+        leader = verify_unique_leader(system)
+        assert leader.get(STATUS_KEY) == STATUS_LEADER
+
+    @pytest.mark.parametrize("order", ["round_robin", "random", "reversed"])
+    def test_unique_leader_under_different_schedulers(self, order):
+        system, _, result = run_dle(SHAPES["holey_hexagon"], order=order, seed=2)
+        assert result.terminated
+        verify_unique_leader(system)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_unique_leader_across_seeds(self, seed):
+        system, _, result = run_dle(SHAPES["annulus"], seed=seed)
+        assert result.terminated
+        verify_unique_leader(system)
+
+    def test_all_particles_contracted_at_termination(self):
+        system, _, _ = run_dle(SHAPES["hexagon2"], seed=0)
+        assert system.all_contracted()
+
+    def test_single_particle_becomes_leader_immediately(self):
+        system, _, result = run_dle(SHAPES["single"])
+        leader = verify_unique_leader(system)
+        assert result.rounds <= 2
+        assert leader.head == (0, 0)
+
+    def test_leader_point_recorded_by_instrumentation(self):
+        system, algorithm, _ = run_dle(SHAPES["hexagon2"], seed=5)
+        leader = verify_unique_leader(system)
+        assert algorithm.leader_point is not None
+        assert leader.occupies(algorithm.leader_point)
+
+    def test_eligible_set_ends_with_single_point(self):
+        _, algorithm, _ = run_dle(SHAPES["blob"], seed=1)
+        assert algorithm.eligible_set_size() == 1
+
+    def test_erosion_count_equals_area_minus_one(self):
+        shape = SHAPES["annulus"]
+        _, algorithm, _ = run_dle(shape, seed=2)
+        assert algorithm.erosions == len(shape.area_points) - 1
+
+    def test_verify_unique_leader_rejects_no_leader(self):
+        system = ParticleSystem.from_shape(hexagon(1))
+        with pytest.raises(LeaderElectionError):
+            verify_unique_leader(system)
+
+    def test_requires_connected_configuration(self):
+        system = ParticleSystem.from_shape(Shape([(0, 0), (5, 5)]))
+        with pytest.raises(ValueError):
+            DLEAlgorithm().setup(system)
+
+    def test_requires_contracted_configuration(self):
+        system = ParticleSystem.from_shape(Shape([(0, 0), (1, 0)]))
+        particle = system.particle_at((1, 0))
+        system.expand(particle, (2, 0))
+        with pytest.raises(ValueError):
+            DLEAlgorithm().setup(system)
+
+
+class TestRoundComplexity:
+    @pytest.mark.parametrize("name", ["hexagon2", "hexagon4", "line9",
+                                      "holey_hexagon", "annulus", "blob",
+                                      "spiral", "comb"])
+    def test_theorem18_linear_in_area_diameter(self, name):
+        shape = SHAPES[name]
+        metrics = compute_metrics(shape)
+        _, _, result = run_dle(shape, seed=3)
+        assert result.terminated
+        # Lemma 17 / Theorem 18: every point leaves S_e within 10 D_A + O(1)
+        # rounds; allow a small additive slack for the final leader step.
+        assert result.rounds <= 10 * metrics.area_diameter + 6
+
+    def test_annulus_faster_than_shape_diameter_bound_suggests(self):
+        # On thin annuli D_A << D; DLE's rounds track D_A, not D.
+        shape = annulus(7, 5)
+        metrics = compute_metrics(shape)
+        _, _, result = run_dle(shape, seed=1)
+        assert metrics.area_diameter < metrics.diameter
+        assert result.rounds <= 10 * metrics.area_diameter + 6
+
+    def test_rounds_grow_with_hexagon_radius(self):
+        rounds = []
+        for radius in (2, 4, 6):
+            _, _, result = run_dle(hexagon(radius), seed=0)
+            rounds.append(result.rounds)
+        assert rounds[0] < rounds[1] < rounds[2]
+
+
+class TestLemma11Invariants:
+    """Execute DLE on small shapes while checking Lemma 11 after each round."""
+
+    @staticmethod
+    def check_invariants(algorithm, system):
+        eligible = set(algorithm.eligible_points)
+        assert eligible, "S_e must stay non-empty"
+        eligible_shape = Shape(eligible)
+        # (2) S_e is simply connected.
+        assert eligible_shape.is_simply_connected()
+        # (3) Boundary points of S_e are occupied.
+        for point in eligible_shape.boundary_points:
+            assert system.is_occupied(point)
+        for particle in system.particles():
+            # (1) Expanded particles: head in S_e, tail not in S_e.
+            if particle.is_expanded:
+                assert particle.head in eligible
+                assert particle.tail not in eligible
+            # (4) eligible flags are consistent (Definition 9).
+            flags = particle.get("eligible")
+            if flags is None:
+                continue
+            for port in range(6):
+                point = particle.head_neighbor(port)
+                assert flags[port] == (point in eligible), (
+                    f"inconsistent flag at {particle.head} port {port}"
+                )
+
+    @pytest.mark.parametrize("name", ["hexagon2", "punctured", "annulus",
+                                      "comb", "pair"])
+    @pytest.mark.parametrize("order", ["round_robin", "random"])
+    def test_invariants_hold_every_round(self, name, order):
+        shape = SHAPES[name]
+        system = ParticleSystem.from_shape(shape, orientation_seed=7)
+        algorithm = DLEAlgorithm()
+        scheduler = Scheduler(order=order, seed=7)
+        scheduler.run(
+            algorithm, system,
+            round_hook=lambda r, s: self.check_invariants(algorithm, s),
+        )
+        verify_unique_leader(system)
+
+
+class TestLemma19Breadcrumbs:
+    @pytest.mark.parametrize("name", ["hexagon4", "holey_hexagon", "annulus",
+                                      "blob", "spiral", "line9"])
+    def test_breadcrumbs_at_every_distance(self, name):
+        shape = SHAPES[name]
+        system, algorithm, _ = run_dle(shape, seed=11)
+        leader = verify_unique_leader(system)
+        l_point = leader.head
+        # Eccentricity of l w.r.t. the *initial* shape under the grid metric.
+        eps = max(grid_distance(l_point, p) for p in shape.points)
+        occupied_distances = {
+            grid_distance(l_point, particle.head)
+            for particle in system.particles()
+        }
+        for distance in range(eps + 1):
+            assert distance in occupied_distances, (
+                f"no particle at grid distance {distance} from the leader"
+            )
+        assert max(occupied_distances) == eps
+
+    def test_disconnection_actually_happens(self):
+        # The algorithm's hallmark: particles may move away from their former
+        # neighbours, so the system can pass through (and even terminate in)
+        # a disconnected configuration.  Irregular holes trigger this: the
+        # particles bordering a hole march into it and leave gaps behind.
+        shape = SHAPES["holey_blob"]
+        system = ParticleSystem.from_shape(shape, orientation_seed=1)
+        algorithm = DLEAlgorithm()
+        disconnected_seen = []
+        Scheduler(order="random", seed=1).run(
+            algorithm, system,
+            round_hook=lambda r, s: disconnected_seen.append(not s.is_connected()),
+        )
+        verify_unique_leader(system)
+        assert any(disconnected_seen), (
+            "DLE never disconnected the system on the holey blob; "
+            "the disconnecting behaviour should be exercised"
+        )
+
+    def test_solid_shapes_never_need_to_move(self):
+        # On hole-free shapes every eligible point is occupied, so DLE reduces
+        # to pure erosion: no particle ever expands.
+        system = ParticleSystem.from_shape(hexagon(4), orientation_seed=3)
+        algorithm = DLEAlgorithm()
+        result = Scheduler(order="random", seed=3).run(algorithm, system)
+        assert result.moves == 0
+        verify_unique_leader(system)
+
+
+class TestFollowerGeometry:
+    def test_followers_do_not_move_after_deciding(self):
+        # Once a particle becomes a follower it stays put: its point was
+        # removed from S_e with no empty eligible neighbour left.
+        shape = hexagon(3)
+        system = ParticleSystem.from_shape(shape, orientation_seed=2)
+        algorithm = DLEAlgorithm()
+        positions = {}
+
+        def hook(round_index, sys_):
+            for particle in sys_.particles():
+                if particle.get(STATUS_KEY) == STATUS_FOLLOWER:
+                    pid = particle.particle_id
+                    if pid in positions:
+                        assert positions[pid] == particle.head
+                    else:
+                        positions[pid] = particle.head
+
+        Scheduler(order="random", seed=2).run(algorithm, system, round_hook=hook)
+        verify_unique_leader(system)
+
+    def test_final_positions_within_initial_area(self):
+        # Particles only ever expand into eligible points, so they end inside
+        # the area of the initial shape.
+        shape = SHAPES["holey_hexagon"]
+        area = shape.area_points
+        system, _, _ = run_dle(shape, seed=6)
+        for particle in system.particles():
+            assert particle.head in area

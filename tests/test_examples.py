@@ -1,0 +1,42 @@
+"""The examples are part of the public contract: they must run cleanly."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys, monkeypatch):
+    # Small argument ladders keep the example runs fast under pytest.
+    if script in ("table1_comparison.py", "scaling_study.py"):
+        monkeypatch.setattr(sys, "argv", [script, "2", "3"])
+    else:
+        monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script} produced no output"
+
+
+def test_at_least_three_examples_exist():
+    assert len(EXAMPLES) >= 3
+
+
+def test_quickstart_reports_leader(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["quickstart.py"])
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "Leader elected" in out
+    assert "connected after reconnection: True" in out
+
+
+def test_holes_example_shows_erosion_failure(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["holes_vs_erosion.py"])
+    runpy.run_path(str(EXAMPLES_DIR / "holes_vs_erosion.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "stalled" in out or "failed" in out
+    assert "Algorithm DLE" in out

@@ -1,0 +1,101 @@
+"""Integration tests for the end-to-end election pipelines."""
+
+import pytest
+
+from repro.amoebot.system import ParticleSystem
+from repro.core.full import elect_leader, elect_leader_known_boundary
+from repro.grid.generators import (
+    annulus,
+    hexagon,
+    hexagon_with_holes,
+    line_shape,
+    random_blob,
+    random_holey_blob,
+    spiral,
+)
+from repro.grid.metrics import compute_metrics
+from repro.grid.shape import Shape
+
+SHAPES = {
+    "hexagon3": hexagon(3),
+    "line10": line_shape(10),
+    "annulus": annulus(5, 2),
+    "holey_hexagon": hexagon_with_holes(7),
+    "blob": random_blob(70, seed=6),
+    "holey_blob": random_holey_blob(90, seed=4),
+    "spiral": spiral(4, 3),
+    "single": Shape([(0, 0)]),
+}
+
+
+class TestKnownBoundaryPipeline:
+    @pytest.mark.parametrize("name", sorted(SHAPES))
+    def test_elects_and_reconnects(self, name):
+        system = ParticleSystem.from_shape(SHAPES[name], orientation_seed=1)
+        outcome = elect_leader_known_boundary(system, reconnect=True, seed=1)
+        assert outcome.leader_point is not None
+        assert outcome.connected_after
+        assert outcome.reconnected
+        assert outcome.total_rounds == outcome.dle_rounds + outcome.collect_rounds
+        assert outcome.obd_rounds == 0
+
+    def test_without_reconnect_skips_collect(self):
+        system = ParticleSystem.from_shape(SHAPES["hexagon3"], orientation_seed=2)
+        outcome = elect_leader_known_boundary(system, reconnect=False, seed=2)
+        assert outcome.collect_rounds == 0
+        assert outcome.total_rounds == outcome.dle_rounds
+
+    def test_stage_rounds_dictionary(self):
+        system = ParticleSystem.from_shape(SHAPES["annulus"], orientation_seed=3)
+        outcome = elect_leader_known_boundary(system, seed=3)
+        stage = outcome.stage_rounds()
+        assert set(stage) == {"obd", "dle", "collect", "total"}
+        assert stage["total"] == outcome.total_rounds
+
+    def test_bounded_by_theorem18_plus_theorem23(self):
+        shape = SHAPES["holey_hexagon"]
+        metrics = compute_metrics(shape)
+        system = ParticleSystem.from_shape(shape, orientation_seed=4)
+        outcome = elect_leader_known_boundary(system, seed=4)
+        dle_bound = 10 * metrics.area_diameter + 6
+        collect_bound = 5 * 58 * max(1, metrics.grid_diam) + 2 * 58
+        assert outcome.dle_rounds <= dle_bound
+        assert outcome.collect_rounds <= collect_bound
+
+
+class TestFullPipeline:
+    @pytest.mark.parametrize("name", sorted(SHAPES))
+    def test_elects_and_reconnects_without_boundary_assumption(self, name):
+        system = ParticleSystem.from_shape(SHAPES[name], orientation_seed=5)
+        outcome = elect_leader(system, reconnect=True, seed=5)
+        assert outcome.leader_point is not None
+        assert outcome.connected_after
+        assert outcome.total_rounds == (outcome.obd_rounds + outcome.dle_rounds
+                                        + outcome.collect_rounds)
+        assert outcome.obd_rounds > 0
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_seed_determinism(self, seed):
+        results = []
+        for _ in range(2):
+            system = ParticleSystem.from_shape(SHAPES["annulus"],
+                                               orientation_seed=seed)
+            outcome = elect_leader(system, seed=seed)
+            results.append((outcome.total_rounds, outcome.leader_point))
+        assert results[0] == results[1]
+
+    def test_obd_rounds_dominated_by_lout_plus_d(self):
+        shape = SHAPES["spiral"]
+        metrics = compute_metrics(shape)
+        system = ParticleSystem.from_shape(shape, orientation_seed=1)
+        outcome = elect_leader(system, seed=1)
+        assert outcome.obd_rounds <= 90 * (metrics.l_out + metrics.diameter) + 20
+
+    def test_leader_is_unique_in_final_memory(self):
+        from repro.amoebot.algorithm import STATUS_KEY, STATUS_LEADER
+        system = ParticleSystem.from_shape(SHAPES["holey_blob"],
+                                           orientation_seed=2)
+        elect_leader(system, seed=2)
+        leaders = [p for p in system.particles()
+                   if p.get(STATUS_KEY) == STATUS_LEADER]
+        assert len(leaders) == 1

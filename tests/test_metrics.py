@@ -1,0 +1,133 @@
+"""Tests for the shape metrics (n, D, D_A, D_G, L_out, ...)."""
+
+import pytest
+
+from repro.grid.coords import grid_distance
+from repro.grid.generators import (
+    annulus,
+    comb,
+    hexagon,
+    hexagon_with_holes,
+    line_shape,
+    random_blob,
+)
+from repro.grid.metrics import (
+    ShapeMetrics,
+    bfs_distances,
+    compute_metrics,
+    diameter_within,
+    eccentricity_within,
+    grid_diameter,
+    grid_eccentricity,
+)
+from repro.grid.shape import Shape
+
+
+class TestBFS:
+    def test_bfs_distances_on_line(self):
+        shape = line_shape(6)
+        points = shape.points
+        start = (0, 0)
+        distances = bfs_distances(start, points)
+        assert distances[(5, 0)] == 5
+        assert distances[start] == 0
+
+    def test_bfs_source_must_be_allowed(self):
+        with pytest.raises(ValueError):
+            bfs_distances((9, 9), {(0, 0)})
+
+    def test_bfs_with_targets_contains_targets(self):
+        shape = hexagon(3)
+        targets = {(3, 0), (-3, 0)}
+        distances = bfs_distances((0, 0), shape.points, targets=targets)
+        for t in targets:
+            assert distances[t] == 3
+
+    def test_eccentricity_within(self):
+        shape = line_shape(5)
+        assert eccentricity_within((0, 0), shape.points, shape.points) == 4
+        assert eccentricity_within((2, 0), shape.points, shape.points) == 2
+
+    def test_eccentricity_unreachable_raises(self):
+        points = {(0, 0), (5, 5)}
+        with pytest.raises(ValueError):
+            eccentricity_within((0, 0), points, points)
+
+    def test_diameter_within_line(self):
+        shape = line_shape(7)
+        assert diameter_within(shape.points, shape.points) == 6
+
+    def test_diameter_empty_raises(self):
+        with pytest.raises(ValueError):
+            diameter_within(set(), set())
+
+
+class TestGridMetrics:
+    def test_grid_eccentricity(self):
+        shape = hexagon(3)
+        assert grid_eccentricity((0, 0), shape.points) == 3
+        assert grid_eccentricity((3, 0), shape.points) == 6
+
+    def test_grid_diameter_hexagon(self):
+        assert grid_diameter(hexagon(4).points) == 8
+
+    def test_grid_diameter_single_point(self):
+        assert grid_diameter({(0, 0)}) == 0
+
+    def test_grid_diameter_empty_raises(self):
+        with pytest.raises(ValueError):
+            grid_diameter(set())
+
+
+class TestComputeMetrics:
+    @pytest.mark.parametrize("radius", [1, 2, 4])
+    def test_hexagon_metrics(self, radius):
+        metrics = compute_metrics(hexagon(radius))
+        assert metrics.n == 1 + 3 * radius * (radius + 1)
+        assert metrics.diameter == 2 * radius
+        assert metrics.area_diameter == 2 * radius
+        assert metrics.grid_diam == 2 * radius
+        assert metrics.l_out == 6 * radius
+        assert metrics.num_holes == 0
+
+    def test_line_metrics(self):
+        metrics = compute_metrics(line_shape(10))
+        assert metrics.n == 10
+        assert metrics.diameter == 9
+        assert metrics.grid_diam == 9
+        assert metrics.l_out == 10
+
+    def test_annulus_metric_ordering(self):
+        # For any shape: D_G <= D_A <= D (paths through the grid are at least
+        # as short as paths through the area, which are at least as short as
+        # paths through the shape).
+        metrics = compute_metrics(annulus(7, 5))
+        assert metrics.grid_diam <= metrics.area_diameter <= metrics.diameter
+        assert metrics.area_diameter < metrics.diameter
+
+    def test_holey_hexagon_counts_holes(self):
+        metrics = compute_metrics(hexagon_with_holes(7))
+        assert metrics.num_holes >= 1
+        assert metrics.n_area > metrics.n
+
+    def test_blob_ordering_invariants(self):
+        metrics = compute_metrics(random_blob(90, seed=11))
+        assert metrics.grid_diam <= metrics.area_diameter <= metrics.diameter
+        assert metrics.l_max >= metrics.l_out
+        assert metrics.n_area >= metrics.n
+
+    def test_as_dict_keys(self):
+        metrics = compute_metrics(hexagon(1))
+        assert set(metrics.as_dict()) == {
+            "n", "n_A", "D", "D_A", "D_G", "L_out", "L_max", "holes",
+        }
+
+    def test_disconnected_shape_rejected(self):
+        with pytest.raises(ValueError):
+            compute_metrics(Shape([(0, 0), (10, 10)]))
+
+    def test_single_point_metrics(self):
+        metrics = compute_metrics(Shape([(3, 3)]))
+        assert metrics.n == 1
+        assert metrics.diameter == 0
+        assert metrics.l_out == 1

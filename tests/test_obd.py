@@ -1,0 +1,225 @@
+"""Tests for the outer-boundary-detection primitive (OBD)."""
+
+import pytest
+
+from repro.amoebot.system import ParticleSystem
+from repro.core.dle import DLEAlgorithm, verify_unique_leader
+from repro.core.obd import (
+    BoundaryCompetition,
+    OBD_OUTER_MEMORY_KEY,
+    OuterBoundaryDetection,
+    Segment,
+)
+from repro.amoebot.scheduler import Scheduler
+from repro.grid.coords import NUM_DIRECTIONS
+from repro.grid.generators import (
+    annulus,
+    comb,
+    hexagon,
+    hexagon_with_holes,
+    line_shape,
+    parallelogram,
+    random_blob,
+    random_holey_blob,
+    spiral,
+)
+from repro.grid.metrics import compute_metrics
+from repro.grid.shape import Shape
+
+SHAPES = {
+    "hexagon2": hexagon(2),
+    "hexagon4": hexagon(4),
+    "line7": line_shape(7),
+    "comb": comb(4, 3),
+    "parallelogram": parallelogram(5, 3),
+    "spiral": spiral(4, 3),
+    "annulus": annulus(5, 2),
+    "holey_hexagon": hexagon_with_holes(7),
+    "blob": random_blob(60, seed=8),
+    "holey_blob": random_holey_blob(90, seed=4),
+    "pair": Shape([(0, 0), (1, 0)]),
+}
+
+
+class TestSegment:
+    def test_comparison_prefers_shorter(self):
+        short = Segment(0, (3,))
+        long = Segment(1, (0, 0))
+        assert short.comparison_key() < long.comparison_key()
+
+    def test_comparison_lexicographic_on_ties(self):
+        a = Segment(0, (0, 1))
+        b = Segment(2, (1, 0))
+        assert a.comparison_key() < b.comparison_key()
+
+    def test_size_and_total(self):
+        seg = Segment(0, (1, -1, 2))
+        assert seg.size == 3
+        assert seg.total == 2
+
+
+class TestBoundaryCompetition:
+    def test_single_vnode_ring(self):
+        result = BoundaryCompetition([6]).run()
+        assert result.total_count == 6
+        assert result.is_outer
+        assert result.num_final_segments == 1
+
+    def test_total_count_preserved(self):
+        counts = [1, 0, -1, 2, 1, 0, 3, 0]
+        result = BoundaryCompetition(counts).run()
+        assert result.total_count == sum(counts)
+        assert sum(s.total for s in result.final_segments) == sum(counts)
+
+    def test_all_vnodes_covered_by_final_segments(self):
+        counts = [1, 1, 1, 1, 1, 1]
+        result = BoundaryCompetition(counts).run()
+        assert sum(s.size for s in result.final_segments) == len(counts)
+
+    def test_symmetric_ring_keeps_symmetric_segments(self):
+        # A perfectly symmetric hexagon boundary: counts 1,0,1,0,... can
+        # stabilise with up to 6 equal segments (Observation 33).
+        counts = [1, 0, 0] * 6
+        result = BoundaryCompetition(counts).run()
+        assert result.num_final_segments in (1, 2, 3, 6)
+        labels = {s.counts for s in result.final_segments}
+        assert len(labels) == 1
+
+    def test_inner_ring_detected_as_not_outer(self):
+        counts = [-1, 0, -1, 0, -1, 0, -1, 0, -1, 0, -1, 0]
+        result = BoundaryCompetition(counts).run()
+        assert result.total_count == -6
+        assert not result.is_outer
+
+    def test_rounds_positive_and_bounded(self):
+        counts = [1, 0, -1] * 10
+        result = BoundaryCompetition(counts).run()
+        assert result.rounds > 0
+        # Generously linear: c * L with c far below the paper's constants.
+        assert result.rounds <= 60 * len(counts)
+
+    def test_empty_ring_rejected(self):
+        with pytest.raises(ValueError):
+            BoundaryCompetition([])
+
+    @pytest.mark.parametrize("name", sorted(SHAPES))
+    def test_real_rings_stabilise_to_divisor_of_six(self, name):
+        shape = SHAPES[name]
+        ring = shape.outer_ring()
+        result = BoundaryCompetition([v.count for v in ring.vnodes]).run()
+        assert result.is_outer
+        assert result.num_final_segments in (1, 2, 3, 6)
+
+
+class TestOuterBoundaryDetection:
+    @pytest.mark.parametrize("name", sorted(SHAPES))
+    def test_detects_geometric_outer_boundary(self, name):
+        shape = SHAPES[name]
+        system = ParticleSystem.from_shape(shape, orientation_seed=3)
+        result = OuterBoundaryDetection(system).run()
+        assert result.outer_boundary_points == set(shape.outer_boundary)
+
+    @pytest.mark.parametrize("name", sorted(SHAPES))
+    def test_port_flags_match_ground_truth(self, name):
+        shape = SHAPES[name]
+        system = ParticleSystem.from_shape(shape, orientation_seed=5)
+        OuterBoundaryDetection(system).run()
+        for particle in system.particles():
+            flags = particle[OBD_OUTER_MEMORY_KEY]
+            assert len(flags) == NUM_DIRECTIONS
+            for port in range(NUM_DIRECTIONS):
+                point = particle.head_neighbor(port)
+                expected = shape.point_in_outer_face(point)
+                assert flags[port] == expected, (
+                    f"flag mismatch at {particle.head} port {port}"
+                )
+
+    def test_number_of_boundaries_reported(self):
+        shape = SHAPES["holey_hexagon"]
+        system = ParticleSystem.from_shape(shape)
+        result = OuterBoundaryDetection(system).run()
+        assert result.num_boundaries == 1 + len(shape.holes)
+
+    def test_single_particle(self):
+        system = ParticleSystem.from_shape(Shape([(0, 0)]))
+        result = OuterBoundaryDetection(system).run()
+        particle = system.particles()[0]
+        assert particle[OBD_OUTER_MEMORY_KEY] == [True] * 6
+        assert result.rounds >= 1
+
+    @pytest.mark.parametrize("name", ["hexagon2", "hexagon4", "annulus",
+                                      "holey_hexagon", "spiral", "comb",
+                                      "blob", "line7"])
+    def test_theorem41_rounds_linear_in_lout_plus_d(self, name):
+        shape = SHAPES[name]
+        metrics = compute_metrics(shape)
+        system = ParticleSystem.from_shape(shape)
+        result = OuterBoundaryDetection(system).run()
+        # The constants in the charging scheme are documented in the module:
+        # the outer ring has at most 3 L_out v-nodes, stabilisation is
+        # charged 25 rounds per v-node (Lemma 35), the check and the outer
+        # token add O(ring length), and the flood adds at most D + 1, so
+        # 90 * (L_out + D) is a loose linear envelope over all of them.
+        assert result.rounds <= 90 * (metrics.l_out + metrics.diameter) + 20
+
+    def test_rounds_composition(self):
+        system = ParticleSystem.from_shape(SHAPES["hexagon4"])
+        result = OuterBoundaryDetection(system).run()
+        assert result.rounds == (result.competition_rounds
+                                 + result.announcement_rounds
+                                 + result.flood_rounds)
+
+    def test_flood_rounds_at_most_diameter_plus_one(self):
+        shape = SHAPES["annulus"]
+        metrics = compute_metrics(shape)
+        system = ParticleSystem.from_shape(shape)
+        result = OuterBoundaryDetection(system).run()
+        assert result.flood_rounds <= metrics.diameter + 1
+
+    def test_rejects_disconnected_configuration(self):
+        system = ParticleSystem.from_shape(Shape([(0, 0), (5, 5)]))
+        with pytest.raises(ValueError):
+            OuterBoundaryDetection(system).run()
+
+    def test_rejects_expanded_configuration(self):
+        system = ParticleSystem.from_shape(Shape([(0, 0), (1, 0)]))
+        system.expand(system.particle_at((1, 0)), (2, 0))
+        with pytest.raises(ValueError):
+            OuterBoundaryDetection(system)
+
+
+class TestOBDFeedsDLE:
+    @pytest.mark.parametrize("name", ["hexagon2", "annulus", "holey_blob",
+                                      "spiral"])
+    def test_dle_with_detected_boundary_elects_unique_leader(self, name):
+        shape = SHAPES[name]
+        system = ParticleSystem.from_shape(shape, orientation_seed=2)
+        OuterBoundaryDetection(system).run()
+        algorithm = DLEAlgorithm(outer_from_memory=True)
+        result = Scheduler(order="random", seed=2).run(algorithm, system)
+        assert result.terminated
+        verify_unique_leader(system)
+
+    def test_dle_without_obd_input_raises(self):
+        system = ParticleSystem.from_shape(SHAPES["hexagon2"])
+        algorithm = DLEAlgorithm(outer_from_memory=True)
+        with pytest.raises(ValueError):
+            algorithm.setup(system)
+
+    @pytest.mark.parametrize("name", ["hexagon2", "annulus"])
+    def test_detected_input_gives_same_rounds_as_oracle_input(self, name):
+        # The OBD output is exactly the oracle boundary information, so the
+        # subsequent DLE run must be identical round for round.
+        shape = SHAPES[name]
+        oracle_system = ParticleSystem.from_shape(shape, orientation_seed=9)
+        oracle_result = Scheduler(order="round_robin").run(
+            DLEAlgorithm(), oracle_system)
+
+        detected_system = ParticleSystem.from_shape(shape, orientation_seed=9)
+        OuterBoundaryDetection(detected_system).run()
+        detected_result = Scheduler(order="round_robin").run(
+            DLEAlgorithm(outer_from_memory=True), detected_system)
+
+        assert oracle_result.rounds == detected_result.rounds
+        assert (verify_unique_leader(oracle_system).head
+                == verify_unique_leader(detected_system).head)

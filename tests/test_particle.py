@@ -1,0 +1,98 @@
+"""Unit tests for the Particle abstraction (ports, chirality, memory)."""
+
+import pytest
+
+from repro.amoebot.particle import Particle
+from repro.grid.coords import neighbor
+
+
+class TestOccupancy:
+    def test_new_particle_is_contracted(self):
+        p = Particle(0, (2, 3))
+        assert p.is_contracted
+        assert not p.is_expanded
+        assert p.head == p.tail == (2, 3)
+        assert p.occupied_points == ((2, 3),)
+
+    def test_occupies(self):
+        p = Particle(0, (0, 0))
+        assert p.occupies((0, 0))
+        assert not p.occupies((1, 0))
+
+    def test_expanded_occupies_two_points(self):
+        p = Particle(0, (0, 0))
+        p.tail = (0, 0)
+        p.head = (1, 0)
+        assert p.is_expanded
+        assert set(p.occupied_points) == {(0, 0), (1, 0)}
+
+    def test_invalid_orientation(self):
+        with pytest.raises(ValueError):
+            Particle(0, (0, 0), orientation=6)
+
+
+class TestPorts:
+    def test_port_direction_roundtrip(self):
+        for orientation in range(6):
+            p = Particle(0, (0, 0), orientation=orientation)
+            for port in range(6):
+                assert p.direction_to_port(p.port_to_direction(port)) == port
+
+    def test_orientation_zero_ports_equal_directions(self):
+        p = Particle(0, (0, 0), orientation=0)
+        for d in range(6):
+            assert p.port_to_direction(d) == d
+
+    def test_orientation_offsets_ports(self):
+        p = Particle(0, (0, 0), orientation=2)
+        assert p.port_to_direction(0) == 2
+        assert p.direction_to_port(2) == 0
+
+    def test_port_out_of_range(self):
+        p = Particle(0, (0, 0))
+        with pytest.raises(ValueError):
+            p.port_to_direction(6)
+
+    def test_port_between_neighbouring_points(self):
+        p = Particle(0, (0, 0), orientation=1)
+        target = neighbor((0, 0), 4)
+        port = p.port_between((0, 0), target)
+        assert p.neighbor_point((0, 0), port) == target
+
+    def test_port_between_requires_occupied_origin(self):
+        p = Particle(0, (0, 0))
+        with pytest.raises(ValueError):
+            p.port_between((5, 5), (6, 5))
+
+    def test_head_neighbor(self):
+        p = Particle(0, (1, 1), orientation=0)
+        assert p.head_neighbor(0) == neighbor((1, 1), 0)
+
+    def test_common_chirality_port_arithmetic(self):
+        # With common chirality, the port of q for the reverse edge is the
+        # paper's "port + 3 mod 6" rule expressed in global directions:
+        # direction(p->q) and direction(q->p) are opposite.
+        p = Particle(0, (0, 0), orientation=3)
+        q_point = neighbor((0, 0), 1)
+        q = Particle(1, q_point, orientation=5)
+        d_pq = p.port_to_direction(p.port_between((0, 0), q_point))
+        d_qp = q.port_to_direction(q.port_between(q_point, (0, 0)))
+        assert (d_pq + 3) % 6 == d_qp
+
+
+class TestMemory:
+    def test_get_set_item(self):
+        p = Particle(0, (0, 0))
+        p["flag"] = True
+        assert p["flag"] is True
+        assert "flag" in p
+        assert "other" not in p
+
+    def test_get_with_default(self):
+        p = Particle(0, (0, 0))
+        assert p.get("missing") is None
+        assert p.get("missing", 7) == 7
+
+    def test_repr_mentions_state(self):
+        p = Particle(3, (1, 2))
+        assert "contracted" in repr(p)

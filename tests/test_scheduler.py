@@ -1,0 +1,142 @@
+"""Tests for the strong scheduler: rounds, fairness, activation orders."""
+
+import pytest
+
+from repro.amoebot.algorithm import AmoebotAlgorithm
+from repro.amoebot.scheduler import Scheduler, run_algorithm
+from repro.amoebot.system import ParticleSystem
+from repro.grid.generators import hexagon, line_shape
+
+
+class CountdownAlgorithm(AmoebotAlgorithm):
+    """Each particle decrements a counter once per activation and terminates
+    at zero.  With all counters equal to ``k`` the run takes exactly ``k``
+    rounds regardless of the activation order, which pins down the round
+    accounting of the scheduler."""
+
+    name = "countdown"
+
+    def __init__(self, start: int):
+        self.start = start
+        self.activation_log = []
+
+    def setup(self, system):
+        for particle in system.particles():
+            particle["count"] = self.start
+
+    def activate(self, particle, system):
+        self.activation_log.append(particle.particle_id)
+        if particle["count"] > 0:
+            particle["count"] -= 1
+
+    def is_terminated(self, particle, system):
+        return particle["count"] == 0
+
+
+class NeverTerminates(AmoebotAlgorithm):
+    name = "never"
+
+    def setup(self, system):
+        pass
+
+    def activate(self, particle, system):
+        pass
+
+    def is_terminated(self, particle, system):
+        return False
+
+
+class TestRounds:
+    @pytest.mark.parametrize("order", ["round_robin", "random", "reversed"])
+    def test_round_count_independent_of_order(self, order):
+        system = ParticleSystem.from_shape(hexagon(1))
+        result = run_algorithm(CountdownAlgorithm(4), system, order=order, seed=1)
+        assert result.terminated
+        assert result.rounds == 4
+
+    def test_activations_count(self):
+        system = ParticleSystem.from_shape(hexagon(1))
+        result = run_algorithm(CountdownAlgorithm(3), system)
+        # Every particle is activated exactly once per round while not final.
+        assert result.activations == 3 * len(system)
+
+    def test_zero_rounds_when_already_terminated(self):
+        system = ParticleSystem.from_shape(line_shape(3))
+        result = run_algorithm(CountdownAlgorithm(0), system)
+        assert result.rounds == 0
+        assert result.activations == 0
+        assert result.terminated
+
+    def test_max_rounds_reached_reports_not_terminated(self):
+        system = ParticleSystem.from_shape(line_shape(3))
+        result = run_algorithm(NeverTerminates(), system, max_rounds=7)
+        assert not result.terminated
+        assert result.rounds == 7
+
+    def test_moves_counter_starts_at_zero(self):
+        system = ParticleSystem.from_shape(line_shape(3))
+        result = run_algorithm(CountdownAlgorithm(2), system)
+        assert result.moves == 0
+
+
+class TestOrders:
+    def test_round_robin_activates_in_id_order(self):
+        system = ParticleSystem.from_shape(line_shape(4))
+        algorithm = CountdownAlgorithm(1)
+        run_algorithm(algorithm, system, order="round_robin")
+        assert algorithm.activation_log == system.particle_ids()
+
+    def test_reversed_order(self):
+        system = ParticleSystem.from_shape(line_shape(4))
+        algorithm = CountdownAlgorithm(1)
+        run_algorithm(algorithm, system, order="reversed")
+        assert algorithm.activation_log == list(reversed(system.particle_ids()))
+
+    def test_random_order_is_seed_deterministic(self):
+        logs = []
+        for _ in range(2):
+            system = ParticleSystem.from_shape(line_shape(6))
+            algorithm = CountdownAlgorithm(2)
+            run_algorithm(algorithm, system, order="random", seed=42)
+            logs.append(algorithm.activation_log)
+        assert logs[0] == logs[1]
+
+    def test_random_order_differs_across_seeds(self):
+        logs = []
+        for seed in (1, 2):
+            system = ParticleSystem.from_shape(line_shape(8))
+            algorithm = CountdownAlgorithm(2)
+            run_algorithm(algorithm, system, order="random", seed=seed)
+            logs.append(algorithm.activation_log)
+        assert logs[0] != logs[1]
+
+    def test_custom_order_policy(self):
+        def rotate(round_index, ids, rng):
+            shift = round_index % len(ids)
+            return ids[shift:] + ids[:shift]
+
+        system = ParticleSystem.from_shape(line_shape(5))
+        result = run_algorithm(CountdownAlgorithm(3), system, order=rotate)
+        assert result.terminated
+        assert result.rounds == 3
+
+    def test_invalid_order_name(self):
+        with pytest.raises(ValueError):
+            Scheduler(order="chaotic")
+
+    def test_order_policy_must_cover_all_particles(self):
+        def broken(round_index, ids, rng):
+            return ids[:-1]
+
+        system = ParticleSystem.from_shape(line_shape(4))
+        with pytest.raises(ValueError):
+            run_algorithm(CountdownAlgorithm(1), system, order=broken)
+
+    def test_round_hook_called_each_round(self):
+        system = ParticleSystem.from_shape(line_shape(3))
+        seen = []
+        Scheduler(order="round_robin").run(
+            CountdownAlgorithm(3), system,
+            round_hook=lambda r, s: seen.append(r),
+        )
+        assert seen == [1, 2, 3]

@@ -1,0 +1,183 @@
+"""Unit tests for the local shape predicates (Section 2.1 of the paper)."""
+
+import pytest
+
+from repro.grid.coords import neighbor, neighbors
+from repro.grid.shape import (
+    boundary_count,
+    connected_components,
+    has_single_local_boundary,
+    is_connected,
+    is_redundant,
+    is_sce_assuming_simply_connected,
+    local_boundaries,
+    neighbors_in,
+    occupied_direction_mask,
+)
+
+ORIGIN = (0, 0)
+
+
+def full_neighborhood():
+    """The origin plus its six neighbours (a radius-1 hexagon)."""
+    return {ORIGIN, *neighbors(ORIGIN)}
+
+
+class TestLocalBoundaries:
+    def test_interior_point_has_no_local_boundary(self):
+        occupied = full_neighborhood()
+        assert local_boundaries(ORIGIN, occupied) == []
+
+    def test_isolated_point_single_boundary_of_six(self):
+        occupied = {ORIGIN}
+        bounds = local_boundaries(ORIGIN, occupied)
+        assert len(bounds) == 1
+        assert sorted(bounds[0]) == [0, 1, 2, 3, 4, 5]
+
+    def test_line_end_point(self):
+        # The end of a line has one occupied neighbour and a single local
+        # boundary of five edges (boundary count 3).
+        occupied = {ORIGIN, neighbor(ORIGIN, 0)}
+        bounds = local_boundaries(ORIGIN, occupied)
+        assert len(bounds) == 1
+        assert len(bounds[0]) == 5
+        assert boundary_count(ORIGIN, occupied) == 3
+
+    def test_line_middle_point_two_boundaries(self):
+        # A middle point of a straight line has two opposite occupied
+        # neighbours and therefore two local boundaries of two edges each.
+        occupied = {neighbor(ORIGIN, 3), ORIGIN, neighbor(ORIGIN, 0)}
+        bounds = local_boundaries(ORIGIN, occupied)
+        assert len(bounds) == 2
+        assert sorted(len(b) for b in bounds) == [2, 2]
+
+    def test_boundary_edges_lead_to_empty_points(self):
+        occupied = {ORIGIN, neighbor(ORIGIN, 0), neighbor(ORIGIN, 1)}
+        for b in local_boundaries(ORIGIN, occupied):
+            for d in b:
+                assert neighbor(ORIGIN, d) not in occupied
+
+    def test_boundary_edges_are_cyclically_contiguous(self):
+        occupied = {ORIGIN, neighbor(ORIGIN, 2), neighbor(ORIGIN, 5)}
+        bounds = local_boundaries(ORIGIN, occupied)
+        assert len(bounds) == 2
+        for b in bounds:
+            for a, c in zip(b, b[1:]):
+                assert c == (a + 1) % 6
+
+    def test_all_empty_directions_covered_exactly_once(self):
+        occupied = {ORIGIN, neighbor(ORIGIN, 1), neighbor(ORIGIN, 4)}
+        bounds = local_boundaries(ORIGIN, occupied)
+        covered = [d for b in bounds for d in b]
+        assert sorted(covered) == [0, 2, 3, 5]
+
+    def test_three_local_boundaries_possible(self):
+        # Alternating occupied neighbours give the maximum of three local
+        # boundaries (the paper notes a point has up to 3).
+        occupied = {ORIGIN, neighbor(ORIGIN, 0), neighbor(ORIGIN, 2),
+                    neighbor(ORIGIN, 4)}
+        assert len(local_boundaries(ORIGIN, occupied)) == 3
+
+
+class TestBoundaryCount:
+    @pytest.mark.parametrize("occupied_dirs,expected", [
+        ([0], 3),            # one occupied neighbour -> |B| = 5
+        ([0, 1], 2),         # two adjacent occupied neighbours -> |B| = 4
+        ([0, 1, 2], 1),      # three in a row -> |B| = 3 (strictly convex)
+        ([0, 1, 2, 3], 0),   # four in a row -> |B| = 2 (straight boundary)
+        ([0, 1, 2, 3, 4], -1),  # five occupied -> |B| = 1 (concave)
+    ])
+    def test_counts_match_figure_6(self, occupied_dirs, expected):
+        occupied = {ORIGIN} | {neighbor(ORIGIN, d) for d in occupied_dirs}
+        assert boundary_count(ORIGIN, occupied) == expected
+
+    def test_count_requires_unique_boundary_when_implicit(self):
+        occupied = {neighbor(ORIGIN, 3), ORIGIN, neighbor(ORIGIN, 0)}
+        with pytest.raises(ValueError):
+            boundary_count(ORIGIN, occupied)
+
+    def test_count_with_explicit_boundary(self):
+        occupied = {neighbor(ORIGIN, 3), ORIGIN, neighbor(ORIGIN, 0)}
+        bounds = local_boundaries(ORIGIN, occupied)
+        for b in bounds:
+            assert boundary_count(ORIGIN, occupied, b) == 0
+
+    def test_count_in_range(self):
+        # For any configuration with at least one occupied neighbour the
+        # count lies in {-1, ..., 3}.
+        import itertools
+        for k in range(1, 6):
+            for combo in itertools.combinations(range(6), k):
+                occupied = {ORIGIN} | {neighbor(ORIGIN, d) for d in combo}
+                for b in local_boundaries(ORIGIN, occupied):
+                    assert -1 <= len(b) - 2 <= 3
+
+
+class TestRedundantAndSCE:
+    def test_interior_point_is_redundant(self):
+        assert is_redundant(ORIGIN, full_neighborhood())
+
+    def test_line_middle_not_redundant(self):
+        occupied = {neighbor(ORIGIN, 3), ORIGIN, neighbor(ORIGIN, 0)}
+        assert not is_redundant(ORIGIN, occupied)
+
+    def test_line_end_redundant_and_sce(self):
+        occupied = {ORIGIN, neighbor(ORIGIN, 0)}
+        assert is_redundant(ORIGIN, occupied)
+        assert is_sce_assuming_simply_connected(ORIGIN, occupied)
+
+    def test_straight_boundary_point_not_sce(self):
+        # Boundary count 0 is erodable but not strictly convex.
+        occupied = {ORIGIN} | {neighbor(ORIGIN, d) for d in (0, 1, 2, 3)}
+        assert is_redundant(ORIGIN, occupied)
+        assert has_single_local_boundary(ORIGIN, occupied)
+        assert not is_sce_assuming_simply_connected(ORIGIN, occupied)
+
+    def test_concave_point_not_sce(self):
+        occupied = {ORIGIN} | {neighbor(ORIGIN, d) for d in (0, 1, 2, 3, 4)}
+        assert not is_sce_assuming_simply_connected(ORIGIN, occupied)
+
+    def test_point_with_two_boundaries_not_sce(self):
+        occupied = {neighbor(ORIGIN, 3), ORIGIN, neighbor(ORIGIN, 0)}
+        assert not is_sce_assuming_simply_connected(ORIGIN, occupied)
+
+
+class TestNeighborHelpers:
+    def test_neighbors_in(self):
+        occupied = {ORIGIN, neighbor(ORIGIN, 0), neighbor(ORIGIN, 3), (9, 9)}
+        result = neighbors_in(ORIGIN, occupied)
+        assert set(result) == {neighbor(ORIGIN, 0), neighbor(ORIGIN, 3)}
+
+    def test_occupied_direction_mask(self):
+        occupied = {ORIGIN, neighbor(ORIGIN, 2)}
+        mask = occupied_direction_mask(ORIGIN, occupied)
+        assert mask == [False, False, True, False, False, False]
+
+
+class TestConnectivity:
+    def test_empty_set_not_connected(self):
+        assert not is_connected(set())
+
+    def test_single_point_connected(self):
+        assert is_connected({ORIGIN})
+
+    def test_two_adjacent_points_connected(self):
+        assert is_connected({ORIGIN, neighbor(ORIGIN, 4)})
+
+    def test_two_far_points_disconnected(self):
+        assert not is_connected({ORIGIN, (10, 10)})
+
+    def test_connected_components_partition(self):
+        points = {ORIGIN, neighbor(ORIGIN, 0), (10, 10), (11, 10), (20, -20)}
+        components = connected_components(points)
+        assert len(components) == 3
+        union = set()
+        for c in components:
+            assert not (union & c)
+            union |= c
+        assert union == points
+
+    def test_components_internally_connected(self):
+        points = {ORIGIN, neighbor(ORIGIN, 0), (10, 10), (11, 10)}
+        for component in connected_components(points):
+            assert is_connected(component)

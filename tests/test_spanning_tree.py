@@ -1,0 +1,110 @@
+"""Tests for the leader-rooted spanning-tree application."""
+
+import pytest
+
+from repro.amoebot.algorithm import STATUS_KEY, STATUS_LEADER
+from repro.amoebot.scheduler import Scheduler
+from repro.amoebot.system import ParticleSystem
+from repro.apps.spanning_tree import (
+    SpanningTreeAlgorithm,
+    SpanningTreeError,
+    verify_spanning_tree,
+)
+from repro.core.full import elect_leader, elect_leader_known_boundary
+from repro.grid.generators import (
+    annulus,
+    hexagon,
+    hexagon_with_holes,
+    line_shape,
+    random_holey_blob,
+)
+from repro.grid.metrics import compute_metrics
+from repro.grid.shape import Shape
+
+SHAPES = {
+    "hexagon3": hexagon(3),
+    "line8": line_shape(8),
+    "annulus": annulus(5, 2),
+    "holey_hexagon": hexagon_with_holes(7),
+    "holey_blob": random_holey_blob(90, seed=4),
+    "single": Shape([(0, 0)]),
+}
+
+
+def elect_and_build_tree(shape, seed=0, order="random"):
+    system = ParticleSystem.from_shape(shape, orientation_seed=seed)
+    elect_leader_known_boundary(system, reconnect=True, seed=seed)
+    algorithm = SpanningTreeAlgorithm()
+    result = Scheduler(order=order, seed=seed).run(algorithm, system)
+    return system, result
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("name", sorted(SHAPES))
+    def test_builds_valid_tree_after_election(self, name):
+        system, result = elect_and_build_tree(SHAPES[name], seed=1)
+        assert result.terminated
+        parents = verify_spanning_tree(system)
+        assert len(parents) == len(system)
+
+    @pytest.mark.parametrize("order", ["round_robin", "random", "reversed"])
+    def test_valid_under_different_schedulers(self, order):
+        system, result = elect_and_build_tree(SHAPES["annulus"], seed=2,
+                                              order=order)
+        assert result.terminated
+        verify_spanning_tree(system)
+
+    def test_tree_rounds_linear_in_final_diameter(self):
+        shape = SHAPES["hexagon3"]
+        system, result = elect_and_build_tree(shape, seed=0)
+        final_metrics = compute_metrics(system.shape())
+        assert result.rounds <= final_metrics.diameter + 2
+
+    def test_leader_has_no_parent_everyone_else_does(self):
+        system, _ = elect_and_build_tree(SHAPES["holey_hexagon"], seed=3)
+        parents = verify_spanning_tree(system)
+        roots = [pid for pid, parent in parents.items() if parent is None]
+        assert len(roots) == 1
+        leader = [p for p in system.particles()
+                  if p.get(STATUS_KEY) == STATUS_LEADER][0]
+        assert roots[0] == leader.particle_id
+
+    def test_parent_of_accessor(self):
+        system, _ = elect_and_build_tree(SHAPES["line8"], seed=1)
+        for particle in system.particles():
+            parent = SpanningTreeAlgorithm.parent_of(particle, system)
+            if particle.get(STATUS_KEY) == STATUS_LEADER:
+                assert parent is None
+            else:
+                assert parent is not None
+                assert parent.get("tree_joined")
+
+    def test_full_pipeline_composition(self):
+        # The composition the paper motivates: OBD -> DLE -> Collect -> tree.
+        shape = SHAPES["holey_blob"]
+        system = ParticleSystem.from_shape(shape, orientation_seed=5)
+        elect_leader(system, reconnect=True, seed=5)
+        result = Scheduler(order="random", seed=5).run(
+            SpanningTreeAlgorithm(), system)
+        assert result.terminated
+        verify_spanning_tree(system)
+
+
+class TestValidation:
+    def test_requires_connected_system(self):
+        system = ParticleSystem.from_shape(Shape([(0, 0), (5, 5)]))
+        system.particles()[0][STATUS_KEY] = STATUS_LEADER
+        with pytest.raises(ValueError):
+            SpanningTreeAlgorithm().setup(system)
+
+    def test_requires_exactly_one_leader(self):
+        system = ParticleSystem.from_shape(hexagon(1))
+        with pytest.raises(ValueError):
+            SpanningTreeAlgorithm().setup(system)
+
+    def test_verify_detects_missing_membership(self):
+        system = ParticleSystem.from_shape(Shape([(0, 0), (1, 0)]))
+        system.particles()[0][STATUS_KEY] = STATUS_LEADER
+        # Tree never built: verification must complain.
+        with pytest.raises(SpanningTreeError):
+            verify_spanning_tree(system)

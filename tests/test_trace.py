@@ -1,0 +1,52 @@
+"""Tests for the execution-trace helpers."""
+
+from repro.amoebot.system import ParticleSystem
+from repro.amoebot.trace import ROUND_OBSERVERS, Trace, observe_round
+from repro.grid.generators import hexagon
+from repro.grid.shape import Shape
+
+
+class TestTrace:
+    def test_record_and_len(self):
+        trace = Trace()
+        trace.record(round=1, eligible=10)
+        trace.record(round=2, eligible=8)
+        assert len(trace) == 2
+        assert trace.last() == {"round": 2, "eligible": 8}
+
+    def test_column_extraction_skips_missing(self):
+        trace = Trace()
+        trace.record(a=1, b=2)
+        trace.record(a=3)
+        assert trace.column("a") == [1, 3]
+        assert trace.column("b") == [2]
+
+    def test_disabled_trace_records_nothing(self):
+        trace = Trace(enabled=False)
+        trace.record(x=1)
+        assert len(trace) == 0
+        assert trace.last() is None
+
+
+class TestObservers:
+    def test_observe_round_all(self):
+        system = ParticleSystem.from_shape(hexagon(1))
+        observation = observe_round(system)
+        assert observation["n_points"] == 7
+        assert observation["expanded"] == 0
+        assert observation["connected"] is True
+
+    def test_observe_round_selected(self):
+        system = ParticleSystem.from_shape(Shape([(0, 0), (5, 5)]))
+        observation = observe_round(system, observers=["connectivity"])
+        assert observation == {"connected": False}
+
+    def test_expanded_counted(self):
+        system = ParticleSystem.from_shape(Shape([(0, 0)]))
+        system.expand(system.particles()[0], (1, 0))
+        observation = observe_round(system, observers=["occupancy"])
+        assert observation["expanded"] == 1
+        assert observation["n_points"] == 2
+
+    def test_registry_names(self):
+        assert {"occupancy", "connectivity"} <= set(ROUND_OBSERVERS)

@@ -1,0 +1,74 @@
+"""Tests for the ASCII rendering helpers."""
+
+from repro.amoebot.algorithm import STATUS_FOLLOWER, STATUS_KEY, STATUS_LEADER
+from repro.amoebot.system import ParticleSystem
+from repro.grid.generators import annulus, hexagon, line_shape
+from repro.grid.shape import Shape
+from repro.viz.ascii_art import render_points, render_shape, render_system
+
+
+class TestRenderPoints:
+    def test_empty_mapping(self):
+        assert render_points({}) == "(empty)"
+
+    def test_single_point(self):
+        assert render_points({(0, 0): "X"}).strip() == "X"
+
+    def test_rows_are_offset(self):
+        text = render_points({(0, 0): "A", (0, 1): "B"})
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[1].startswith(" ")
+
+    def test_all_glyphs_present(self):
+        cells = {(0, 0): "A", (1, 0): "B", (0, 1): "C"}
+        text = render_points(cells)
+        for glyph in "ABC":
+            assert glyph in text
+
+
+class TestRenderShape:
+    def test_occupied_glyphs_count(self):
+        shape = hexagon(1)
+        text = render_shape(shape)
+        assert text.count("o") == len(shape)
+
+    def test_holes_marked(self):
+        shape = annulus(3, 1)
+        text = render_shape(shape, show_holes=True)
+        assert text.count("*") == len(shape.hole_points)
+
+    def test_holes_hidden_when_disabled(self):
+        shape = annulus(3, 1)
+        assert "*" not in render_shape(shape, show_holes=False)
+
+    def test_custom_glyphs(self):
+        shape = line_shape(3)
+        text = render_shape(shape, glyphs={"occupied": "#"})
+        assert text.count("#") == 3
+
+
+class TestRenderSystem:
+    def test_statuses_rendered(self):
+        system = ParticleSystem.from_shape(Shape([(0, 0), (1, 0), (2, 0)]))
+        particles = system.particles()
+        particles[0][STATUS_KEY] = STATUS_LEADER
+        particles[1][STATUS_KEY] = STATUS_FOLLOWER
+        text = render_system(system)
+        assert "L" in text
+        assert "." in text
+        assert "o" in text
+
+    def test_statuses_ignored_when_disabled(self):
+        system = ParticleSystem.from_shape(Shape([(0, 0), (1, 0)]))
+        system.particles()[0][STATUS_KEY] = STATUS_LEADER
+        text = render_system(system, show_status=False)
+        assert "L" not in text
+
+    def test_expanded_particle_glyphs(self):
+        system = ParticleSystem.from_shape(Shape([(0, 0)]))
+        particle = system.particles()[0]
+        system.expand(particle, (1, 0))
+        text = render_system(system)
+        assert "O" in text
+        assert "~" in text
