@@ -28,6 +28,23 @@ def run_once(benchmark, func, *args, **kwargs):
                               rounds=1, iterations=1)
 
 
+def sweep_once(benchmark, spec, **kwargs):
+    """Run a :class:`repro.orchestrator.SweepSpec` exactly once through the
+    orchestrator under the benchmark fixture and return the records.
+
+    Execution counts (executed / cached / resumed / failed) land in
+    ``benchmark.extra_info`` so the benchmark JSON records how the sweep's
+    results were obtained.
+    """
+    from repro.orchestrator import run_sweep
+
+    result = benchmark.pedantic(run_sweep, args=(spec,), kwargs=kwargs,
+                                rounds=1, iterations=1)
+    for key, value in result.counts().items():
+        benchmark.extra_info[f"sweep_{key}"] = value
+    return result.raise_failures().records
+
+
 def attach_record(benchmark, record):
     """Attach an ExperimentRecord's key numbers to the benchmark report."""
     row = record.as_row()

@@ -13,13 +13,13 @@ from repro.analysis.experiments import (
     TABLE1_ALGORITHMS,
     TABLE1_FAMILIES,
     run_experiment,
-    run_table1_experiment,
 )
 from repro.analysis.tables import format_table1
 from repro.grid.generators import make_shape
 from repro.grid.metrics import compute_metrics
+from repro.orchestrator import table1_spec
 
-from conftest import attach_record, run_once
+from conftest import attach_record, run_once, sweep_once
 
 SIZES = (2, 3, 4)
 
@@ -56,8 +56,9 @@ def test_table1_cell(benchmark, algorithm, family, size):
 
 
 def test_table1_full_report(benchmark, capsys):
-    """Regenerate and print the whole comparison table in one go."""
-    records = run_once(benchmark, run_table1_experiment, sizes=SIZES, seed=0)
+    """Regenerate and print the whole comparison table in one go, through
+    the orchestrator (the same path ``python -m repro sweep`` takes)."""
+    records = sweep_once(benchmark, table1_spec(sizes=SIZES, seed=0))
     table = format_table1(records)
     with capsys.disabled():
         print("\n" + "=" * 72)

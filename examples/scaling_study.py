@@ -12,20 +12,35 @@ the raw series and fits both a linear and a power-law model; the fitted
 exponent close to 1 (and the stable rounds-per-parameter ratio) is the
 empirical signature of linear scaling.
 
+Each ladder runs through :mod:`repro.orchestrator` — the same sweep engine
+behind ``python -m repro sweep`` — so the runs can be spread over worker
+processes (``REPRO_JOBS=4``) and reuse cached results (``REPRO_CACHE_DIR``).
+
 Run with::
 
     python examples/scaling_study.py                 # default ladder
     python examples/scaling_study.py 2 4 6 8         # custom ladder
+    REPRO_JOBS=4 python examples/scaling_study.py    # 4 worker processes
 """
 
+import os
 import sys
 
-from repro import format_scaling_series, run_scaling_experiment
-from repro.analysis.experiments import ExperimentRecord
+from repro import format_scaling_series
+from repro.orchestrator import run_sweep, scaling_spec
+
+JOBS = int(os.environ.get("REPRO_JOBS", "1"))
+CACHE_DIR = os.environ.get("REPRO_CACHE_DIR") or None
+
+
+def measure(algorithm, family, sizes):
+    spec = scaling_spec(algorithm, family, sizes, seed=0)
+    result = run_sweep(spec, jobs=JOBS, cache=CACHE_DIR)
+    return result.raise_failures().records
 
 
 def study(title, algorithm, family, sizes, parameter):
-    records = run_scaling_experiment(algorithm, family, sizes, seed=0)
+    records = measure(algorithm, family, sizes)
     print(format_scaling_series(records, parameter, title=title))
     print()
     return records
@@ -62,9 +77,9 @@ def main() -> None:
     print("=" * 72)
     print("Theorem 41 — OBD rounds vs L_out + D")
     print("=" * 72)
-    obd_records = run_scaling_experiment("obd", "spiral", sizes, seed=0)
+    obd_records = measure("obd", "spiral", sizes)
     combined_parameter_series(obd_records, "OBD on spirals (long boundary)")
-    obd_blob = run_scaling_experiment("obd", "holey", sizes, seed=0)
+    obd_blob = measure("obd", "holey", sizes)
     combined_parameter_series(obd_blob, "OBD on hexagons with holes")
 
 

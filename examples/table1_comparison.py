@@ -14,22 +14,33 @@ claims:
 * this paper's Algorithm DLE with the known-boundary assumption — ``O(D_A)``,
 * this paper's full pipeline (OBD + DLE + Collect) — ``O(L_out + D)``.
 
+The whole grid runs through :mod:`repro.orchestrator` — the engine behind
+``python -m repro sweep`` — so it parallelises (``REPRO_JOBS=4``) and can
+reuse cached results (``REPRO_CACHE_DIR``).
+
 Run with::
 
     python examples/table1_comparison.py            # default sizes
     python examples/table1_comparison.py 2 3 4 5    # custom size ladder
+    REPRO_JOBS=4 python examples/table1_comparison.py
 """
 
+import os
 import sys
 
-from repro import format_table1, run_table1_experiment
+from repro import format_table1
+from repro.orchestrator import run_sweep, table1_spec
 
 
 def main() -> None:
     sizes = tuple(int(arg) for arg in sys.argv[1:]) or (2, 3, 4)
+    jobs = int(os.environ.get("REPRO_JOBS", "1"))
+    cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
     print(f"Running the Table 1 suite on sizes {sizes} "
           "(families: hexagon, blob, holey)...\n")
-    records = run_table1_experiment(sizes=sizes, seed=0)
+    result = run_sweep(table1_spec(sizes=sizes, seed=0), jobs=jobs,
+                       cache=cache_dir)
+    records = result.raise_failures().records
     print(format_table1(records))
     print(
         "\nReading guide: 'ok = no' rows for the erosion baseline on the"

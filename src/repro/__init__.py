@@ -48,6 +48,16 @@ from .io import (
     save_shape,
     save_system,
 )
+from .orchestrator import (
+    ResultCache,
+    RunConfig,
+    RunLedger,
+    SweepResult,
+    SweepSpec,
+    run_sweep,
+    scaling_spec,
+    table1_spec,
+)
 from .core import (
     CollectSimulator,
     DLEAlgorithm,
@@ -84,9 +94,14 @@ __all__ = [
     "OuterBoundaryDetection",
     "Particle",
     "ParticleSystem",
+    "ResultCache",
+    "RunConfig",
+    "RunLedger",
     "Scheduler",
     "SchedulerResult",
     "Shape",
+    "SweepResult",
+    "SweepSpec",
     "ShapeMetrics",
     "SpanningTreeAlgorithm",
     "annulus",
@@ -113,11 +128,14 @@ __all__ = [
     "run_experiment",
     "run_randomized_election",
     "run_scaling_experiment",
+    "run_sweep",
     "run_table1_experiment",
     "save_records",
     "save_shape",
     "save_system",
+    "scaling_spec",
     "spiral",
+    "table1_spec",
     "verify_spanning_tree",
     "verify_unique_leader",
     "__version__",

@@ -21,7 +21,6 @@ from ..core.dle import DLEAlgorithm, verify_unique_leader
 from ..core.full import elect_leader, elect_leader_known_boundary
 from ..core.obd import OuterBoundaryDetection
 from ..amoebot.scheduler import Scheduler
-from ..grid.generators import make_shape
 from ..grid.metrics import ShapeMetrics, compute_metrics
 from ..grid.shape import Shape
 
@@ -70,10 +69,10 @@ def _fresh_system(shape: Shape, seed: int) -> ParticleSystem:
 # Individual algorithm drivers
 # ---------------------------------------------------------------------------
 
-def _run_dle(shape: Shape, seed: int) -> Dict[str, object]:
+def _run_dle(shape: Shape, seed: int, order: str = "random") -> Dict[str, object]:
     system = _fresh_system(shape, seed)
     algorithm = DLEAlgorithm()
-    result = Scheduler(order="random", seed=seed).run(algorithm, system)
+    result = Scheduler(order=order, seed=seed).run(algorithm, system)
     succeeded = result.terminated
     if succeeded:
         try:
@@ -88,9 +87,11 @@ def _run_dle(shape: Shape, seed: int) -> Dict[str, object]:
     }
 
 
-def _run_dle_collect(shape: Shape, seed: int) -> Dict[str, object]:
+def _run_dle_collect(shape: Shape, seed: int,
+                     order: str = "random") -> Dict[str, object]:
     system = _fresh_system(shape, seed)
-    outcome = elect_leader_known_boundary(system, reconnect=True, seed=seed)
+    outcome = elect_leader_known_boundary(system, reconnect=True,
+                                          scheduler_order=order, seed=seed)
     return {
         "rounds": outcome.total_rounds,
         "succeeded": outcome.reconnected and outcome.connected_after,
@@ -99,10 +100,11 @@ def _run_dle_collect(shape: Shape, seed: int) -> Dict[str, object]:
     }
 
 
-def _run_collect_only(shape: Shape, seed: int) -> Dict[str, object]:
+def _run_collect_only(shape: Shape, seed: int,
+                      order: str = "random") -> Dict[str, object]:
     system = _fresh_system(shape, seed)
     algorithm = DLEAlgorithm()
-    Scheduler(order="random", seed=seed).run(algorithm, system)
+    Scheduler(order=order, seed=seed).run(algorithm, system)
     leader = verify_unique_leader(system)
     result = CollectSimulator(system, leader).run()
     return {
@@ -112,7 +114,8 @@ def _run_collect_only(shape: Shape, seed: int) -> Dict[str, object]:
     }
 
 
-def _run_obd(shape: Shape, seed: int) -> Dict[str, object]:
+def _run_obd(shape: Shape, seed: int, order: str = "random") -> Dict[str, object]:
+    # OBD is a synchronous primitive; the activation order does not apply.
     system = _fresh_system(shape, seed)
     result = OuterBoundaryDetection(system).run()
     expected = shape.outer_boundary
@@ -126,9 +129,10 @@ def _run_obd(shape: Shape, seed: int) -> Dict[str, object]:
     }
 
 
-def _run_full(shape: Shape, seed: int) -> Dict[str, object]:
+def _run_full(shape: Shape, seed: int, order: str = "random") -> Dict[str, object]:
     system = _fresh_system(shape, seed)
-    outcome = elect_leader(system, reconnect=True, seed=seed)
+    outcome = elect_leader(system, reconnect=True, scheduler_order=order,
+                           seed=seed)
     return {
         "rounds": outcome.total_rounds,
         "succeeded": outcome.reconnected and outcome.connected_after,
@@ -138,9 +142,10 @@ def _run_full(shape: Shape, seed: int) -> Dict[str, object]:
     }
 
 
-def _run_erosion(shape: Shape, seed: int) -> Dict[str, object]:
+def _run_erosion(shape: Shape, seed: int,
+                 order: str = "random") -> Dict[str, object]:
     system = _fresh_system(shape, seed)
-    outcome = run_erosion_election(system, seed=seed)
+    outcome = run_erosion_election(system, scheduler_order=order, seed=seed)
     return {
         "rounds": outcome.rounds,
         "succeeded": outcome.succeeded,
@@ -149,7 +154,9 @@ def _run_erosion(shape: Shape, seed: int) -> Dict[str, object]:
     }
 
 
-def _run_randomized(shape: Shape, seed: int) -> Dict[str, object]:
+def _run_randomized(shape: Shape, seed: int,
+                    order: str = "random") -> Dict[str, object]:
+    # The randomized baseline drives its own internal phase schedule.
     system = _fresh_system(shape, seed)
     outcome = run_randomized_election(system, seed=seed)
     return {
@@ -159,8 +166,10 @@ def _run_randomized(shape: Shape, seed: int) -> Dict[str, object]:
     }
 
 
-#: Registry of runnable algorithms / pipelines.
-ALGORITHMS: Dict[str, Callable[[Shape, int], Dict[str, object]]] = {
+#: Registry of runnable algorithms / pipelines.  Every driver takes
+#: ``(shape, seed, order)`` where ``order`` is the scheduler activation
+#: policy (ignored by the synchronous/self-scheduled entries).
+ALGORITHMS: Dict[str, Callable[[Shape, int, str], Dict[str, object]]] = {
     "dle": _run_dle,
     "dle+collect": _run_dle_collect,
     "collect": _run_collect_only,
@@ -189,7 +198,8 @@ TABLE1_FAMILIES: Sequence[str] = ("hexagon", "blob", "holey")
 
 def run_experiment(algorithm: str, shape: Shape, family: str = "custom",
                    size: int = 0, seed: int = 0,
-                   metrics: Optional[ShapeMetrics] = None) -> ExperimentRecord:
+                   metrics: Optional[ShapeMetrics] = None,
+                   order: str = "random") -> ExperimentRecord:
     """Run one algorithm on one shape and return the measurement record."""
     try:
         driver = ALGORITHMS[algorithm]
@@ -199,7 +209,7 @@ def run_experiment(algorithm: str, shape: Shape, family: str = "custom",
         ) from None
     if metrics is None:
         metrics = compute_metrics(shape)
-    details = driver(shape, seed)
+    details = driver(shape, seed, order)
     rounds = int(details.pop("rounds"))
     succeeded = bool(details.pop("succeeded"))
     return ExperimentRecord(
@@ -215,36 +225,39 @@ def run_experiment(algorithm: str, shape: Shape, family: str = "custom",
 
 
 def run_scaling_experiment(algorithm: str, family: str, sizes: Iterable[int],
-                           seed: int = 0) -> List[ExperimentRecord]:
-    """Run one algorithm on a growing sequence of shapes from one family."""
-    records: List[ExperimentRecord] = []
-    for size in sizes:
-        shape = make_shape(family, size, seed=seed)
-        records.append(
-            run_experiment(algorithm, shape, family=family, size=size, seed=seed)
-        )
-    return records
+                           seed: int = 0, jobs: int = 1,
+                           cache_dir: Optional[str] = None,
+                           ) -> List[ExperimentRecord]:
+    """Run one algorithm on a growing sequence of shapes from one family.
+
+    Thin front-end over :func:`repro.orchestrator.run_sweep`: ``jobs`` runs
+    the ladder in parallel worker processes and ``cache_dir`` reuses
+    previously-computed results.  Execution errors are re-raised, matching
+    the historical serial-loop behaviour.
+    """
+    from ..orchestrator import run_sweep, scaling_spec
+
+    spec = scaling_spec(algorithm, family, list(sizes), seed=seed)
+    result = run_sweep(spec, jobs=jobs, cache=cache_dir)
+    return result.raise_failures().records
 
 
 def run_table1_experiment(sizes: Iterable[int] = (2, 3, 4), seed: int = 0,
                           families: Sequence[str] = TABLE1_FAMILIES,
                           algorithms: Optional[Sequence[str]] = None,
+                          jobs: int = 1, cache_dir: Optional[str] = None,
                           ) -> List[ExperimentRecord]:
     """Measurements behind the Table 1 reproduction.
 
     Every algorithm in ``algorithms`` (default: the Table 1 set) is run on
-    every (family, size) pair.  Failures (e.g. the erosion baseline on holey
-    shapes) are recorded, not raised — they are part of the comparison.
+    every (family, size) pair, through the orchestrator (``jobs`` worker
+    processes, optional result cache).  Failures (e.g. the erosion baseline
+    on holey shapes) are recorded, not raised — they are part of the
+    comparison.
     """
-    selected = list(algorithms) if algorithms is not None else list(TABLE1_ALGORITHMS)
-    records: List[ExperimentRecord] = []
-    for family in families:
-        for size in sizes:
-            shape = make_shape(family, size, seed=seed)
-            metrics = compute_metrics(shape)
-            for algorithm in selected:
-                records.append(
-                    run_experiment(algorithm, shape, family=family, size=size,
-                                   seed=seed, metrics=metrics)
-                )
-    return records
+    from ..orchestrator import run_sweep, table1_spec
+
+    spec = table1_spec(sizes=list(sizes), seed=seed, families=families,
+                       algorithms=algorithms)
+    result = run_sweep(spec, jobs=jobs, cache=cache_dir)
+    return result.raise_failures().records

@@ -2,14 +2,19 @@
 
 The CLI exposes the experiment harness without writing any Python:
 
+* ``python -m repro sweep --algorithms dle obd --sizes 2 4 6 --jobs 4``
+  — run an arbitrary experiment grid through the orchestrator
+  (parallel workers, ``--cache-dir`` result reuse, ``--resume``)
 * ``python -m repro table1``                  — reproduce the Table 1 comparison
 * ``python -m repro scaling dle --families hexagon holey`` — scaling figures
 * ``python -m repro elect --family holey --size 4``        — one election run
 * ``python -m repro metrics --family annulus --size 5``    — shape parameters
 * ``python -m repro families``                — list the shape families
 
-Every command accepts ``--json PATH`` to additionally dump the raw records
-(via :mod:`repro.io`) so results can be post-processed elsewhere.
+Every record-producing command accepts ``--json PATH`` to additionally dump
+the raw records (via :mod:`repro.io`) so results can be post-processed
+elsewhere, and every sweep-capable command (``sweep``, ``table1``,
+``scaling``) accepts ``--jobs N`` to spread runs over worker processes.
 """
 
 from __future__ import annotations
@@ -35,6 +40,14 @@ from .core.full import elect_leader, elect_leader_known_boundary
 from .grid.generators import SHAPE_FAMILIES, make_shape
 from .grid.metrics import compute_metrics
 from .io import save_records
+from .orchestrator import (
+    DEFAULT_JOBS,
+    SCHEDULER_ORDERS,
+    SweepSpec,
+    format_sweep_scaling,
+    format_sweep_summary,
+    run_sweep,
+)
 from .viz.ascii_art import render_system
 
 __all__ = ["main", "build_parser"]
@@ -60,11 +73,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="run an experiment grid through the parallel orchestrator")
+    sweep.add_argument("--algorithms", nargs="+", default=["dle"],
+                       choices=sorted(ALGORITHMS))
+    sweep.add_argument("--families", nargs="+", default=["hexagon"],
+                       choices=sorted(SHAPE_FAMILIES))
+    sweep.add_argument("--sizes", type=int, nargs="+", default=[2, 3, 4])
+    sweep.add_argument("--seeds", type=int, nargs="+", default=[0])
+    sweep.add_argument("--scheduler", default="random",
+                       choices=sorted(SCHEDULER_ORDERS),
+                       help="activation order the adversary uses")
+    sweep.add_argument("--jobs", type=int, default=DEFAULT_JOBS,
+                       help="worker processes (1 = in-process)")
+    sweep.add_argument("--cache-dir", metavar="PATH", default=None,
+                       help="content-addressed result cache directory")
+    sweep.add_argument("--ledger", metavar="PATH", default=None,
+                       help="append-only JSONL run ledger")
+    sweep.add_argument("--resume", action="store_true",
+                       help="skip configs the ledger already marks done "
+                            "(requires --ledger)")
+    sweep.add_argument("--parameter", default=None,
+                       help="also fit rounds against this shape parameter")
+    sweep.add_argument("--quiet", action="store_true",
+                       help="suppress per-run progress lines on stderr")
+    sweep.add_argument("--json", metavar="PATH", default=None,
+                       help="also write the raw records to a JSON file")
+
     table1 = sub.add_parser("table1", help="reproduce the Table 1 comparison")
     table1.add_argument("--sizes", type=int, nargs="+", default=[2, 3, 4])
     table1.add_argument("--families", nargs="+", default=list(TABLE1_FAMILIES),
                         choices=sorted(SHAPE_FAMILIES))
     table1.add_argument("--seed", type=int, default=0)
+    table1.add_argument("--jobs", type=int, default=DEFAULT_JOBS,
+                        help="worker processes (1 = in-process)")
     table1.add_argument("--json", metavar="PATH", default=None,
                         help="also write the raw records to a JSON file")
 
@@ -77,6 +120,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="shape parameter to fit against "
                               "(default depends on the algorithm)")
     scaling.add_argument("--seed", type=int, default=0)
+    scaling.add_argument("--jobs", type=int, default=DEFAULT_JOBS,
+                         help="worker processes (1 = in-process)")
     scaling.add_argument("--json", metavar="PATH", default=None)
 
     elect = sub.add_parser("elect", help="run one leader election end to end")
@@ -99,9 +144,59 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _sweep_parameters() -> List[str]:
+    """Numeric record columns ``sweep --parameter`` can fit against."""
+    from .grid.metrics import ShapeMetrics
+
+    metric_keys = ShapeMetrics(n=1, n_area=1, diameter=1, area_diameter=1,
+                               grid_diam=1, l_out=1, l_max=1,
+                               num_holes=0).as_dict()
+    return sorted(list(metric_keys) + ["rounds", "size"])
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.resume and not args.ledger:
+        print("error: --resume requires --ledger", file=sys.stderr)
+        return 2
+    if args.parameter and args.parameter not in _sweep_parameters():
+        # Validate before the sweep runs so a typo cannot discard the work.
+        print(f"error: parameter {args.parameter!r} is not a numeric "
+              f"record column; known: {_sweep_parameters()}", file=sys.stderr)
+        return 2
+    spec = SweepSpec(algorithms=args.algorithms, families=args.families,
+                     sizes=args.sizes, seeds=args.seeds,
+                     scheduler=args.scheduler)
+
+    def progress(done: int, total: int, result) -> None:
+        status = "ok" if result.ok else "FAILED"
+        if result.ok and result.source != "executed":
+            status += f" ({result.source})"
+        print(f"[{done}/{total}] {result.config.describe()}: {status}",
+              file=sys.stderr)
+
+    result = run_sweep(spec, jobs=args.jobs, cache=args.cache_dir,
+                       ledger=args.ledger, resume=args.resume,
+                       progress=None if args.quiet else progress)
+    records = result.records
+    print(format_records(records, title="sweep results"))
+    if args.parameter:
+        print()
+        print(format_sweep_scaling(records, args.parameter))
+    print()
+    print(format_sweep_summary(result))
+    for failure in result.failures:
+        print(f"\nFAILED {failure.config.describe()}:\n{failure.error}",
+              file=sys.stderr)
+    if args.json:
+        save_records(records, args.json)
+        print(f"raw records written to {args.json}")
+    return 1 if (result.failures or not records) else 0
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     records = run_table1_experiment(sizes=tuple(args.sizes), seed=args.seed,
-                                    families=tuple(args.families))
+                                    families=tuple(args.families),
+                                    jobs=args.jobs)
     print(format_table1(records))
     if args.json:
         save_records(records, args.json)
@@ -114,7 +209,8 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
     all_records = []
     for family in args.families:
         records = run_scaling_experiment(args.algorithm, family,
-                                         tuple(args.sizes), seed=args.seed)
+                                         tuple(args.sizes), seed=args.seed,
+                                         jobs=args.jobs)
         all_records.extend(records)
         title = f"{args.algorithm} rounds vs {parameter} ({family})"
         print(format_scaling_series(records, parameter, title=title))
@@ -162,6 +258,7 @@ def _cmd_families(args: argparse.Namespace) -> int:
 
 
 _COMMANDS = {
+    "sweep": _cmd_sweep,
     "table1": _cmd_table1,
     "scaling": _cmd_scaling,
     "elect": _cmd_elect,

@@ -1,0 +1,69 @@
+"""repro.orchestrator — the parallel sweep execution subsystem.
+
+Everything that turns a declarative experiment grid into records:
+
+* :mod:`~repro.orchestrator.spec` — :class:`SweepSpec` → hashable
+  :class:`RunConfig` lists,
+* :mod:`~repro.orchestrator.cache` — content-addressed on-disk result cache,
+* :mod:`~repro.orchestrator.pool` — :func:`run_sweep`, the cache-aware
+  multiprocessing execution engine,
+* :mod:`~repro.orchestrator.store` — the append-only JSONL
+  :class:`RunLedger` that makes interrupted sweeps resumable,
+* :mod:`~repro.orchestrator.report` — aggregation back into
+  :mod:`repro.analysis.tables` / :mod:`repro.analysis.fitting`.
+
+Typical use (what ``python -m repro sweep`` does)::
+
+    from repro.orchestrator import SweepSpec, run_sweep
+
+    spec = SweepSpec(algorithms=["dle", "erosion"],
+                     families=["hexagon", "holey"],
+                     sizes=[2, 4, 6], seeds=[0, 1, 2])
+    result = run_sweep(spec, jobs=4, cache="results/cache",
+                       ledger="results/ledger.jsonl", resume=True)
+    records = result.records
+"""
+
+from .cache import ResultCache, config_digest, default_code_version
+from .pool import (
+    DEFAULT_JOBS,
+    RunResult,
+    SweepResult,
+    execute_config,
+    run_sweep,
+)
+from .report import (
+    format_sweep_scaling,
+    format_sweep_summary,
+    group_records,
+    scaling_summaries,
+)
+from .spec import (
+    SCHEDULER_ORDERS,
+    RunConfig,
+    SweepSpec,
+    scaling_spec,
+    table1_spec,
+)
+from .store import RunLedger
+
+__all__ = [
+    "DEFAULT_JOBS",
+    "SCHEDULER_ORDERS",
+    "ResultCache",
+    "RunConfig",
+    "RunLedger",
+    "RunResult",
+    "SweepResult",
+    "SweepSpec",
+    "config_digest",
+    "default_code_version",
+    "execute_config",
+    "format_sweep_scaling",
+    "format_sweep_summary",
+    "group_records",
+    "run_sweep",
+    "scaling_spec",
+    "scaling_summaries",
+    "table1_spec",
+]

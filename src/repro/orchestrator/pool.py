@@ -1,0 +1,302 @@
+"""Parallel execution of sweep configs with caching and resumability.
+
+:func:`run_sweep` is the single entry point the CLI, the benchmark harness,
+the examples and the thin :mod:`repro.analysis.experiments` front-ends all
+share.  It takes a :class:`~repro.orchestrator.spec.SweepSpec` (or an
+explicit config list) and, per config, resolves the result from the cheapest
+available source:
+
+1. the run ledger, when ``resume`` is set and a previous sweep already
+   finished the config,
+2. the content-addressed :class:`~repro.orchestrator.cache.ResultCache`,
+3. actual execution — in-process for ``jobs=1`` (zero overhead, easiest to
+   debug and to monkeypatch in tests), in a ``multiprocessing`` pool
+   otherwise.
+
+A run that raises is captured as a failed :class:`RunResult` instead of
+killing the sweep; failures are appended to the ledger (so they are retried
+on resume) but never cached.  Results always come back in spec order, no
+matter which worker finished first, so ``jobs=1`` and ``jobs=8`` produce
+byte-identical record lists.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from ..analysis.experiments import ExperimentRecord, run_experiment
+from ..grid.generators import make_shape
+from ..grid.metrics import compute_metrics
+from .cache import ResultCache
+from .spec import RunConfig, SweepSpec
+from .store import RunLedger
+
+__all__ = [
+    "DEFAULT_JOBS",
+    "RunResult",
+    "SweepResult",
+    "execute_config",
+    "run_sweep",
+]
+
+#: Shared default for every ``--jobs`` flag.
+DEFAULT_JOBS = 1
+
+PathOrCache = Union[str, "os.PathLike[str]", "ResultCache", None]
+PathOrLedger = Union[str, "os.PathLike[str]", "RunLedger", None]
+ProgressFn = Callable[[int, int, "RunResult"], None]
+
+#: How a result was obtained.
+SOURCE_EXECUTED = "executed"
+SOURCE_CACHED = "cached"
+SOURCE_RESUMED = "resumed"
+
+
+@dataclass
+class RunResult:
+    """Outcome of one config: a record, or a captured failure."""
+
+    config: RunConfig
+    record: Optional[ExperimentRecord] = None
+    error: Optional[str] = None
+    source: str = SOURCE_EXECUTED
+    elapsed: float = 0.0
+    #: The original exception object, available only for in-process
+    #: (``jobs=1``) execution — worker-pool failures cross a process
+    #: boundary and survive as the ``error`` traceback string only.
+    exception: Optional[BaseException] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.record is not None and self.error is None
+
+
+@dataclass
+class SweepResult:
+    """Everything a sweep produced, in spec order."""
+
+    results: List[RunResult] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def records(self) -> List[ExperimentRecord]:
+        """Successful records, in spec order (failures omitted)."""
+        return [r.record for r in self.results if r.ok]
+
+    @property
+    def failures(self) -> List[RunResult]:
+        return [r for r in self.results if not r.ok]
+
+    def counts(self) -> Dict[str, int]:
+        """How each config's result was obtained, plus the failure count."""
+        counts = {"total": len(self.results), SOURCE_EXECUTED: 0,
+                  SOURCE_CACHED: 0, SOURCE_RESUMED: 0, "failed": 0}
+        for result in self.results:
+            if result.ok:
+                counts[result.source] += 1
+            else:
+                counts["failed"] += 1
+        return counts
+
+    def raise_failures(self) -> "SweepResult":
+        """Re-raise the first captured failure (serial-path semantics).
+
+        In-process failures re-raise the original exception object;
+        worker-pool failures raise ``RuntimeError`` carrying the worker's
+        traceback text.
+        """
+        for result in self.results:
+            if not result.ok:
+                if result.exception is not None:
+                    raise result.exception
+                raise RuntimeError(
+                    f"sweep run failed for {result.config.describe()}:\n"
+                    f"{result.error}"
+                )
+        return self
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+@lru_cache(maxsize=128)
+def _shape_and_metrics(family: str, size: int, seed: int):
+    """Shape construction and metrics are pure and shared by every algorithm
+    of a sweep on the same (family, size, seed) — build them once per
+    process, like the old serial table1 loop did."""
+    shape = make_shape(family, size, seed=seed)
+    return shape, compute_metrics(shape)
+
+
+def execute_config(config: RunConfig) -> ExperimentRecord:
+    """Run one config from scratch (no cache involved)."""
+    shape, metrics = _shape_and_metrics(config.family, config.size,
+                                        config.seed)
+    return run_experiment(config.algorithm, shape, family=config.family,
+                          size=config.size, seed=config.seed,
+                          metrics=metrics, order=config.scheduler)
+
+
+def _worker(config_dict: Dict[str, Any]) -> Dict[str, Any]:
+    """Pool worker: executes one config, never raises (must be picklable)."""
+    from ..io import records_to_dicts
+
+    started = time.perf_counter()
+    try:
+        config = RunConfig.from_dict(config_dict)
+        record = execute_config(config)
+        return {
+            "config": config_dict,
+            "record": records_to_dicts([record])[0],
+            "elapsed": time.perf_counter() - started,
+        }
+    except Exception:
+        return {
+            "config": config_dict,
+            "error": traceback.format_exc(),
+            "elapsed": time.perf_counter() - started,
+        }
+
+
+def _result_from_payload(config: RunConfig,
+                         payload: Dict[str, Any]) -> RunResult:
+    from ..io import records_from_dicts
+
+    if "record" in payload:
+        record = records_from_dicts([payload["record"]])[0]
+        return RunResult(config=config, record=record,
+                         elapsed=payload.get("elapsed", 0.0))
+    return RunResult(config=config, error=payload.get("error", "unknown error"),
+                     elapsed=payload.get("elapsed", 0.0))
+
+
+def _record_dict(record: ExperimentRecord) -> Dict[str, Any]:
+    from ..io import records_to_dicts
+
+    return records_to_dicts([record])[0]
+
+
+# ---------------------------------------------------------------------------
+# The sweep engine
+# ---------------------------------------------------------------------------
+
+def run_sweep(spec: Union[SweepSpec, Sequence[RunConfig]],
+              jobs: int = DEFAULT_JOBS,
+              cache: PathOrCache = None,
+              ledger: PathOrLedger = None,
+              resume: bool = False,
+              progress: Optional[ProgressFn] = None) -> SweepResult:
+    """Execute every config of ``spec``, returning results in spec order.
+
+    ``cache`` / ``ledger`` accept paths or pre-built objects.  ``resume``
+    requires a ledger and skips configs it already marks ``done``; failed
+    and missing configs re-run.  ``progress`` is called as
+    ``progress(finished_so_far, total, result)`` after every config, from
+    the coordinating process, in completion order.
+    """
+    configs = spec.expand() if isinstance(spec, SweepSpec) else list(spec)
+    for config in configs:
+        config.validate()
+    if isinstance(cache, (str, os.PathLike)):
+        cache = ResultCache(cache)
+    if isinstance(ledger, (str, os.PathLike)):
+        ledger = RunLedger(ledger)
+    if resume and ledger is None:
+        raise ValueError("resume=True requires a ledger")
+
+    code_version = cache.code_version if cache is not None else None
+    if code_version is None:
+        from .cache import default_code_version
+        code_version = default_code_version()
+
+    from .cache import config_digest
+    digests = {config: config_digest(config, code_version)
+               for config in configs}
+
+    started = time.perf_counter()
+    slots: List[Optional[RunResult]] = [None] * len(configs)
+    done_count = 0
+    total = len(configs)
+
+    def finish(index: int, result: RunResult,
+               write_ledger: bool = True) -> None:
+        nonlocal done_count
+        config = result.config
+        slots[index] = result
+        done_count += 1
+        if result.ok and cache is not None and result.source == SOURCE_EXECUTED:
+            cache.put(config, result.record)
+        if ledger is not None and write_ledger:
+            if result.ok:
+                ledger.append(digests[config], config, "done",
+                              record_dict=_record_dict(result.record),
+                              elapsed=result.elapsed)
+            else:
+                ledger.append(digests[config], config, "failed",
+                              error=result.error, elapsed=result.elapsed)
+        if progress is not None:
+            progress(done_count, total, result)
+
+    # Pass 1: resolve from the ledger (resume) and the result cache.
+    resumed = ledger.completed() if (resume and ledger is not None) else {}
+    pending: List[int] = []
+    for index, config in enumerate(configs):
+        entry = resumed.get(digests[config])
+        if entry is not None and "record" in entry:
+            result = _result_from_payload(config, {"record": entry["record"]})
+            result.source = SOURCE_RESUMED
+            # Already in the ledger — appending again would bloat it.
+            finish(index, result, write_ledger=False)
+            continue
+        if cache is not None:
+            record = cache.get(config)
+            if record is not None:
+                finish(index, RunResult(config=config, record=record,
+                                        source=SOURCE_CACHED))
+                continue
+        pending.append(index)
+
+    # Pass 2: execute what remains.
+    if pending and jobs <= 1:
+        for index in pending:
+            config = configs[index]
+            run_started = time.perf_counter()
+            try:
+                record = execute_config(config)
+                result = RunResult(config=config, record=record,
+                                   elapsed=time.perf_counter() - run_started)
+            except Exception as exc:
+                result = RunResult(config=config,
+                                   error=traceback.format_exc(),
+                                   exception=exc,
+                                   elapsed=time.perf_counter() - run_started)
+            finish(index, result)
+    elif pending:
+        payloads = [(index, configs[index].to_dict()) for index in pending]
+        with multiprocessing.Pool(processes=min(jobs, len(pending))) as pool:
+            jobs_iter = pool.imap_unordered(
+                _indexed_worker, payloads, chunksize=1)
+            try:
+                for index, payload in jobs_iter:
+                    finish(index,
+                           _result_from_payload(configs[index], payload))
+            except KeyboardInterrupt:
+                pool.terminate()
+                raise
+
+    return SweepResult(results=list(slots),
+                       elapsed=time.perf_counter() - started)
+
+
+def _indexed_worker(item):
+    """Pairs each worker payload with the caller's key so results can be
+    matched up regardless of completion order."""
+    key, config_dict = item
+    return key, _worker(config_dict)

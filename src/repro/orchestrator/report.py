@@ -1,0 +1,73 @@
+"""Aggregation of sweep results back into the analysis pipeline.
+
+A sweep produces a flat, spec-ordered list of records; the artefacts in
+EXPERIMENTS.md are tables and fitted scaling series.  This module is the
+bridge: it groups sweep output by (algorithm, family) and feeds each group
+to the existing :mod:`repro.analysis.tables` / :mod:`repro.analysis.fitting`
+formatters, so the orchestrated path and the legacy serial path render
+byte-identical reports.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Sequence, Tuple
+
+from ..analysis.experiments import ExperimentRecord
+from ..analysis.tables import format_scaling_series, summarize_scaling
+from .pool import SweepResult
+
+__all__ = [
+    "group_records",
+    "format_sweep_scaling",
+    "scaling_summaries",
+    "format_sweep_summary",
+]
+
+GroupKey = Tuple[str, str]  # (algorithm, family)
+
+
+def group_records(records: Sequence[ExperimentRecord]
+                  ) -> "OrderedDict[GroupKey, List[ExperimentRecord]]":
+    """Group records by (algorithm, family), preserving first-seen order."""
+    groups: "OrderedDict[GroupKey, List[ExperimentRecord]]" = OrderedDict()
+    for record in records:
+        groups.setdefault((record.algorithm, record.family), []).append(record)
+    return groups
+
+
+def scaling_summaries(records: Sequence[ExperimentRecord],
+                      parameter: str) -> Dict[GroupKey, Dict[str, float]]:
+    """Per-(algorithm, family) fit summaries of rounds vs ``parameter``."""
+    return {
+        key: summarize_scaling(group, parameter)
+        for key, group in group_records(records).items()
+        if len(group) >= 2
+    }
+
+
+def format_sweep_scaling(records: Sequence[ExperimentRecord],
+                         parameter: str) -> str:
+    """One fitted scaling series per (algorithm, family) group."""
+    blocks: List[str] = []
+    for (algorithm, family), group in group_records(records).items():
+        if len(group) < 2:
+            continue
+        title = f"{algorithm} rounds vs {parameter} ({family})"
+        blocks.append(format_scaling_series(group, parameter, title=title))
+    if not blocks:
+        return "(not enough data points for a scaling fit)"
+    return "\n\n".join(blocks)
+
+
+def format_sweep_summary(result: SweepResult) -> str:
+    """One-line execution summary: where results came from and how long."""
+    counts = result.counts()
+    parts = [f"{counts['total']} runs",
+             f"{counts['executed']} executed",
+             f"{counts['cached']} cached",
+             f"{counts['resumed']} resumed"]
+    if counts["failed"]:
+        parts.append(f"{counts['failed']} FAILED")
+    parts.append(f"{result.elapsed:.2f}s")
+    return "sweep: " + ", ".join(parts)

@@ -1,0 +1,184 @@
+"""Declarative sweep specifications.
+
+A sweep is the cartesian product *algorithms × families × sizes × seeds*
+(plus the scheduler order the adversary uses), written down once as a
+:class:`SweepSpec` and expanded into a list of hashable :class:`RunConfig`
+values.  Every layer of the execution subsystem speaks ``RunConfig``:
+
+* the :mod:`~repro.orchestrator.cache` keys results by a stable digest of
+  the config plus the code version,
+* the :mod:`~repro.orchestrator.pool` ships configs to worker processes as
+  plain dictionaries,
+* the :mod:`~repro.orchestrator.store` ledger records which configs an
+  interrupted sweep already finished.
+
+Configs are pure data — expanding a spec runs nothing.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.experiments import ALGORITHMS, TABLE1_ALGORITHMS, TABLE1_FAMILIES
+from ..grid.generators import SHAPE_FAMILIES
+
+__all__ = [
+    "SCHEDULER_ORDERS",
+    "RunConfig",
+    "SweepSpec",
+    "scaling_spec",
+    "table1_spec",
+]
+
+#: Activation-order policies the adversary (scheduler) may use; mirrors the
+#: registry in :mod:`repro.amoebot.scheduler`.
+SCHEDULER_ORDERS: Tuple[str, ...] = ("random", "round_robin", "reversed")
+
+
+@dataclass(frozen=True, order=True)
+class RunConfig:
+    """One fully-determined experiment run.
+
+    A config is hashable and totally ordered, and together with the code
+    version it determines the resulting
+    :class:`~repro.analysis.experiments.ExperimentRecord` exactly (every
+    source of randomness is seeded), which is what makes result caching and
+    resumable sweeps sound.
+    """
+
+    algorithm: str
+    family: str
+    size: int
+    seed: int
+    scheduler: str = "random"
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` unless every field names a known entity."""
+        if self.algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {self.algorithm!r}; known: {sorted(ALGORITHMS)}"
+            )
+        if self.family not in SHAPE_FAMILIES:
+            raise ValueError(
+                f"unknown shape family {self.family!r}; "
+                f"known: {sorted(SHAPE_FAMILIES)}"
+            )
+        if self.scheduler not in SCHEDULER_ORDERS:
+            raise ValueError(
+                f"unknown scheduler order {self.scheduler!r}; "
+                f"known: {sorted(SCHEDULER_ORDERS)}"
+            )
+        if self.size < 0:
+            raise ValueError(f"size must be non-negative, got {self.size}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dictionary (the canonical form used for hashing)."""
+        return {
+            "algorithm": self.algorithm,
+            "family": self.family,
+            "size": self.size,
+            "seed": self.seed,
+            "scheduler": self.scheduler,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
+        return cls(
+            algorithm=str(data["algorithm"]),
+            family=str(data["family"]),
+            size=int(data["size"]),
+            seed=int(data["seed"]),
+            scheduler=str(data.get("scheduler", "random")),
+        )
+
+    def describe(self) -> str:
+        """Short human-readable label for progress lines and error messages."""
+        label = f"{self.algorithm}/{self.family} size={self.size} seed={self.seed}"
+        if self.scheduler != "random":
+            label += f" sched={self.scheduler}"
+        return label
+
+
+@dataclass
+class SweepSpec:
+    """A declarative grid of experiment runs.
+
+    ``expand()`` yields configs in a stable nesting order —
+    family → size → seed → algorithm — so the resulting record list lines
+    up with the layouts the table formatters expect regardless of how many
+    workers executed the sweep.
+    """
+
+    algorithms: Sequence[str]
+    families: Sequence[str]
+    sizes: Sequence[int]
+    seeds: Sequence[int] = (0,)
+    scheduler: str = "random"
+
+    def __post_init__(self) -> None:
+        self.algorithms = list(self.algorithms)
+        self.families = list(self.families)
+        self.sizes = [int(s) for s in self.sizes]
+        self.seeds = [int(s) for s in self.seeds]
+        if not (self.algorithms and self.families and self.sizes and self.seeds):
+            raise ValueError("SweepSpec axes must all be non-empty")
+
+    def __len__(self) -> int:
+        return (len(self.algorithms) * len(self.families)
+                * len(self.sizes) * len(self.seeds))
+
+    def expand(self) -> List[RunConfig]:
+        """The full list of configs, validated, in canonical order."""
+        configs = [
+            RunConfig(algorithm=algorithm, family=family, size=size,
+                      seed=seed, scheduler=self.scheduler)
+            for family, size, seed, algorithm in itertools.product(
+                self.families, self.sizes, self.seeds, self.algorithms)
+        ]
+        for config in configs:
+            config.validate()
+        return configs
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dictionary describing the spec."""
+        return {
+            "kind": "sweep-spec",
+            "algorithms": list(self.algorithms),
+            "families": list(self.families),
+            "sizes": list(self.sizes),
+            "seeds": list(self.seeds),
+            "scheduler": self.scheduler,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SweepSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        if data.get("kind") != "sweep-spec":
+            raise ValueError("not a serialised sweep spec")
+        return cls(
+            algorithms=data["algorithms"],
+            families=data["families"],
+            sizes=data["sizes"],
+            seeds=data.get("seeds", [0]),
+            scheduler=data.get("scheduler", "random"),
+        )
+
+
+def scaling_spec(algorithm: str, family: str, sizes: Sequence[int],
+                 seed: int = 0, scheduler: str = "random") -> SweepSpec:
+    """The spec behind one scaling series (one algorithm, one family)."""
+    return SweepSpec(algorithms=[algorithm], families=[family],
+                     sizes=list(sizes), seeds=[seed], scheduler=scheduler)
+
+
+def table1_spec(sizes: Sequence[int] = (2, 3, 4), seed: int = 0,
+                families: Sequence[str] = TABLE1_FAMILIES,
+                algorithms: Optional[Sequence[str]] = None,
+                scheduler: str = "random") -> SweepSpec:
+    """The spec behind the Table 1 reproduction (all algorithms × shapes)."""
+    selected = list(algorithms) if algorithms is not None else list(TABLE1_ALGORITHMS)
+    return SweepSpec(algorithms=selected, families=list(families),
+                     sizes=list(sizes), seeds=[seed], scheduler=scheduler)

@@ -1,0 +1,113 @@
+"""Append-only JSONL run ledger: the durable record of a sweep.
+
+Every finished run — executed, cache-served or failed — is appended to the
+ledger as one self-contained JSON line and flushed immediately, so the file
+is valid after a crash at any byte boundary except possibly its final line
+(which the reader tolerantly skips).  Resuming an interrupted sweep is then
+just "skip every config whose digest already has a ``done`` line".
+
+The ledger stores full :class:`ExperimentRecord` payloads (via the
+:mod:`repro.io` dictionary form), so a finished ledger doubles as the raw
+data file behind a table or figure: ``RunLedger(path).records()`` feeds
+straight into :mod:`repro.analysis.tables`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Set, Union
+
+from .spec import RunConfig
+
+__all__ = ["LEDGER_KIND", "RunLedger"]
+
+PathLike = Union[str, Path]
+
+LEDGER_KIND = "sweep-run"
+
+
+class RunLedger:
+    """Durable, append-only record of every run a sweep has finished."""
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+
+    # -- writing ------------------------------------------------------------
+
+    def append(self, digest: str, config: RunConfig, status: str,
+               record_dict: Optional[Dict[str, Any]] = None,
+               error: Optional[str] = None,
+               elapsed: float = 0.0) -> None:
+        """Append one finished run; ``status`` is ``"done"`` or ``"failed"``."""
+        if status not in ("done", "failed"):
+            raise ValueError(f"status must be 'done' or 'failed', got {status!r}")
+        entry: Dict[str, Any] = {
+            "kind": LEDGER_KIND,
+            "digest": digest,
+            "config": config.to_dict(),
+            "status": status,
+            "elapsed": round(float(elapsed), 6),
+        }
+        if record_dict is not None:
+            entry["record"] = record_dict
+        if error is not None:
+            entry["error"] = error
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as handle:
+            handle.write(json.dumps(entry) + "\n")
+            handle.flush()
+
+    # -- reading ------------------------------------------------------------
+
+    def entries(self) -> Iterator[Dict[str, Any]]:
+        """Parsed ledger lines, skipping blank or truncated ones."""
+        if not self.path.is_file():
+            return
+        with self.path.open() as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    continue  # interrupted mid-write; the run will re-run
+                if isinstance(entry, dict) and entry.get("kind") == LEDGER_KIND:
+                    yield entry
+
+    def completed_digests(self) -> Set[str]:
+        """Digests of configs that finished successfully (``done`` lines).
+
+        Failed runs are deliberately excluded so a resumed sweep retries
+        them.
+        """
+        return {entry["digest"] for entry in self.entries()
+                if entry.get("status") == "done" and "digest" in entry}
+
+    def completed(self) -> Dict[str, Dict[str, Any]]:
+        """Map digest → latest ``done`` entry (with its record payload)."""
+        done: Dict[str, Dict[str, Any]] = {}
+        for entry in self.entries():
+            if entry.get("status") == "done" and "digest" in entry:
+                done[entry["digest"]] = entry
+        return done
+
+    def records(self) -> List:
+        """All successfully-recorded :class:`ExperimentRecord` values, in
+        first-completion order.
+
+        Deduplicated by digest: a config that was completed in one sweep and
+        served from the result cache in a later one appears in the ledger
+        twice but counts as one measurement.
+        """
+        from ..io import records_from_dicts
+
+        dicts: Dict[str, Dict[str, Any]] = {}
+        for entry in self.entries():
+            if entry.get("status") == "done" and "record" in entry:
+                dicts.setdefault(entry.get("digest", ""), entry["record"])
+        return records_from_dicts(dicts.values())
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.entries())

@@ -26,6 +26,22 @@ class TestParser:
         assert args.size == 3
         assert not args.known_boundary
 
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.jobs == 1
+        assert args.seeds == [0]
+        assert not args.resume
+
+    def test_sweep_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--algorithms", "magic"])
+
+    def test_sweep_capable_commands_share_jobs_default(self):
+        sweep = build_parser().parse_args(["sweep"])
+        table1 = build_parser().parse_args(["table1"])
+        scaling = build_parser().parse_args(["scaling", "dle"])
+        assert sweep.jobs == table1.jobs == scaling.jobs == 1
+
 
 class TestCommands:
     def test_families(self, capsys):
@@ -80,3 +96,68 @@ class TestCommands:
                      "--sizes", "2", "3", "--parameter", "L_out"])
         assert code == 0
         assert "rounds vs L_out" in capsys.readouterr().out
+
+    def test_sweep_command_with_json_dump(self, capsys, tmp_path):
+        path = tmp_path / "sweep.json"
+        code = main(["sweep", "--algorithms", "dle", "erosion",
+                     "--families", "hexagon", "--sizes", "2",
+                     "--seeds", "0", "1", "--quiet", "--json", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sweep results" in out
+        assert "4 runs" in out and "4 executed" in out
+        data = json.loads(path.read_text())
+        assert len(data) == 4
+        assert {"algorithm", "rounds", "metrics"} <= set(data[0])
+
+    def test_sweep_warm_cache_and_resume(self, capsys, tmp_path):
+        argv = ["sweep", "--algorithms", "dle", "--families", "hexagon",
+                "--sizes", "2", "3", "--quiet",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--ledger", str(tmp_path / "ledger.jsonl")]
+        assert main(argv) == 0
+        assert "2 executed" in capsys.readouterr().out
+        # Warm cache: nothing executes the second time.
+        assert main(argv) == 0
+        assert "2 cached" in capsys.readouterr().out
+        # Resume from the ledger: nothing executes either.
+        assert main(argv + ["--resume"]) == 0
+        assert "2 resumed" in capsys.readouterr().out
+
+    def test_sweep_resume_requires_ledger(self, capsys):
+        assert main(["sweep", "--resume", "--quiet"]) == 2
+        assert "--resume requires --ledger" in capsys.readouterr().err
+
+    def test_sweep_progress_streams_to_stderr(self, capsys):
+        assert main(["sweep", "--algorithms", "dle", "--families", "hexagon",
+                     "--sizes", "2"]) == 0
+        err = capsys.readouterr().err
+        assert "[1/1] dle/hexagon size=2 seed=0: ok" in err
+
+    @pytest.mark.parametrize("parameter", ["BOGUS", "family", "ok"])
+    def test_sweep_rejects_non_numeric_parameter(self, capsys, parameter):
+        code = main(["sweep", "--algorithms", "dle", "--families", "hexagon",
+                     "--sizes", "2", "--parameter", parameter, "--quiet"])
+        assert code == 2
+        assert f"parameter {parameter!r}" in capsys.readouterr().err
+
+    def test_sweep_exits_nonzero_when_runs_fail(self, capsys, monkeypatch):
+        from repro.analysis import experiments
+
+        def broken(shape, seed, order="random"):
+            raise RuntimeError("driver exploded")
+
+        monkeypatch.setitem(experiments.ALGORITHMS, "dle", broken)
+        code = main(["sweep", "--algorithms", "dle", "erosion",
+                     "--families", "hexagon", "--sizes", "2", "--quiet"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "1 FAILED" in captured.out
+        assert "driver exploded" in captured.err
+
+    def test_sweep_with_parameter_fit(self, capsys):
+        code = main(["sweep", "--algorithms", "dle", "--families", "hexagon",
+                     "--sizes", "2", "3", "4", "--parameter", "D_A",
+                     "--quiet"])
+        assert code == 0
+        assert "dle rounds vs D_A (hexagon)" in capsys.readouterr().out

@@ -1,0 +1,321 @@
+"""Tests for the ``repro.orchestrator`` sweep subsystem."""
+
+import pytest
+
+from repro.analysis import experiments
+from repro.io import records_to_dicts
+from repro.orchestrator import (
+    ResultCache,
+    RunConfig,
+    RunLedger,
+    SweepSpec,
+    config_digest,
+    execute_config,
+    run_sweep,
+    scaling_spec,
+    table1_spec,
+)
+
+CONFIG = RunConfig(algorithm="dle", family="hexagon", size=2, seed=0)
+
+
+# ---------------------------------------------------------------------------
+# Spec expansion
+# ---------------------------------------------------------------------------
+
+class TestSweepSpec:
+    def test_expand_size_and_order(self):
+        spec = SweepSpec(algorithms=["dle", "erosion"], families=["hexagon"],
+                         sizes=[2, 3], seeds=[0, 1])
+        configs = spec.expand()
+        assert len(configs) == len(spec) == 8
+        # Canonical nesting: family -> size -> seed -> algorithm.
+        assert configs[0] == RunConfig("dle", "hexagon", 2, 0)
+        assert configs[1] == RunConfig("erosion", "hexagon", 2, 0)
+        assert configs[2] == RunConfig("dle", "hexagon", 2, 1)
+        assert configs[-1] == RunConfig("erosion", "hexagon", 3, 1)
+
+    def test_configs_are_hashable_and_round_trip(self):
+        assert len({CONFIG, RunConfig("dle", "hexagon", 2, 0)}) == 1
+        assert RunConfig.from_dict(CONFIG.to_dict()) == CONFIG
+
+    @pytest.mark.parametrize("kwargs", [
+        {"algorithms": ["frobnicate"]},
+        {"families": ["klein-bottle"]},
+        {"scheduler": "psychic"},
+    ])
+    def test_expand_validates(self, kwargs):
+        base = {"algorithms": ["dle"], "families": ["hexagon"], "sizes": [2]}
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            SweepSpec(**base).expand()
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            SweepSpec(algorithms=[], families=["hexagon"], sizes=[2])
+
+    def test_spec_round_trip(self):
+        spec = table1_spec(sizes=[2, 3])
+        assert SweepSpec.from_dict(spec.to_dict()).expand() == spec.expand()
+
+    def test_scaling_spec_matches_serial_ladder(self):
+        spec = scaling_spec("dle", "hexagon", [2, 3], seed=7)
+        assert [c.size for c in spec.expand()] == [2, 3]
+        assert all(c.seed == 7 for c in spec.expand())
+
+
+# ---------------------------------------------------------------------------
+# Content-addressed cache
+# ---------------------------------------------------------------------------
+
+class TestResultCache:
+    def test_digest_stable_and_sensitive(self):
+        digest = config_digest(CONFIG, "v1")
+        assert digest == config_digest(RunConfig("dle", "hexagon", 2, 0), "v1")
+        mutations = [
+            RunConfig("erosion", "hexagon", 2, 0),
+            RunConfig("dle", "holey", 2, 0),
+            RunConfig("dle", "hexagon", 3, 0),
+            RunConfig("dle", "hexagon", 2, 1),
+            RunConfig("dle", "hexagon", 2, 0, scheduler="reversed"),
+        ]
+        assert len({config_digest(m, "v1") for m in mutations} | {digest}) == 6
+        assert config_digest(CONFIG, "v2") != digest
+
+    def test_put_get_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        assert cache.get(CONFIG) is None
+        record = execute_config(CONFIG)
+        cache.put(CONFIG, record)
+        assert CONFIG in cache
+        reloaded = cache.get(CONFIG)
+        assert records_to_dicts([reloaded]) == records_to_dicts([record])
+        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_mutated_config_misses(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(CONFIG, execute_config(CONFIG))
+        assert RunConfig("dle", "hexagon", 2, 1) not in cache
+        assert cache.get(RunConfig("dle", "hexagon", 2, 1)) is None
+
+    def test_code_version_invalidates(self, tmp_path):
+        old = ResultCache(tmp_path / "cache", code_version="v1")
+        old.put(CONFIG, execute_config(CONFIG))
+        assert CONFIG not in ResultCache(tmp_path / "cache", code_version="v2")
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(CONFIG, execute_config(CONFIG))
+        cache.path_for(CONFIG).write_text("{not json")
+        assert cache.get(CONFIG) is None
+
+
+# ---------------------------------------------------------------------------
+# Run ledger
+# ---------------------------------------------------------------------------
+
+class TestRunLedger:
+    def test_jsonl_record_round_trip(self, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger.jsonl")
+        record = execute_config(CONFIG)
+        ledger.append("d1", CONFIG, "done",
+                      record_dict=records_to_dicts([record])[0], elapsed=0.5)
+        ledger.append("d2", CONFIG, "failed", error="boom")
+        assert ledger.completed_digests() == {"d1"}
+        assert records_to_dicts(ledger.records()) == records_to_dicts([record])
+        assert len(ledger) == 2
+
+    def test_tolerates_truncated_final_line(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = RunLedger(path)
+        ledger.append("d1", CONFIG, "done",
+                      record_dict=records_to_dicts([execute_config(CONFIG)])[0])
+        with path.open("a") as handle:
+            handle.write('{"kind": "sweep-run", "digest": "d2", "stat')
+        assert ledger.completed_digests() == {"d1"}
+
+    def test_rejects_unknown_status(self, tmp_path):
+        with pytest.raises(ValueError):
+            RunLedger(tmp_path / "l.jsonl").append("d", CONFIG, "maybe")
+
+    def test_records_deduplicated_by_digest(self, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger.jsonl")
+        record_dict = records_to_dicts([execute_config(CONFIG)])[0]
+        # A config completed in one sweep and cache-served in a later one
+        # appears twice in the ledger but is one measurement.
+        ledger.append("d1", CONFIG, "done", record_dict=record_dict)
+        ledger.append("d1", CONFIG, "done", record_dict=record_dict)
+        assert len(ledger) == 2
+        assert len(ledger.records()) == 1
+
+
+# ---------------------------------------------------------------------------
+# The sweep engine
+# ---------------------------------------------------------------------------
+
+def _counting_driver(counter):
+    def driver(shape, seed, order="random"):
+        counter["runs"] += 1
+        return {"rounds": 1, "succeeded": True}
+    return driver
+
+
+@pytest.fixture
+def counted_algorithm(monkeypatch):
+    """A fake registered algorithm that counts its executions."""
+    counter = {"runs": 0}
+    monkeypatch.setitem(experiments.ALGORITHMS, "counted",
+                        _counting_driver(counter))
+    return counter
+
+
+SPEC = SweepSpec(algorithms=["counted"], families=["hexagon"],
+                 sizes=[2], seeds=[0, 1, 2, 3])
+
+
+class TestRunSweep:
+    def test_serial_matches_direct_execution(self):
+        spec = SweepSpec(algorithms=["dle", "erosion"], families=["hexagon"],
+                         sizes=[2], seeds=[0, 1])
+        swept = run_sweep(spec, jobs=1).records
+        direct = [execute_config(c) for c in spec.expand()]
+        assert records_to_dicts(swept) == records_to_dicts(direct)
+
+    def test_parallel_matches_serial(self):
+        spec = SweepSpec(algorithms=["dle", "erosion"], families=["hexagon"],
+                         sizes=[2, 3], seeds=[0])
+        serial = run_sweep(spec, jobs=1).records
+        parallel = run_sweep(spec, jobs=4).records
+        assert records_to_dicts(parallel) == records_to_dicts(serial)
+
+    def test_warm_cache_executes_nothing(self, tmp_path, counted_algorithm):
+        cache = ResultCache(tmp_path / "cache")
+        cold = run_sweep(SPEC, jobs=1, cache=cache)
+        assert counted_algorithm["runs"] == 4
+        assert cold.counts()["executed"] == 4
+        warm = run_sweep(SPEC, jobs=1, cache=cache)
+        assert counted_algorithm["runs"] == 4  # nothing re-ran
+        assert warm.counts()["cached"] == 4
+        assert records_to_dicts(warm.records) == records_to_dicts(cold.records)
+
+    def test_resume_skips_completed_configs(self, tmp_path, counted_algorithm):
+        ledger_path = tmp_path / "ledger.jsonl"
+        run_sweep(SPEC, jobs=1, ledger=str(ledger_path))
+        assert counted_algorithm["runs"] == 4
+
+        # Simulate an interrupt: keep only the first two completed lines.
+        lines = ledger_path.read_text().splitlines()[:2]
+        ledger_path.write_text("\n".join(lines) + "\n")
+
+        resumed = run_sweep(SPEC, jobs=1, ledger=str(ledger_path), resume=True)
+        assert counted_algorithm["runs"] == 6  # only the 2 missing ran
+        counts = resumed.counts()
+        assert counts["resumed"] == 2 and counts["executed"] == 2
+        assert len(resumed.records) == 4
+        # The ledger is now complete: a further resume executes nothing.
+        again = run_sweep(SPEC, jobs=1, ledger=str(ledger_path), resume=True)
+        assert counted_algorithm["runs"] == 6
+        assert again.counts()["resumed"] == 4
+
+    def test_resume_requires_ledger(self):
+        with pytest.raises(ValueError):
+            run_sweep(SPEC, resume=True)
+
+    def test_accepts_pathlib_cache_and_ledger(self, tmp_path,
+                                              counted_algorithm):
+        result = run_sweep(SPEC, jobs=1, cache=tmp_path / "cache",
+                           ledger=tmp_path / "ledger.jsonl")
+        assert result.counts()["executed"] == 4
+        assert (tmp_path / "ledger.jsonl").is_file()
+        assert run_sweep(SPEC, jobs=1,
+                         cache=tmp_path / "cache").counts()["cached"] == 4
+
+    def test_failures_are_captured_not_fatal(self, tmp_path, monkeypatch):
+        def flaky(shape, seed, order="random"):
+            if seed == 1:
+                raise RuntimeError("synthetic failure")
+            return {"rounds": 1, "succeeded": True}
+
+        monkeypatch.setitem(experiments.ALGORITHMS, "flaky", flaky)
+        spec = SweepSpec(algorithms=["flaky"], families=["hexagon"],
+                         sizes=[2], seeds=[0, 1, 2])
+        ledger_path = tmp_path / "ledger.jsonl"
+        result = run_sweep(spec, jobs=1, ledger=str(ledger_path))
+        assert result.counts()["failed"] == 1
+        assert len(result.records) == 2
+        assert "synthetic failure" in result.failures[0].error
+        with pytest.raises(RuntimeError):
+            result.raise_failures()
+        # Failed runs are not marked done, so a resume retries them.
+        ledger = RunLedger(ledger_path)
+        assert len(ledger.completed_digests()) == 2
+
+    def test_failures_never_cached(self, tmp_path, monkeypatch):
+        calls = {"n": 0}
+
+        def always_fails(shape, seed, order="random"):
+            calls["n"] += 1
+            raise RuntimeError("nope")
+
+        monkeypatch.setitem(experiments.ALGORITHMS, "bad", always_fails)
+        spec = SweepSpec(algorithms=["bad"], families=["hexagon"], sizes=[2])
+        cache = ResultCache(tmp_path / "cache")
+        run_sweep(spec, jobs=1, cache=cache)
+        run_sweep(spec, jobs=1, cache=cache)
+        assert calls["n"] == 2  # second sweep re-ran the failure
+        assert len(cache) == 0
+
+    def test_progress_callback_streams_every_config(self):
+        seen = []
+        run_sweep(SweepSpec(algorithms=["dle"], families=["hexagon"],
+                            sizes=[2], seeds=[0, 1]),
+                  progress=lambda done, total, result:
+                      seen.append((done, total, result.ok)))
+        assert seen == [(1, 2, True), (2, 2, True)]
+
+    def test_scheduler_order_changes_the_run(self):
+        base = RunConfig("dle", "hexagon", 3, 0)
+        reversed_ = RunConfig("dle", "hexagon", 3, 0, scheduler="reversed")
+        a = execute_config(base)
+        b = execute_config(reversed_)
+        assert a.succeeded and b.succeeded
+        # Same experiment, different adversary: the records must not be
+        # conflated by the cache.
+        assert (config_digest(base, "v") != config_digest(reversed_, "v"))
+
+
+# ---------------------------------------------------------------------------
+# Thin front-ends stay equivalent to the historical serial loops
+# ---------------------------------------------------------------------------
+
+class TestFrontEnds:
+    def test_run_scaling_experiment_unchanged_shape(self):
+        records = experiments.run_scaling_experiment("dle", "hexagon", [2, 3])
+        assert [r.size for r in records] == [2, 3]
+        assert all(r.algorithm == "dle" and r.family == "hexagon"
+                   for r in records)
+
+    def test_run_table1_experiment_layout(self):
+        records = experiments.run_table1_experiment(
+            sizes=[2], families=["hexagon"])
+        assert len(records) == len(experiments.TABLE1_ALGORITHMS)
+        assert [r.algorithm for r in records] == list(
+            experiments.TABLE1_ALGORITHMS)
+
+    def test_front_end_raises_on_failure(self, monkeypatch):
+        def always_fails(shape, seed, order="random"):
+            raise RuntimeError("driver exploded")
+
+        monkeypatch.setitem(experiments.ALGORITHMS, "dle", always_fails)
+        with pytest.raises(RuntimeError, match="driver exploded"):
+            experiments.run_scaling_experiment("dle", "hexagon", [2])
+
+    def test_front_end_preserves_exception_type(self, monkeypatch):
+        def raises_value_error(shape, seed, order="random"):
+            raise ValueError("bad input")
+
+        monkeypatch.setitem(experiments.ALGORITHMS, "dle", raises_value_error)
+        # jobs=1 runs in-process, so the original exception object survives,
+        # matching the historical serial-loop behaviour.
+        with pytest.raises(ValueError, match="bad input"):
+            experiments.run_scaling_experiment("dle", "hexagon", [2])
