@@ -23,11 +23,14 @@ Quick start::
 
 from .amoebot import (
     AmoebotAlgorithm,
+    EventDrivenScheduler,
     IllegalMoveError,
     Particle,
     ParticleSystem,
     Scheduler,
     SchedulerResult,
+    SequentialScheduler,
+    make_scheduler,
     run_algorithm,
 )
 from .analysis import (
@@ -83,7 +86,7 @@ from .grid import (
 )
 from .viz import render_shape, render_system
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AmoebotAlgorithm",
@@ -92,6 +95,7 @@ __all__ = [
     "ElectionOutcome",
     "IllegalMoveError",
     "OuterBoundaryDetection",
+    "EventDrivenScheduler",
     "Particle",
     "ParticleSystem",
     "ResultCache",
@@ -99,6 +103,7 @@ __all__ = [
     "RunLedger",
     "Scheduler",
     "SchedulerResult",
+    "SequentialScheduler",
     "Shape",
     "SweepResult",
     "SweepSpec",
@@ -117,6 +122,7 @@ __all__ = [
     "load_records",
     "load_shape",
     "load_system",
+    "make_scheduler",
     "make_shape",
     "parallelogram",
     "random_blob",

@@ -16,7 +16,15 @@ from .algorithm import (
     StatusMixin,
 )
 from .particle import Particle
-from .scheduler import Scheduler, SchedulerResult, run_algorithm
+from .scheduler import (
+    ENGINES,
+    EventDrivenScheduler,
+    Scheduler,
+    SchedulerResult,
+    SequentialScheduler,
+    make_scheduler,
+    run_algorithm,
+)
 from .system import IllegalMoveError, ParticleSystem
 from .trace import Trace, observe_round
 
@@ -27,6 +35,8 @@ __all__ = [
     "inside_out_order",
     "outside_in_order",
     "sticky_order",
+    "ENGINES",
+    "EventDrivenScheduler",
     "IllegalMoveError",
     "Particle",
     "ParticleSystem",
@@ -36,8 +46,10 @@ __all__ = [
     "STATUS_UNDECIDED",
     "Scheduler",
     "SchedulerResult",
+    "SequentialScheduler",
     "StatusMixin",
     "Trace",
+    "make_scheduler",
     "observe_round",
     "run_algorithm",
 ]

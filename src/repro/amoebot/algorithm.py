@@ -26,13 +26,34 @@ from .particle import Particle
 from .system import ParticleSystem
 
 __all__ = ["AmoebotAlgorithm", "StatusMixin", "STATUS_KEY",
-           "STATUS_UNDECIDED", "STATUS_LEADER", "STATUS_FOLLOWER"]
+           "STATUS_UNDECIDED", "STATUS_LEADER", "STATUS_FOLLOWER",
+           "is_sce_flag_arc"]
 
 #: Memory key conventionally used for the leader-election output variable.
 STATUS_KEY = "status"
 STATUS_UNDECIDED = "undecided"
 STATUS_LEADER = "leader"
 STATUS_FOLLOWER = "follower"
+
+
+def is_sce_flag_arc(flags) -> bool:
+    """Strictly-convex-and-erodable (SCE) test on a cyclic 6-flag array.
+
+    The flagged entries must form a single contiguous cyclic arc of size
+    1-3.  The test is rotation invariant, so it gives the same answer on
+    port-indexed and direction-indexed eligibility arrays — Algorithm DLE
+    and the erosion baseline both use it (their quiescence fast paths apply
+    it directly to the port-indexed flags, skipping the port translation
+    the activation itself needs).
+    """
+    k = sum(flags)
+    if k == 0 or k > 3:
+        return False
+    starts = 0
+    for i in range(6):
+        if flags[i] and not flags[i - 1]:
+            starts += 1
+    return starts == 1
 
 
 class AmoebotAlgorithm(ABC):
@@ -46,8 +67,18 @@ class AmoebotAlgorithm(ABC):
         """Initialise particle memories from the initial configuration."""
 
     @abstractmethod
-    def activate(self, particle: Particle, system: ParticleSystem) -> None:
-        """Perform one atomic activation of ``particle``."""
+    def activate(self, particle: Particle, system: ParticleSystem) -> object:
+        """Perform one atomic activation of ``particle``.
+
+        The return value is an optional *visibility hint* for the
+        event-driven engine: returning exactly ``False`` declares that the
+        activation changed nothing a neighbour can observe — no movement
+        performed beyond what the system's dirty-neighborhood events already
+        report, and no write to any memory a neighbour reads.  The engine
+        then skips the conservative "wake all neighbours" step.  Any other
+        return value (including the implicit ``None``) keeps the
+        conservative wake, so existing algorithms are unaffected.
+        """
 
     @abstractmethod
     def is_terminated(self, particle: Particle, system: ParticleSystem) -> bool:
@@ -61,6 +92,31 @@ class AmoebotAlgorithm(ABC):
     def has_terminated(self, system: ParticleSystem) -> bool:
         """Whether every particle has reached a final state."""
         return all(self.is_terminated(p, system) for p in system.particles())
+
+    def is_quiescent(self, particle: Particle, system: ParticleSystem) -> bool:
+        """Whether activating ``particle`` right now would provably change
+        nothing — the opt-in contract behind the event-driven engine.
+
+        The :class:`~repro.amoebot.scheduler.EventDrivenScheduler` *parks* a
+        particle that reports quiescence instead of activating it, and only
+        re-wakes it when its visible neighbourhood changes: when an adjacent
+        particle is activated and acts, or when a movement operation
+        publishes a dirty-neighborhood event touching it.  An algorithm that
+        overrides this method therefore promises, for every particle it
+        declares quiescent, that
+
+        1. activating the particle now would perform no movement and no
+           observable memory write, and
+        2. that remains true until a neighbouring particle acts or the
+           occupancy of an adjacent point changes (locality: a parked
+           particle's next activation may depend only on its own state and
+           its visible neighbourhood).
+
+        The conservative default returns ``False`` for every particle, which
+        makes the event-driven engine behave exactly like the legacy sweep —
+        unmodified algorithms stay correct and merely forgo the speedup.
+        """
+        return False
 
 
 class StatusMixin:

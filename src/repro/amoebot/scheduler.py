@@ -22,18 +22,53 @@ All policies activate each particle exactly once per round, which makes the
 reported round count a faithful upper-bound witness of the definition above
 (any schedule activating particles more often can only be grouped into at
 least as many rounds).
+
+Execution engines
+-----------------
+
+Two engines share the round accounting above and produce *identical traces
+and round counts* — they differ only in how much Python work a round costs:
+
+* :class:`SequentialScheduler` (``engine="sweep"``) — the legacy engine:
+  every non-terminated particle is activated every round, O(n) activations
+  per round no matter how many particles still have work to do.
+* :class:`EventDrivenScheduler` (``engine="event"``) — particles whose
+  algorithm declares them *quiescent* (see
+  :meth:`~repro.amoebot.algorithm.AmoebotAlgorithm.is_quiescent`) are
+  parked and skipped; a parked particle is re-woken when an adjacent
+  particle acts or when a :class:`~repro.amoebot.system.ParticleSystem`
+  movement operation publishes a dirty-neighborhood event touching it.
+  Because a parked particle's activation would have been a no-op by
+  contract, skipping it leaves the execution — and therefore the round
+  count — unchanged, while the per-round cost drops from O(n) activations
+  to O(active front).
+
+Both engines draw the activation order for the *full* particle id list from
+the same policy and the same seeded RNG stream, so a given
+``(order, seed)`` pair yields the same per-round permutations regardless of
+the engine — the event engine merely skips the parked suffix of the work.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from heapq import heapify, heappop, heappush
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from .algorithm import AmoebotAlgorithm
 from .system import ParticleSystem
 
-__all__ = ["SchedulerResult", "Scheduler", "run_algorithm"]
+__all__ = [
+    "ENGINES",
+    "SCHEDULER_ORDERS",
+    "SchedulerResult",
+    "Scheduler",
+    "SequentialScheduler",
+    "EventDrivenScheduler",
+    "make_scheduler",
+    "run_algorithm",
+]
 
 OrderPolicy = Callable[[int, List[int], random.Random], List[int]]
 
@@ -48,11 +83,33 @@ def _reversed_order(round_index: int, ids: List[int],
     return list(reversed(ids))
 
 
+def _draw_random_keys(ids: List[int], rng: random.Random):
+    """Draw one uniform key per particle and return a pid -> key function.
+
+    This is the single source of the ``random`` policy's RNG stream: both
+    the sweep's full-permutation sort and the event engine's awake-only
+    heap call it, which is what guarantees the two engines consume the RNG
+    identically and therefore order particles identically.
+    """
+    rand = rng.random
+    keys = [rand() for _ in ids]
+    if ids and ids[0] == 0 and ids[-1] == len(ids) - 1:
+        # ids is sorted and unique, so first==0 and last==n-1 means it is
+        # exactly range(n): each id indexes its own key.
+        return keys.__getitem__
+    positions = {pid: index for index, pid in enumerate(ids)}
+    return lambda pid: keys[positions[pid]]
+
+
 def _random_order(round_index: int, ids: List[int],
                   rng: random.Random) -> List[int]:
-    order = list(ids)
-    rng.shuffle(order)
-    return order
+    # Sorting by independent uniform keys yields a uniformly random
+    # permutation (key collisions have probability zero, and the stable
+    # sort breaks any tie by ascending id, deterministically).  This is
+    # several times faster per round than ``rng.shuffle`` because both the
+    # key draw and the sort run in C, and the per-round order generation is
+    # the one O(n) cost the event-driven engine cannot park away.
+    return sorted(ids, key=_draw_random_keys(ids, rng))
 
 
 _POLICIES: Dict[str, OrderPolicy] = {
@@ -60,6 +117,9 @@ _POLICIES: Dict[str, OrderPolicy] = {
     "reversed": _reversed_order,
     "random": _random_order,
 }
+
+#: The built-in activation-order policy names (the ``order=`` choices).
+SCHEDULER_ORDERS: tuple = tuple(sorted(_POLICIES))
 
 
 @dataclass
@@ -72,6 +132,12 @@ class SchedulerResult:
     moves: int
     #: Optional per-round statistics recorded by the algorithm's trace hook.
     history: List[dict] = field(default_factory=list)
+    #: Activations the event-driven engine skipped because the particle was
+    #: parked as quiescent or already terminated (always 0 for the sweep
+    #: engine).
+    skipped: int = 0
+    #: Which engine produced this result (``"sweep"`` or ``"event"``).
+    engine: str = "sweep"
 
     def __repr__(self) -> str:
         status = "terminated" if self.terminated else "TIMED OUT"
@@ -81,14 +147,22 @@ class SchedulerResult:
         )
 
 
-class Scheduler:
-    """Runs an :class:`AmoebotAlgorithm` on a :class:`ParticleSystem`."""
+class SequentialScheduler:
+    """Runs an :class:`AmoebotAlgorithm` on a :class:`ParticleSystem` by
+    activating every non-terminated particle once per round (the legacy
+    full-sweep engine)."""
+
+    engine = "sweep"
 
     def __init__(self, order: str | OrderPolicy = "random",
                  seed: int = 0) -> None:
         if callable(order):
             self._policy: OrderPolicy = order
             self.order_name = getattr(order, "__name__", "custom")
+            # Only user-supplied policies need the every-particle-once check;
+            # the built-in policies are permutations by construction and the
+            # per-round O(n log n) validation would dominate small rounds.
+            self._validate_order = True
         else:
             try:
                 self._policy = _POLICIES[order]
@@ -98,6 +172,7 @@ class Scheduler:
                     f"known: {sorted(_POLICIES)}"
                 ) from None
             self.order_name = order
+            self._validate_order = False
         self.seed = seed
 
     def run(self, algorithm: AmoebotAlgorithm, system: ParticleSystem,
@@ -113,30 +188,26 @@ class Scheduler:
         """
         rng = random.Random(self.seed)
         algorithm.setup(system)
+        state = self._start(algorithm, system)
         moves_before = system.move_count
         activations = 0
+        skipped = 0
         rounds = 0
         history: List[dict] = []
-        while rounds < max_rounds:
-            if algorithm.has_terminated(system):
-                break
-            ids = system.particle_ids()
-            order = self._policy(rounds, ids, rng)
-            if sorted(order) != sorted(ids):
-                raise ValueError(
-                    "scheduler order policy must activate every particle "
-                    "exactly once per round"
-                )
-            for particle_id in order:
-                particle = system.get_particle(particle_id)
-                if algorithm.is_terminated(particle, system):
-                    continue
-                algorithm.activate(particle, system)
-                activations += 1
-            rounds += 1
-            algorithm.on_round_end(rounds, system)
-            if round_hook is not None:
-                round_hook(rounds, system)
+        try:
+            while rounds < max_rounds:
+                if algorithm.has_terminated(system):
+                    break
+                done, skip = self._run_round(algorithm, system, rounds, rng,
+                                             state)
+                activations += done
+                skipped += skip
+                rounds += 1
+                algorithm.on_round_end(rounds, system)
+                if round_hook is not None:
+                    round_hook(rounds, system)
+        finally:
+            self._finish(system, state)
         terminated = algorithm.has_terminated(system)
         return SchedulerResult(
             rounds=rounds,
@@ -144,12 +215,290 @@ class Scheduler:
             terminated=terminated,
             moves=system.move_count - moves_before,
             history=history,
+            skipped=skipped,
+            engine=self.engine,
         )
+
+    # -- engine-specific hooks ------------------------------------------------
+
+    def _start(self, algorithm: AmoebotAlgorithm,
+               system: ParticleSystem) -> Optional[object]:
+        """Per-run engine state, created after ``algorithm.setup``."""
+        return None
+
+    def _finish(self, system: ParticleSystem, state: Optional[object]) -> None:
+        """Tear down per-run engine state (always called, even on error)."""
+
+    def _round_order(self, system: ParticleSystem, round_index: int,
+                     rng: random.Random) -> List[int]:
+        """The full activation order for one round, policy-validated."""
+        ids = system.particle_ids()
+        order = self._policy(round_index, ids, rng)
+        if self._validate_order and sorted(order) != sorted(ids):
+            raise ValueError(
+                "scheduler order policy must activate every particle "
+                "exactly once per round"
+            )
+        return order
+
+    def _run_round(self, algorithm: AmoebotAlgorithm, system: ParticleSystem,
+                   round_index: int, rng: random.Random,
+                   state: Optional[object]):
+        """Activate one round; returns (activations, skipped)."""
+        activations = 0
+        for particle_id in self._round_order(system, round_index, rng):
+            particle = system.get_particle(particle_id)
+            if algorithm.is_terminated(particle, system):
+                continue
+            algorithm.activate(particle, system)
+            activations += 1
+        return activations, 0
+
+
+#: Backwards-compatible name: the scheduler everybody imported before the
+#: event-driven engine existed is the sequential sweep.
+Scheduler = SequentialScheduler
+
+
+class _EventState:
+    """Per-run bookkeeping of the event-driven engine."""
+
+    __slots__ = ("active", "parked", "done", "listener", "heap", "keyfn",
+                 "round_limit")
+
+    def __init__(self) -> None:
+        #: Particles that are awake: neither parked nor observed terminated.
+        self.active: Set[int] = set()
+        #: Particles currently parked as quiescent (skipped until woken).
+        self.parked: Set[int] = set()
+        #: Particles observed terminated (final states are absorbing, so
+        #: they are skipped without re-asking the algorithm every round).
+        self.done: Set[int] = set()
+        self.listener = None
+        #: The (key, pid) schedule of the round currently executing, and the
+        #: key function that positions a particle in the round's order;
+        #: ``keyfn`` is None outside keyed rounds, which tells the wake path
+        #: that no heap insertion is needed.
+        self.heap: Optional[List] = None
+        self.keyfn = None
+        #: Exclusive upper bound on the particle ids the executing round's
+        #: order covers (ids are allocated monotonically); particles created
+        #: mid-round compare >= and are deferred to the next round.
+        self.round_limit = 0
+
+
+class EventDrivenScheduler(SequentialScheduler):
+    """Event-driven activation engine.
+
+    Per round the engine examines only the particles that are awake, in
+    exactly the sub-order the sweep's full permutation would have activated
+    them in: for the built-in policies the awake particles are scheduled on
+    a heap keyed by the same per-round random keys (or by id) the sweep's
+    order uses, so the full permutation is never materialised; a
+    user-supplied policy falls back to generating the full order and
+    filtering it.  A particle whose algorithm reports
+    :meth:`~repro.amoebot.algorithm.AmoebotAlgorithm.is_quiescent` is parked
+    without being activated (its activation would be a no-op by contract).
+    Parked particles are re-woken by exactly the changes that can affect
+    their next activation:
+
+    * an adjacent particle was activated and acted (covers memory writes —
+      the amoebot model only lets a particle write its own and its
+      neighbours' memories), or
+    * a movement operation published a dirty-neighborhood event touching
+      them (covers occupancy changes, including a particle expanding *into*
+      their neighbourhood from two hops away).
+
+    With the conservative default ``is_quiescent`` (always ``False``) no
+    particle is ever parked and the engine is activation-for-activation
+    identical to the sweep; with precise quiescence declarations the trace
+    and round counts are still identical while quiescent regions cost
+    nothing.
+    """
+
+    engine = "event"
+
+    def _start(self, algorithm: AmoebotAlgorithm,
+               system: ParticleSystem) -> _EventState:
+        state = _EventState()
+        state.active = set(system.particle_ids())
+        active = state.active
+        parked = state.parked
+        done = state.done
+
+        def wake(dirty_points, affected_ids):
+            # Everything affected that is not terminated must be awake:
+            # parked particles are woken, brand-new particles (added while
+            # the run executes) become active.
+            woken = affected_ids - active - done
+            if woken:
+                parked.difference_update(woken)
+                active.update(woken)
+                keyfn = state.keyfn
+                if keyfn is not None:
+                    heap = state.heap
+                    limit = state.round_limit
+                    for w in woken:
+                        # A particle created after the round's order was
+                        # drawn has no slot in it — the sweep would not
+                        # reach it either; it joins the next round's
+                        # schedule via ``active``.
+                        if w < limit:
+                            heappush(heap, (keyfn(w), w))
+
+        state.listener = system.add_change_listener(wake)
+        return state
+
+    def _finish(self, system: ParticleSystem, state: _EventState) -> None:
+        if state.listener is not None:
+            system.remove_change_listener(state.listener)
+
+    def _round_keyfn(self, system: ParticleSystem, round_index: int,
+                     rng: random.Random):
+        """The key function positioning each particle in this round's order
+        for the built-in policies, or None for user-supplied policies.
+
+        For the ``random`` policy the keys are drawn exactly as
+        :func:`_random_order` draws them (same RNG stream, same
+        key-then-ascending-id tie order), so the event engine schedules the
+        awake particles in precisely the sub-order the sweep would have
+        activated them in — without materialising, sorting, or walking the
+        full permutation.
+        """
+        name = self.order_name
+        if name == "random":
+            return _draw_random_keys(system.particle_ids(), rng)
+        if name == "round_robin":
+            return lambda pid: pid
+        if name == "reversed":
+            return lambda pid: -pid
+        return None
+
+    def _run_round(self, algorithm: AmoebotAlgorithm, system: ParticleSystem,
+                   round_index: int, rng: random.Random, state: _EventState):
+        active = state.active
+        parked = state.parked
+        done = state.done
+        particles = system._particles
+        is_terminated = algorithm.is_terminated
+        is_quiescent = algorithm.is_quiescent
+        activate = algorithm.activate
+        neighbor_ids = system.neighbor_ids
+        activations = 0
+        examined = 0
+
+        keyfn = self._round_keyfn(system, round_index, rng)
+        if keyfn is None:
+            # User-supplied policy: materialise the full order and walk it.
+            # ``filter`` re-tests membership lazily as the iteration
+            # advances, so particles parked or woken mid-round are handled
+            # exactly like the sweep's walk would — but the test runs in C.
+            population = len(particles)
+            schedule = filter(
+                active.__contains__,
+                self._round_order(system, round_index, rng))
+            for particle_id in schedule:
+                examined += 1
+                particle = particles[particle_id]
+                if is_terminated(particle, system):
+                    done.add(particle_id)
+                    active.discard(particle_id)
+                    continue
+                if is_quiescent(particle, system):
+                    parked.add(particle_id)
+                    active.discard(particle_id)
+                    continue
+                nbr_ids = neighbor_ids(particle)
+                acted = activate(particle, system)
+                activations += 1
+                if acted is not False:
+                    for q in nbr_ids:
+                        if q in parked:
+                            parked.discard(q)
+                            active.add(q)
+            return activations, population - examined
+
+        # Built-in policy: schedule only the awake particles, in the exact
+        # sub-order the full permutation would give them.  Mid-round wakes
+        # are pushed into the heap; a pushed entry whose position is already
+        # behind the cursor pops out of order and is dropped — matching the
+        # sweep, where a particle woken after its slot passed is not
+        # reached again until the next round.  Dropped-duplicate entries
+        # (same particle woken twice) compare equal to the cursor and are
+        # dropped the same way.
+        population = len(particles)
+        heap = [(keyfn(pid), pid) for pid in active]
+        heapify(heap)
+        state.heap = heap
+        state.round_limit = system._next_id
+        state.keyfn = keyfn
+        last = (float("-inf"), -1)
+        try:
+            while heap:
+                entry = heappop(heap)
+                if entry <= last:
+                    continue
+                last = entry
+                particle_id = entry[1]
+                examined += 1
+                particle = particles[particle_id]
+                if is_terminated(particle, system):
+                    done.add(particle_id)
+                    active.discard(particle_id)
+                    continue
+                if is_quiescent(particle, system):
+                    parked.add(particle_id)
+                    active.discard(particle_id)
+                    continue
+                # The particle acts: anything it writes lives in its own or
+                # a neighbour's memory, so waking the pre-activation
+                # neighbourhood (plus the movement events fired during the
+                # activation, which wake the post-movement neighbourhood)
+                # covers every particle whose quiescence this activation can
+                # end.  An activation returning exactly ``False`` declares
+                # it changed nothing a neighbour observes (or that its only
+                # observable change was a movement, whose event already woke
+                # the right particles), so the explicit wake is skipped.
+                nbr_ids = neighbor_ids(particle)
+                acted = activate(particle, system)
+                activations += 1
+                if acted is not False:
+                    for q in nbr_ids:
+                        if q in parked:
+                            parked.discard(q)
+                            active.add(q)
+                            heappush(heap, (keyfn(q), q))
+        finally:
+            state.heap = None
+            state.keyfn = None
+        # Every particle was either examined (activated, parked, or newly
+        # observed terminated) or skipped as parked/terminated.
+        return activations, population - examined
+
+
+#: Registry of activation engines, keyed by the ``--engine`` CLI value.
+ENGINES: Dict[str, type] = {
+    "sweep": SequentialScheduler,
+    "event": EventDrivenScheduler,
+}
+
+
+def make_scheduler(engine: str = "sweep", order: str | OrderPolicy = "random",
+                   seed: int = 0) -> SequentialScheduler:
+    """Build the scheduler for ``engine`` (``"sweep"`` or ``"event"``)."""
+    try:
+        cls = ENGINES[engine]
+    except KeyError:
+        raise ValueError(
+            f"unknown activation engine {engine!r}; known: {sorted(ENGINES)}"
+        ) from None
+    return cls(order=order, seed=seed)
 
 
 def run_algorithm(algorithm: AmoebotAlgorithm, system: ParticleSystem,
                   order: str | OrderPolicy = "random", seed: int = 0,
-                  max_rounds: int = 1_000_000) -> SchedulerResult:
+                  max_rounds: int = 1_000_000,
+                  engine: str = "sweep") -> SchedulerResult:
     """Convenience wrapper: build a scheduler and run the algorithm."""
-    return Scheduler(order=order, seed=seed).run(algorithm, system,
-                                                 max_rounds=max_rounds)
+    return make_scheduler(engine, order=order, seed=seed).run(
+        algorithm, system, max_rounds=max_rounds)

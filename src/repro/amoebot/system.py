@@ -13,18 +13,43 @@ The system does **not** force connectivity: the paper explicitly allows the
 particle system to disconnect temporarily (that is the point of Algorithm
 DLE).  Callers that want the classical connectivity requirement can assert
 :meth:`ParticleSystem.is_connected` themselves.
+
+Change notifications
+--------------------
+
+Every operation that alters occupancy (``add_particle``, ``expand``,
+``contract_to_head``, ``contract_to_tail``, ``handover``, ``teleport``,
+``bulk_relocate``) publishes a *dirty-neighborhood event*: the set of grid
+points whose occupancy changed (gained, lost, or switched occupant),
+together with the ids of every particle whose visible neighbourhood those
+points touch — the occupants of the dirty points and of the points adjacent
+to them.  Two consumers are built on
+the events:
+
+* the **cached neighbor index** behind :meth:`ParticleSystem.neighbors_of`
+  — neighbour lists are computed once and reused until an event touches
+  them, which turns the hottest read of every activation into a handful of
+  dictionary lookups, and
+* the :class:`~repro.amoebot.scheduler.EventDrivenScheduler`, which parks
+  quiescent particles and uses the events to re-wake only the particles
+  adjacent to a change (see :meth:`add_change_listener`).
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..grid.coords import Point, direction_between, neighbor, neighbors
 from ..grid.shape import Shape, is_connected
 from .particle import Particle
 
-__all__ = ["ParticleSystem", "IllegalMoveError"]
+__all__ = ["ParticleSystem", "IllegalMoveError", "ChangeListener"]
+
+#: Signature of a dirty-neighborhood event subscriber: called with the grid
+#: points whose occupancy changed and the ids of every particle occupying
+#: one of those points or a point adjacent to one.
+ChangeListener = Callable[[FrozenSet[Point], FrozenSet[int]], None]
 
 
 class IllegalMoveError(RuntimeError):
@@ -41,6 +66,66 @@ class ParticleSystem:
         #: Total number of expansion / contraction / handover operations
         #: performed so far (movement complexity, used by some experiments).
         self.move_count = 0
+        #: Cached neighbor index: particle id -> tuple of neighbouring
+        #: particle ids, invalidated by dirty-neighborhood events.
+        self._neighbor_cache: Dict[int, Tuple[int, ...]] = {}
+        self._listeners: List[ChangeListener] = []
+        #: Monotone occupancy version: bumped by every occupancy-changing
+        #: operation; keys the cached :meth:`shape` snapshot.
+        self._version = 0
+        self._shape_cache: Optional[Shape] = None
+        self._shape_version = -1
+
+    # -- change notifications -------------------------------------------------
+
+    def add_change_listener(self, listener: ChangeListener) -> ChangeListener:
+        """Subscribe to dirty-neighborhood events (see the module docstring).
+
+        The listener is called after every occupancy-changing operation with
+        ``(dirty_points, affected_ids)``; it is returned unchanged so the
+        caller can keep the reference for :meth:`remove_change_listener`.
+        """
+        self._listeners.append(listener)
+        return listener
+
+    def remove_change_listener(self, listener: ChangeListener) -> None:
+        """Unsubscribe a listener previously added (no-op if absent)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def affected_ids(self, points: Iterable[Point]) -> FrozenSet[int]:
+        """Ids of every particle occupying one of ``points`` or a point
+        adjacent to one — exactly the particles whose neighbour lists (and
+        visible neighbourhoods) an occupancy change at ``points`` can touch."""
+        occupancy = self._occupancy
+        ids = set()
+        for point in points:
+            pid = occupancy.get(point)
+            if pid is not None:
+                ids.add(pid)
+            for adjacent in neighbors(point):
+                pid = occupancy.get(adjacent)
+                if pid is not None:
+                    ids.add(pid)
+        return frozenset(ids)
+
+    def _notify_change(self, points: Iterable[Point]) -> None:
+        """Invalidate the neighbor index around ``points`` and publish the
+        event to subscribers.  Cheap when nothing is cached or subscribed."""
+        self._version += 1
+        cache = self._neighbor_cache
+        if not cache and not self._listeners:
+            return
+        affected = self.affected_ids(points)
+        if cache:
+            for pid in affected:
+                cache.pop(pid, None)
+        if self._listeners:
+            dirty = frozenset(points)
+            for listener in self._listeners:
+                listener(dirty, affected)
 
     # -- construction -------------------------------------------------------
 
@@ -60,6 +145,11 @@ class ParticleSystem:
         for point in sorted(points):
             orientation = rng.randrange(6) if rng is not None else 0
             system.add_particle(point, orientation=orientation)
+        if isinstance(shape, Shape):
+            # Seed the shape cache with the caller's instance: its memoised
+            # faces / connectivity carry over to algorithm setup.
+            system._shape_cache = shape
+            system._shape_version = system._version
         return system
 
     def add_particle(self, point: Point, orientation: int = 0) -> Particle:
@@ -70,6 +160,7 @@ class ParticleSystem:
         self._particles[particle.particle_id] = particle
         self._occupancy[point] = particle.particle_id
         self._next_id += 1
+        self._notify_change((point,))
         return particle
 
     # -- inspection ----------------------------------------------------------
@@ -105,8 +196,17 @@ class ParticleSystem:
         return frozenset(self._occupancy)
 
     def shape(self) -> Shape:
-        """The current shape of the particle system."""
-        return Shape(self._occupancy)
+        """The current shape of the particle system.
+
+        The Shape snapshot is cached and invalidated by the same occupancy
+        version the dirty-neighborhood events bump, so repeated calls while
+        nothing moves (algorithm setup, instrumentation, metrics) share one
+        instance — and therefore share its memoised faces / connectivity.
+        """
+        if self._shape_cache is None or self._shape_version != self._version:
+            self._shape_cache = Shape(self._occupancy)
+            self._shape_version = self._version
+        return self._shape_cache
 
     def is_connected(self) -> bool:
         """Whether the set of occupied points is connected."""
@@ -118,18 +218,41 @@ class ParticleSystem:
     def neighbors_of(self, particle: Particle) -> List[Particle]:
         """The neighbouring particles of ``particle`` (particles occupying a
         point adjacent to one of its occupied points), in a deterministic
-        order without duplicates."""
-        seen = set()
-        result: List[Particle] = []
-        for origin in particle.occupied_points:
-            for point in neighbors(origin):
-                other = self.particle_at(point)
-                if other is None or other is particle:
-                    continue
-                if other.particle_id not in seen:
-                    seen.add(other.particle_id)
-                    result.append(other)
-        return result
+        order without duplicates.
+
+        Served from the cached neighbor index: the id list is computed once
+        and reused until a dirty-neighborhood event touches this particle,
+        which every occupancy-changing operation publishes automatically.
+        """
+        particles = self._particles
+        return [particles[i] for i in self.neighbor_ids(particle)]
+
+    def neighbor_ids(self, particle: Particle) -> Tuple[int, ...]:
+        """The cached tuple behind :meth:`neighbors_of` — ids of the
+        neighbouring particles, deterministic order, no duplicates."""
+        pid = particle.particle_id
+        cached = self._neighbor_cache.get(pid)
+        if cached is None:
+            seen = {pid}
+            ids: List[int] = []
+            occupancy = self._occupancy
+            get = occupancy.get
+            head = particle.head
+            for point in neighbors(head):
+                other_id = get(point)
+                if other_id is not None and other_id not in seen:
+                    seen.add(other_id)
+                    ids.append(other_id)
+            tail = particle.tail
+            if tail != head:
+                for point in neighbors(tail):
+                    other_id = get(point)
+                    if other_id is not None and other_id not in seen:
+                        seen.add(other_id)
+                        ids.append(other_id)
+            cached = tuple(ids)
+            self._neighbor_cache[pid] = cached
+        return cached
 
     def neighbor_particle(self, origin: Point, direction: int) -> Optional[Particle]:
         """The particle occupying the neighbour of ``origin`` in ``direction``."""
@@ -150,6 +273,10 @@ class ParticleSystem:
         particle.head = target
         self._occupancy[target] = particle.particle_id
         self.move_count += 1
+        # Only the target's occupancy changed (the origin keeps the tail);
+        # the expanding particle itself is adjacent to the target, so its
+        # own neighbor-cache entry is invalidated with its neighbours'.
+        self._notify_change((target,))
 
     def expand_toward(self, particle: Particle, direction: int) -> Point:
         """Expand a contracted particle along a global direction and return
@@ -166,6 +293,7 @@ class ParticleSystem:
         del self._occupancy[tail]
         particle.tail = particle.head
         self.move_count += 1
+        self._notify_change((tail,))
 
     def contract_to_tail(self, particle: Particle) -> None:
         """Contract an expanded particle into its tail (vacating the head)."""
@@ -175,6 +303,7 @@ class ParticleSystem:
         del self._occupancy[head]
         particle.head = particle.tail
         self.move_count += 1
+        self._notify_change((head,))
 
     def handover(self, contracted: Particle, expanded: Particle,
                  into: Optional[Point] = None) -> None:
@@ -199,10 +328,15 @@ class ParticleSystem:
         expanded.head = keep
         expanded.tail = keep
         # The contracted particle expands into the vacated point.
-        contracted.tail = contracted.head
+        origin = contracted.head
+        contracted.tail = origin
         contracted.head = into
         self._occupancy[into] = contracted.particle_id
         self.move_count += 1
+        # ``into`` changed owner; ``keep`` and the contracted particle's
+        # origin stay occupied by the same particles, and both movers are
+        # adjacent to ``into``, so one dirty point covers every stale entry.
+        self._notify_change((into,))
 
     # -- bulk helpers used by structured simulations --------------------------
 
@@ -219,10 +353,12 @@ class ParticleSystem:
             return
         if target in self._occupancy:
             raise IllegalMoveError(f"cannot teleport onto occupied point {target}")
-        del self._occupancy[particle.head]
+        origin = particle.head
+        del self._occupancy[origin]
         particle.head = target
         particle.tail = target
         self._occupancy[target] = particle.particle_id
+        self._notify_change((origin, target))
 
     def bulk_relocate(self, targets: Dict[int, Point]) -> None:
         """Atomically move several contracted particles to new points.
@@ -249,14 +385,18 @@ class ParticleSystem:
                     f"bulk_relocate target {point} is occupied by a particle "
                     "that is not being moved"
                 )
+        dirty: List[Point] = []
         for pid in targets:
             particle = self._particles[pid]
+            dirty.append(particle.head)
             del self._occupancy[particle.head]
         for pid, point in targets.items():
             particle = self._particles[pid]
             particle.head = point
             particle.tail = point
             self._occupancy[point] = pid
+            dirty.append(point)
+        self._notify_change(dirty)
 
     def snapshot(self) -> Dict[int, Tuple[Point, Point]]:
         """A copy of the occupancy state: id -> (head, tail)."""

@@ -1,0 +1,302 @@
+"""Micro-benchmark harness behind ``python -m repro bench``.
+
+The benchmark runs a fixed grid of (algorithm, family, size, engine)
+configurations, times each one (best of ``repeats`` runs, which is robust
+against scheduling noise) and emits a ``BENCH_<rev>.json`` report.  The
+grid pairs the two activation engines on the scheduler-driven algorithms,
+so the report directly shows the event-driven engine's speedup per
+configuration — the performance trajectory the repository tracks.
+
+Cross-machine comparisons use *normalized* times: every run also times a
+fixed pure-Python calibration workload on the current interpreter and
+divides the benchmark wall time by it.  Normalized times are stable across
+machines of different absolute speed (both numerator and denominator scale
+together), which is what lets CI gate on a committed baseline
+(``BENCH_baseline.json``) produced on a different machine: an entry
+regresses when its normalized time exceeds the baseline's by more than the
+allowed fraction (25% by default).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..grid.generators import make_shape
+from .experiments import ALGORITHMS
+
+__all__ = [
+    "BENCH_KIND",
+    "BenchEntry",
+    "BenchReport",
+    "FULL_GRID",
+    "QUICK_GRID",
+    "compare_to_baseline",
+    "current_rev",
+    "load_report",
+    "run_bench",
+]
+
+BENCH_KIND = "repro-bench"
+
+#: Engines paired on every scheduler-driven entry.
+_BOTH = ("sweep", "event")
+
+#: The quick grid runs in CI on every push: small enough to finish in well
+#: under a minute of simulation, large enough that the hexagon-64 DLE pair
+#: demonstrates the event engine's asymptotic advantage (>3x).
+QUICK_GRID: Tuple[Tuple[str, str, int, Tuple[str, ...]], ...] = (
+    ("dle", "hexagon", 10, _BOTH),
+    ("dle", "hexagon", 20, _BOTH),
+    ("dle", "hexagon", 64, _BOTH),
+    ("erosion", "hexagon", 12, _BOTH),
+    ("obd", "hexagon", 12, ("sweep",)),
+)
+
+#: The full grid adds intermediate sizes (scaling curve), a holey shape and
+#: the dle+collect pipeline.
+FULL_GRID: Tuple[Tuple[str, str, int, Tuple[str, ...]], ...] = QUICK_GRID + (
+    ("dle", "hexagon", 32, _BOTH),
+    ("dle", "hexagon", 44, _BOTH),
+    ("dle", "holey", 8, _BOTH),
+    ("dle+collect", "hexagon", 12, _BOTH),
+    ("erosion", "hexagon", 20, _BOTH),
+    ("obd", "hexagon", 20, ("sweep",)),
+)
+
+
+@dataclass
+class BenchEntry:
+    """One timed (algorithm, family, size, engine) configuration."""
+
+    algorithm: str
+    family: str
+    size: int
+    engine: str
+    seconds: float
+    normalized: float
+    rounds: int
+    succeeded: bool
+    repeats: int
+
+    @property
+    def key(self) -> str:
+        return f"{self.algorithm}/{self.family}/{self.size}/{self.engine}"
+
+    def to_dict(self) -> Dict[str, object]:
+        data = {"key": self.key}
+        data.update(self.__dict__)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "BenchEntry":
+        return cls(
+            algorithm=str(data["algorithm"]),
+            family=str(data["family"]),
+            size=int(data["size"]),
+            engine=str(data["engine"]),
+            seconds=float(data["seconds"]),
+            normalized=float(data["normalized"]),
+            rounds=int(data.get("rounds", 0)),
+            succeeded=bool(data.get("succeeded", True)),
+            repeats=int(data.get("repeats", 1)),
+        )
+
+
+@dataclass
+class BenchReport:
+    """A full benchmark run: entries plus environment metadata."""
+
+    rev: str
+    quick: bool
+    repeats: int
+    calibration_seconds: float
+    python: str = ""
+    entries: List[BenchEntry] = field(default_factory=list)
+
+    @property
+    def speedups(self) -> Dict[str, float]:
+        """sweep/event wall-time ratio for every engine-paired config."""
+        by_config: Dict[str, Dict[str, float]] = {}
+        for entry in self.entries:
+            config = f"{entry.algorithm}/{entry.family}/{entry.size}"
+            by_config.setdefault(config, {})[entry.engine] = entry.seconds
+        return {
+            config: times["sweep"] / times["event"]
+            for config, times in by_config.items()
+            if "sweep" in times and "event" in times and times["event"] > 0
+        }
+
+    def entry(self, key: str) -> Optional[BenchEntry]:
+        for candidate in self.entries:
+            if candidate.key == key:
+                return candidate
+        return None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": BENCH_KIND,
+            "rev": self.rev,
+            "quick": self.quick,
+            "repeats": self.repeats,
+            "calibration_seconds": self.calibration_seconds,
+            "python": self.python,
+            "entries": [entry.to_dict() for entry in self.entries],
+            "speedups": {k: round(v, 3) for k, v in self.speedups.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "BenchReport":
+        if data.get("kind") != BENCH_KIND:
+            raise ValueError("not a repro-bench report")
+        return cls(
+            rev=str(data.get("rev", "unknown")),
+            quick=bool(data.get("quick", False)),
+            repeats=int(data.get("repeats", 1)),
+            calibration_seconds=float(data.get("calibration_seconds", 0.0)),
+            python=str(data.get("python", "")),
+            entries=[BenchEntry.from_dict(e) for e in data.get("entries", [])],
+        )
+
+    def save(self, path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+
+def load_report(path) -> BenchReport:
+    """Read a ``BENCH_*.json`` file back into a :class:`BenchReport`."""
+    return BenchReport.from_dict(json.loads(Path(path).read_text()))
+
+
+def current_rev() -> str:
+    """Short git revision of the working tree, or the package version."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip()
+        if out:
+            return out
+    except (OSError, subprocess.SubprocessError):
+        pass
+    from .. import __version__
+
+    return __version__
+
+
+def calibrate(repeats: int = 3) -> float:
+    """Seconds for a fixed pure-Python workload on this interpreter.
+
+    Used as the denominator of normalized benchmark times, making the
+    committed baseline comparable across machines of different speed.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        total = 0
+        for i in range(200_000):
+            total += i * i
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def run_bench(grid: Sequence[Tuple[str, str, int, Tuple[str, ...]]],
+              repeats: int = 3, seed: int = 0, quick: bool = False,
+              only: Optional[str] = None,
+              progress=None) -> BenchReport:
+    """Time every (config, engine) pair of ``grid`` and build the report.
+
+    ``only`` filters entries whose key starts with the given prefix (e.g.
+    ``"dle/hexagon"``).  ``progress(key, entry)`` is called after each
+    measurement.
+    """
+    calibration = calibrate()
+    report = BenchReport(
+        rev=current_rev(),
+        quick=quick,
+        repeats=repeats,
+        calibration_seconds=calibration,
+        python=".".join(str(part) for part in sys.version_info[:3]),
+    )
+    for algorithm, family, size, engines in grid:
+        config_key = f"{algorithm}/{family}/{size}"
+        if only and not config_key.startswith(only) and not any(
+                f"{config_key}/{engine}".startswith(only)
+                for engine in engines):
+            continue
+        shape = make_shape(family, size, seed=seed)
+        # Time the algorithm driver directly: shape construction and shape
+        # metrics (some of which are quadratic in n) are not part of the
+        # simulation cost the benchmark tracks.
+        driver = ALGORITHMS[algorithm]
+        for engine in engines:
+            best = float("inf")
+            details = {}
+            for _ in range(max(1, repeats)):
+                started = time.perf_counter()
+                details = driver(shape, seed, "random", engine)
+                best = min(best, time.perf_counter() - started)
+            entry = BenchEntry(
+                algorithm=algorithm,
+                family=family,
+                size=size,
+                engine=engine,
+                seconds=best,
+                normalized=best / calibration,
+                rounds=int(details.get("rounds", 0)),
+                succeeded=bool(details.get("succeeded", False)),
+                repeats=max(1, repeats),
+            )
+            report.entries.append(entry)
+            if progress is not None:
+                progress(entry.key, entry)
+    return report
+
+
+@dataclass
+class BaselineComparison:
+    """Outcome of gating a report against a committed baseline."""
+
+    regressions: List[Tuple[str, float, float, float]] = field(default_factory=list)
+    improvements: List[Tuple[str, float, float, float]] = field(default_factory=list)
+    missing: List[str] = field(default_factory=list)
+    new_entries: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def compare_to_baseline(report: BenchReport, baseline: BenchReport,
+                        max_regression: float = 0.25) -> BaselineComparison:
+    """Compare normalized times entry-by-entry against ``baseline``.
+
+    An entry regresses when its normalized time exceeds the baseline's by
+    more than ``max_regression`` (a fraction: 0.25 allows +25%).  Entries
+    present only in one report are listed, not failed — the gate should not
+    break when the grid grows.
+    """
+    result = BaselineComparison()
+    baseline_keys = {entry.key for entry in baseline.entries}
+    report_keys = {entry.key for entry in report.entries}
+    result.missing = sorted(baseline_keys - report_keys)
+    result.new_entries = sorted(report_keys - baseline_keys)
+    for entry in report.entries:
+        base = baseline.entry(entry.key)
+        if base is None or base.normalized <= 0:
+            continue
+        ratio = entry.normalized / base.normalized
+        row = (entry.key, entry.normalized, base.normalized, ratio)
+        if ratio > 1.0 + max_regression:
+            result.regressions.append(row)
+        elif ratio < 1.0 - max_regression:
+            result.improvements.append(row)
+    result.regressions.sort(key=lambda row: -row[3])
+    result.improvements.sort(key=lambda row: row[3])
+    return result

@@ -20,7 +20,7 @@ from ..core.collect import CollectSimulator
 from ..core.dle import DLEAlgorithm, verify_unique_leader
 from ..core.full import elect_leader, elect_leader_known_boundary
 from ..core.obd import OuterBoundaryDetection
-from ..amoebot.scheduler import Scheduler
+from ..amoebot.scheduler import make_scheduler
 from ..grid.metrics import ShapeMetrics, compute_metrics
 from ..grid.shape import Shape
 
@@ -69,10 +69,11 @@ def _fresh_system(shape: Shape, seed: int) -> ParticleSystem:
 # Individual algorithm drivers
 # ---------------------------------------------------------------------------
 
-def _run_dle(shape: Shape, seed: int, order: str = "random") -> Dict[str, object]:
+def _run_dle(shape: Shape, seed: int, order: str = "random",
+             engine: str = "sweep") -> Dict[str, object]:
     system = _fresh_system(shape, seed)
     algorithm = DLEAlgorithm()
-    result = Scheduler(order=order, seed=seed).run(algorithm, system)
+    result = make_scheduler(engine, order=order, seed=seed).run(algorithm, system)
     succeeded = result.terminated
     if succeeded:
         try:
@@ -87,11 +88,12 @@ def _run_dle(shape: Shape, seed: int, order: str = "random") -> Dict[str, object
     }
 
 
-def _run_dle_collect(shape: Shape, seed: int,
-                     order: str = "random") -> Dict[str, object]:
+def _run_dle_collect(shape: Shape, seed: int, order: str = "random",
+                     engine: str = "sweep") -> Dict[str, object]:
     system = _fresh_system(shape, seed)
     outcome = elect_leader_known_boundary(system, reconnect=True,
-                                          scheduler_order=order, seed=seed)
+                                          scheduler_order=order, seed=seed,
+                                          engine=engine)
     return {
         "rounds": outcome.total_rounds,
         "succeeded": outcome.reconnected and outcome.connected_after,
@@ -100,11 +102,11 @@ def _run_dle_collect(shape: Shape, seed: int,
     }
 
 
-def _run_collect_only(shape: Shape, seed: int,
-                      order: str = "random") -> Dict[str, object]:
+def _run_collect_only(shape: Shape, seed: int, order: str = "random",
+                      engine: str = "sweep") -> Dict[str, object]:
     system = _fresh_system(shape, seed)
     algorithm = DLEAlgorithm()
-    Scheduler(order=order, seed=seed).run(algorithm, system)
+    make_scheduler(engine, order=order, seed=seed).run(algorithm, system)
     leader = verify_unique_leader(system)
     result = CollectSimulator(system, leader).run()
     return {
@@ -114,8 +116,10 @@ def _run_collect_only(shape: Shape, seed: int,
     }
 
 
-def _run_obd(shape: Shape, seed: int, order: str = "random") -> Dict[str, object]:
-    # OBD is a synchronous primitive; the activation order does not apply.
+def _run_obd(shape: Shape, seed: int, order: str = "random",
+             engine: str = "sweep") -> Dict[str, object]:
+    # OBD is a synchronous primitive; neither the activation order nor the
+    # activation engine applies.
     system = _fresh_system(shape, seed)
     result = OuterBoundaryDetection(system).run()
     expected = shape.outer_boundary
@@ -129,10 +133,11 @@ def _run_obd(shape: Shape, seed: int, order: str = "random") -> Dict[str, object
     }
 
 
-def _run_full(shape: Shape, seed: int, order: str = "random") -> Dict[str, object]:
+def _run_full(shape: Shape, seed: int, order: str = "random",
+              engine: str = "sweep") -> Dict[str, object]:
     system = _fresh_system(shape, seed)
     outcome = elect_leader(system, reconnect=True, scheduler_order=order,
-                           seed=seed)
+                           seed=seed, engine=engine)
     return {
         "rounds": outcome.total_rounds,
         "succeeded": outcome.reconnected and outcome.connected_after,
@@ -142,10 +147,11 @@ def _run_full(shape: Shape, seed: int, order: str = "random") -> Dict[str, objec
     }
 
 
-def _run_erosion(shape: Shape, seed: int,
-                 order: str = "random") -> Dict[str, object]:
+def _run_erosion(shape: Shape, seed: int, order: str = "random",
+                 engine: str = "sweep") -> Dict[str, object]:
     system = _fresh_system(shape, seed)
-    outcome = run_erosion_election(system, scheduler_order=order, seed=seed)
+    outcome = run_erosion_election(system, scheduler_order=order, seed=seed,
+                                   engine=engine)
     return {
         "rounds": outcome.rounds,
         "succeeded": outcome.succeeded,
@@ -154,9 +160,10 @@ def _run_erosion(shape: Shape, seed: int,
     }
 
 
-def _run_randomized(shape: Shape, seed: int,
-                    order: str = "random") -> Dict[str, object]:
-    # The randomized baseline drives its own internal phase schedule.
+def _run_randomized(shape: Shape, seed: int, order: str = "random",
+                    engine: str = "sweep") -> Dict[str, object]:
+    # The randomized baseline drives its own internal phase schedule, so
+    # neither the activation order nor the activation engine applies.
     system = _fresh_system(shape, seed)
     outcome = run_randomized_election(system, seed=seed)
     return {
@@ -167,9 +174,10 @@ def _run_randomized(shape: Shape, seed: int,
 
 
 #: Registry of runnable algorithms / pipelines.  Every driver takes
-#: ``(shape, seed, order)`` where ``order`` is the scheduler activation
-#: policy (ignored by the synchronous/self-scheduled entries).
-ALGORITHMS: Dict[str, Callable[[Shape, int, str], Dict[str, object]]] = {
+#: ``(shape, seed, order, engine)`` where ``order`` is the scheduler
+#: activation policy and ``engine`` the activation engine (``"sweep"`` or
+#: ``"event"``); both are ignored by the synchronous/self-scheduled entries.
+ALGORITHMS: Dict[str, Callable[..., Dict[str, object]]] = {
     "dle": _run_dle,
     "dle+collect": _run_dle_collect,
     "collect": _run_collect_only,
@@ -199,7 +207,8 @@ TABLE1_FAMILIES: Sequence[str] = ("hexagon", "blob", "holey")
 def run_experiment(algorithm: str, shape: Shape, family: str = "custom",
                    size: int = 0, seed: int = 0,
                    metrics: Optional[ShapeMetrics] = None,
-                   order: str = "random") -> ExperimentRecord:
+                   order: str = "random",
+                   engine: str = "sweep") -> ExperimentRecord:
     """Run one algorithm on one shape and return the measurement record."""
     try:
         driver = ALGORITHMS[algorithm]
@@ -209,7 +218,7 @@ def run_experiment(algorithm: str, shape: Shape, family: str = "custom",
         ) from None
     if metrics is None:
         metrics = compute_metrics(shape)
-    details = driver(shape, seed, order)
+    details = driver(shape, seed, order, engine)
     rounds = int(details.pop("rounds"))
     succeeded = bool(details.pop("succeeded"))
     return ExperimentRecord(

@@ -33,9 +33,10 @@ from ..amoebot.algorithm import (
     STATUS_UNDECIDED,
     AmoebotAlgorithm,
     StatusMixin,
+    is_sce_flag_arc,
 )
 from ..amoebot.particle import Particle
-from ..amoebot.scheduler import Scheduler
+from ..amoebot.scheduler import make_scheduler
 from ..amoebot.system import ParticleSystem
 from ..grid.coords import NUM_DIRECTIONS, Point, neighbor
 
@@ -57,6 +58,10 @@ class ErosionLeaderElection(AmoebotAlgorithm, StatusMixin):
         self._changes_this_round = 0
         #: Set once a full round passes with no change and no termination.
         self.stalled = False
+        #: Particles whose ``terminated`` flag is set (absorbing), so
+        #: ``has_terminated`` is O(1) instead of an O(n) scan per round.
+        self._terminated_count = 0
+        self._population = 0
 
     # -- setup -----------------------------------------------------------------
 
@@ -70,6 +75,8 @@ class ErosionLeaderElection(AmoebotAlgorithm, StatusMixin):
         self.eligible_points = set(occupied)
         self.stalled = False
         self._changes_this_round = 0
+        self._terminated_count = 0
+        self._population = len(system)
         for particle in system.particles():
             particle[STATUS_KEY] = STATUS_UNDECIDED
             particle[TERMINATED_KEY] = False
@@ -83,19 +90,52 @@ class ErosionLeaderElection(AmoebotAlgorithm, StatusMixin):
     def is_terminated(self, particle: Particle, system: ParticleSystem) -> bool:
         return bool(particle.get(TERMINATED_KEY, False)) or self.stalled
 
+    def has_terminated(self, system: ParticleSystem) -> bool:
+        # The terminated flag is set in exactly one place and never cleared;
+        # the counter kept there (plus the stall flag, which terminates
+        # everyone at once) replaces the default O(n) scan.
+        if self.stalled:
+            return True
+        n = len(system)
+        if n != self._population:
+            return super().has_terminated(system)
+        return self._terminated_count >= n
+
     def on_round_end(self, round_index: int, system: ParticleSystem) -> None:
         if self._changes_this_round == 0:
             # Nothing changed during a whole round: the configuration is a
             # fixed point, so it will never change again.  On hole-free
             # shapes this only happens after termination; with holes it is
             # the stall the paper's Table 1 restrictions predict.
-            if not all(p.get(TERMINATED_KEY, False) for p in system.particles()):
+            if self._terminated_count < len(system):
                 self.stalled = True
         self._changes_this_round = 0
 
+    # -- quiescence (event-driven engine) -----------------------------------------
+
+    def is_quiescent(self, particle: Particle, system: ParticleSystem) -> bool:
+        """Same structure as Algorithm DLE's declaration: a particle is
+        quiescent while it waits on its neighbours — decided with an
+        undecided neighbour, or undecided at a non-SCE point of the
+        candidate set.  Both inputs only change when a neighbour acts."""
+        memory = particle.memory
+        if memory[STATUS_KEY] != STATUS_UNDECIDED:
+            for q in system.neighbors_of(particle):
+                if q.memory[STATUS_KEY] == STATUS_UNDECIDED:
+                    return True
+            return False
+        flags = memory[ELIGIBLE_KEY]
+        if True not in flags:
+            return False  # would elect itself leader
+        # SCE is rotation invariant: test the port-indexed flags directly.
+        return not is_sce_flag_arc(flags)
+
     # -- activation ---------------------------------------------------------------
 
-    def activate(self, particle: Particle, system: ParticleSystem) -> None:
+    def activate(self, particle: Particle, system: ParticleSystem) -> object:
+        # Returns the visibility hint of the base-class contract (``False``
+        # = nothing a neighbour observes changed; neighbours only read each
+        # other's ``status``).
         status = particle[STATUS_KEY]
         neighbors_particles = system.neighbors_of(particle)
 
@@ -103,8 +143,9 @@ class ErosionLeaderElection(AmoebotAlgorithm, StatusMixin):
             if all(q[STATUS_KEY] != STATUS_UNDECIDED for q in neighbors_particles):
                 if not particle[TERMINATED_KEY]:
                     particle[TERMINATED_KEY] = True
+                    self._terminated_count += 1
                     self._changes_this_round += 1
-            return
+            return False  # the terminated flag is not neighbour-visible
 
         eligible = particle[ELIGIBLE_KEY]
         eligible_dirs = [d for d in range(NUM_DIRECTIONS)
@@ -113,10 +154,10 @@ class ErosionLeaderElection(AmoebotAlgorithm, StatusMixin):
         if not eligible_dirs:
             particle[STATUS_KEY] = STATUS_LEADER
             self._changes_this_round += 1
-            return
+            return True  # status change: neighbours must re-examine
 
         if not self._is_sce(eligible_dirs):
-            return
+            return False  # no-op activation
 
         # Erode: the particle withdraws from candidacy and its point leaves
         # the eligible set; neighbours with an adjacent head fix their flags.
@@ -124,10 +165,12 @@ class ErosionLeaderElection(AmoebotAlgorithm, StatusMixin):
         self.eligible_points.discard(point)
         particle[STATUS_KEY] = STATUS_FOLLOWER
         self._changes_this_round += 1
+        adjacent = {neighbor(point, d) for d in range(NUM_DIRECTIONS)}
         for q in neighbors_particles:
             head = q.head
-            if any(neighbor(point, d) == head for d in range(NUM_DIRECTIONS)):
+            if head in adjacent:
                 q[ELIGIBLE_KEY][q.port_between(head, point)] = False
+        return True  # status + neighbour flags changed
 
     @staticmethod
     def _is_sce(eligible_dirs: List[int]) -> bool:
@@ -157,17 +200,19 @@ class ErosionOutcome:
 
 def run_erosion_election(system: ParticleSystem, scheduler_order: str = "random",
                          seed: int = 0,
-                         max_rounds: Optional[int] = None) -> ErosionOutcome:
+                         max_rounds: Optional[int] = None,
+                         engine: str = "sweep") -> ErosionOutcome:
     """Run the erosion baseline and classify the outcome.
 
     ``succeeded`` is True only when a unique leader was elected and every
     other particle is a follower.  On shapes with holes the run typically
     ends ``stalled`` (the documented restriction of this algorithm family).
+    ``engine`` selects the activation engine (``"sweep"`` or ``"event"``).
     """
     if max_rounds is None:
         max_rounds = 10 * len(system) + 100
     algorithm = ErosionLeaderElection()
-    scheduler = Scheduler(order=scheduler_order, seed=seed)
+    scheduler = make_scheduler(engine, order=scheduler_order, seed=seed)
     result = scheduler.run(algorithm, system, max_rounds=max_rounds)
     leaders = [p for p in system.particles() if p.get(STATUS_KEY) == STATUS_LEADER]
     followers = [p for p in system.particles() if p.get(STATUS_KEY) == STATUS_FOLLOWER]

@@ -4,7 +4,10 @@ The CLI exposes the experiment harness without writing any Python:
 
 * ``python -m repro sweep --algorithms dle obd --sizes 2 4 6 --jobs 4``
   — run an arbitrary experiment grid through the orchestrator
-  (parallel workers, ``--cache-dir`` result reuse, ``--resume``)
+  (parallel workers, ``--cache-dir`` result reuse, ``--resume``,
+  ``--engine`` activation-engine selection)
+* ``python -m repro bench --quick``               — fixed micro-benchmark grid,
+  emits ``BENCH_<rev>.json`` and optionally gates against a baseline
 * ``python -m repro table1``                  — reproduce the Table 1 comparison
 * ``python -m repro scaling dle --families hexagon holey`` — scaling figures
 * ``python -m repro elect --family holey --size 4``        — one election run
@@ -20,6 +23,7 @@ elsewhere, and every sweep-capable command (``sweep``, ``table1``,
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
@@ -42,6 +46,7 @@ from .grid.metrics import compute_metrics
 from .io import save_records
 from .orchestrator import (
     DEFAULT_JOBS,
+    ENGINES,
     SCHEDULER_ORDERS,
     SweepSpec,
     format_sweep_scaling,
@@ -85,6 +90,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--scheduler", default="random",
                        choices=sorted(SCHEDULER_ORDERS),
                        help="activation order the adversary uses")
+    sweep.add_argument("--engine", default="sweep", choices=sorted(ENGINES),
+                       help="activation engine: 'sweep' activates every "
+                            "particle each round, 'event' parks quiescent "
+                            "particles (identical traces, less wall clock)")
     sweep.add_argument("--jobs", type=int, default=DEFAULT_JOBS,
                        help="worker processes (1 = in-process)")
     sweep.add_argument("--cache-dir", metavar="PATH", default=None,
@@ -100,6 +109,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="suppress per-run progress lines on stderr")
     sweep.add_argument("--json", metavar="PATH", default=None,
                        help="also write the raw records to a JSON file")
+    sweep.add_argument("--summary-json", metavar="PATH", default=None,
+                       help="write a machine-readable sweep summary "
+                            "(result-source counts, failures) to a JSON file")
 
     table1 = sub.add_parser("table1", help="reproduce the Table 1 comparison")
     table1.add_argument("--sizes", type=int, nargs="+", default=[2, 3, 4])
@@ -135,6 +147,27 @@ def build_parser() -> argparse.ArgumentParser:
     elect.add_argument("--render", action="store_true",
                        help="print the final configuration as ASCII art")
 
+    bench = sub.add_parser(
+        "bench",
+        help="run the fixed micro-benchmark grid and emit BENCH_<rev>.json")
+    bench.add_argument("--quick", action="store_true",
+                       help="run the small CI grid instead of the full one")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="timing repeats per entry (best is kept)")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--only", metavar="PREFIX", default=None,
+                       help="only run entries whose algorithm/family/size "
+                            "key starts with PREFIX")
+    bench.add_argument("--out", metavar="PATH", default=None,
+                       help="output report path (default: BENCH_<rev>.json)")
+    bench.add_argument("--baseline", metavar="PATH", default=None,
+                       help="gate against this committed BENCH_*.json")
+    bench.add_argument("--max-regression", type=float, default=0.25,
+                       help="allowed normalized-time regression fraction "
+                            "against the baseline (default 0.25 = +25%%)")
+    bench.add_argument("--quiet", action="store_true",
+                       help="suppress per-entry progress lines on stderr")
+
     metrics = sub.add_parser("metrics", help="print the parameters of a shape")
     metrics.add_argument("--family", default="hexagon", choices=sorted(SHAPE_FAMILIES))
     metrics.add_argument("--size", type=int, default=3)
@@ -165,7 +198,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 2
     spec = SweepSpec(algorithms=args.algorithms, families=args.families,
                      sizes=args.sizes, seeds=args.seeds,
-                     scheduler=args.scheduler)
+                     scheduler=args.scheduler, engine=args.engine)
 
     def progress(done: int, total: int, result) -> None:
         status = "ok" if result.ok else "FAILED"
@@ -190,6 +223,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.json:
         save_records(records, args.json)
         print(f"raw records written to {args.json}")
+    if args.summary_json:
+        summary = {
+            "kind": "sweep-summary",
+            "spec": spec.to_dict(),
+            "counts": result.counts(),
+            "elapsed": result.elapsed,
+            "ok": not result.failures and bool(records),
+            "failures": [f.config.describe() for f in result.failures],
+        }
+        with open(args.summary_json, "w") as handle:
+            json.dump(summary, handle, indent=2)
+        print(f"sweep summary written to {args.summary_json}")
     return 1 if (result.failures or not records) else 0
 
 
@@ -236,6 +281,73 @@ def _cmd_elect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .analysis.bench import (
+        FULL_GRID,
+        QUICK_GRID,
+        compare_to_baseline,
+        load_report,
+        run_bench,
+    )
+
+    grid = QUICK_GRID if args.quick else FULL_GRID
+
+    def progress(key, entry):
+        print(f"  {key}: {entry.seconds * 1000:.1f} ms "
+              f"(normalized {entry.normalized:.2f}, rounds {entry.rounds})",
+              file=sys.stderr)
+
+    report = run_bench(grid, repeats=args.repeats, seed=args.seed,
+                       quick=args.quick, only=args.only,
+                       progress=None if args.quiet else progress)
+    if not report.entries:
+        print("error: no benchmark entries matched", file=sys.stderr)
+        return 2
+
+    rows = [{
+        "benchmark": e.key,
+        "ms": round(e.seconds * 1000, 1),
+        "normalized": round(e.normalized, 2),
+        "rounds": e.rounds,
+        "ok": e.succeeded,
+    } for e in report.entries]
+    print(format_table(rows, title=f"bench @ {report.rev} "
+                                   f"(best of {report.repeats})"))
+    speedups = report.speedups
+    if speedups:
+        print("\nevent-engine speedup (sweep time / event time):")
+        for config in sorted(speedups):
+            print(f"  {config}: {speedups[config]:.2f}x")
+
+    out = args.out or f"BENCH_{report.rev}.json"
+    report.save(out)
+    print(f"\nreport written to {out}")
+
+    if args.baseline:
+        baseline = load_report(args.baseline)
+        comparison = compare_to_baseline(report, baseline,
+                                         max_regression=args.max_regression)
+        for key, cur, base, ratio in comparison.improvements:
+            print(f"improved: {key} normalized {base:.2f} -> {cur:.2f} "
+                  f"({ratio:.2f}x)")
+        for key in comparison.new_entries:
+            print(f"new (no baseline): {key}")
+        for key in comparison.missing:
+            print(f"missing (in baseline only): {key}")
+        if not comparison.ok:
+            print(f"\nFAILED: {len(comparison.regressions)} benchmark(s) "
+                  f"regressed more than "
+                  f"{args.max_regression:.0%} vs {args.baseline}:",
+                  file=sys.stderr)
+            for key, cur, base, ratio in comparison.regressions:
+                print(f"  {key}: normalized {base:.2f} -> {cur:.2f} "
+                      f"({ratio:.2f}x)", file=sys.stderr)
+            return 1
+        print(f"baseline check ok ({args.baseline}, "
+              f"max regression {args.max_regression:.0%})")
+    return 0
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     shape = make_shape(args.family, args.size, seed=args.seed)
     metrics = compute_metrics(shape)
@@ -259,6 +371,7 @@ def _cmd_families(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "sweep": _cmd_sweep,
+    "bench": _cmd_bench,
     "table1": _cmd_table1,
     "scaling": _cmd_scaling,
     "elect": _cmd_elect,

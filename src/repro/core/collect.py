@@ -118,6 +118,19 @@ class CollectSimulator:
         self.phases: List[CollectPhase] = []
         self.rounds = 0
 
+    def is_quiescent(self, particle: Particle, system: ParticleSystem) -> bool:
+        """Explicit quiescence declaration for the event-driven engine.
+
+        Collect is a structured simulation: each phase's net movement is
+        applied with :meth:`ParticleSystem.bulk_relocate` and the rounds are
+        charged analytically, so no particle performs scheduler-driven work.
+        Every particle is vacuously quiescent for the simulator's duration;
+        the bulk relocations still publish dirty-neighborhood events, so an
+        event-driven stage running afterwards starts from fresh neighbour
+        caches and a correctly re-woken configuration.
+        """
+        return True
+
     # -- geometry helpers -----------------------------------------------------
 
     def _ray_point(self, distance: int) -> Point:

@@ -37,10 +37,17 @@ from ..amoebot.algorithm import (
     STATUS_UNDECIDED,
     AmoebotAlgorithm,
     StatusMixin,
+    is_sce_flag_arc,
 )
 from ..amoebot.particle import Particle
 from ..amoebot.system import ParticleSystem
-from ..grid.coords import NUM_DIRECTIONS, Point, neighbor
+from ..grid.coords import (
+    NUM_DIRECTIONS,
+    Point,
+    direction_between,
+    neighbor,
+    neighbors,
+)
 from ..grid.shape import Shape
 
 __all__ = ["DLEAlgorithm", "LeaderElectionError", "verify_unique_leader"]
@@ -100,6 +107,10 @@ class DLEAlgorithm(AmoebotAlgorithm, StatusMixin):
         self.leader_point: Optional[Point] = None
         #: Number of points removed from ``S_e`` so far.
         self.erosions = 0
+        #: Particles whose ``terminated`` flag is set (termination is
+        #: absorbing, so a counter makes ``has_terminated`` O(1)).
+        self._terminated_count = 0
+        self._population = 0
 
     # -- setup ----------------------------------------------------------------
 
@@ -112,8 +123,20 @@ class DLEAlgorithm(AmoebotAlgorithm, StatusMixin):
         self.eligible_points = set(initial_shape.area_points)
         self.leader_point = None
         self.erosions = 0
+        self._terminated_count = 0
+        self._population = len(system)
+        # An adjacent empty point is on the outer face iff it is neither
+        # occupied nor a hole point, i.e. not in the area — a set lookup,
+        # much cheaper than six point_in_outer_face calls per particle.
+        area = initial_shape.area_points
         for particle in system.particles():
-            outer = self._outer_input(particle, initial_shape)
+            if self.outer_from_memory:
+                outer = self._outer_input(particle, initial_shape)
+            else:
+                adjacent = neighbors(particle.head)
+                orientation = particle.orientation
+                outer = [adjacent[(port + orientation) % NUM_DIRECTIONS] not in area
+                         for port in range(NUM_DIRECTIONS)]
             particle[OUTER_KEY] = list(outer)
             particle[STATUS_KEY] = STATUS_UNDECIDED
             particle[TERMINATED_KEY] = False
@@ -141,24 +164,64 @@ class DLEAlgorithm(AmoebotAlgorithm, StatusMixin):
     def is_terminated(self, particle: Particle, system: ParticleSystem) -> bool:
         return bool(particle.get(TERMINATED_KEY, False))
 
+    def has_terminated(self, system: ParticleSystem) -> bool:
+        # The terminated flag is set in exactly one place and never cleared,
+        # so the counter kept there replaces the default O(n) scan.  Fall
+        # back to the scan if this system is not the one setup() counted.
+        n = len(system)
+        if n != self._population:
+            return super().has_terminated(system)
+        return self._terminated_count >= n
+
+    # -- quiescence (event-driven engine) ---------------------------------------
+
+    def is_quiescent(self, particle: Particle, system: ParticleSystem) -> bool:
+        """Activating the particle is a no-op exactly when it is contracted
+        and (a) decided with an undecided neighbour (lines 10-11 wait) or
+        (b) undecided, with eligible neighbours left, at a non-SCE point
+        (line 16 fails).  Both conditions depend only on the particle's own
+        flags and its neighbours' statuses, which can only change when a
+        neighbour acts — the wake condition of the event engine."""
+        if particle.head != particle.tail:
+            return False  # line 9 would contract it
+        memory = particle.memory
+        if memory[STATUS_KEY] != STATUS_UNDECIDED:
+            # Lines 10-11 terminate it unless some neighbour is undecided.
+            for q in system.neighbors_of(particle):
+                if q.memory[STATUS_KEY] == STATUS_UNDECIDED:
+                    return True
+            return False
+        flags = memory[ELIGIBLE_KEY]
+        if True not in flags:
+            return False  # lines 14-15 would elect it leader
+        # The SCE test (contiguous cyclic arc of 1-3 eligible neighbours) is
+        # rotation invariant, so it can run directly on the port-indexed
+        # flags without translating ports to global directions.
+        return not is_sce_flag_arc(flags)
+
     # -- activation ---------------------------------------------------------------
 
-    def activate(self, particle: Particle, system: ParticleSystem) -> None:
+    def activate(self, particle: Particle, system: ParticleSystem) -> object:
+        # Returns the visibility hint of the base-class contract: ``False``
+        # when the activation wrote nothing a neighbour observes (neighbours
+        # only read each other's ``status``) beyond movements the system's
+        # dirty-neighborhood events already report.
+
         # Line 9: an expanded particle contracts into its head.
         if particle.is_expanded:
             system.contract_to_head(particle)
-            return
+            return False  # the contraction event wakes the neighbourhood
 
         status = particle[STATUS_KEY]
-        neighbors_particles = system.neighbors_of(particle)
 
         # Lines 10-11: a decided particle surrounded by decided particles
         # terminates (vacuously true when it has no neighbours).
         if status != STATUS_UNDECIDED:
             if all(q[STATUS_KEY] != STATUS_UNDECIDED
-                   for q in neighbors_particles):
+                   for q in system.neighbors_of(particle)):
                 particle[TERMINATED_KEY] = True
-            return
+                self._terminated_count += 1
+            return False  # the terminated flag is not neighbour-visible
 
         # Lines 12-28: the particle is contracted, undecided, at point v.
         point = particle.head
@@ -166,18 +229,19 @@ class DLEAlgorithm(AmoebotAlgorithm, StatusMixin):
 
         # eligible[] is indexed by *port*; translate to global directions once
         # so the geometric tests below are direction based.
+        orientation = particle.orientation
         eligible_dirs = [d for d in range(NUM_DIRECTIONS)
-                         if eligible[particle.direction_to_port(d)]]
+                         if eligible[(d - orientation) % NUM_DIRECTIONS]]
 
         # Lines 14-15: no eligible neighbour left -> become the leader.
         if not eligible_dirs:
             particle[STATUS_KEY] = STATUS_LEADER
             self.leader_point = point
-            return
+            return True  # status change: neighbours must re-examine
 
         # Line 16: otherwise the point must be SCE w.r.t. S_e to act.
         if not self._is_sce(eligible_dirs):
-            return
+            return False  # no-op activation
 
         # Lines 17-19: remove v from S_e and fix the neighbours' flags.
         self._mark_ineligible(point, particle, system)
@@ -202,9 +266,13 @@ class DLEAlgorithm(AmoebotAlgorithm, StatusMixin):
             new_eligible[port_back] = False
             particle[ELIGIBLE_KEY] = new_eligible
             system.expand(particle, target)
-        else:
-            # Line 28: nowhere to go -> the particle becomes a follower.
-            particle[STATUS_KEY] = STATUS_FOLLOWER
+            # The eligibility writes of _mark_ineligible touch particles
+            # adjacent to v, which the expansion event (dirty point: the
+            # target only) does not cover — request the neighbour wake.
+            return True
+        # Line 28: nowhere to go -> the particle becomes a follower.
+        particle[STATUS_KEY] = STATUS_FOLLOWER
+        return True  # status change: neighbours must re-examine
 
     # -- helpers ----------------------------------------------------------------
 
@@ -235,15 +303,19 @@ class DLEAlgorithm(AmoebotAlgorithm, StatusMixin):
         """Remove ``point`` from ``S_e`` (lines 17-19)."""
         self.eligible_points.discard(point)
         self.erosions += 1
+        adjacent = self._adjacent_points(point)
         for q in system.neighbors_of(particle):
             head = q.head
-            if head in self._adjacent_points(point):
-                q_eligible = q[ELIGIBLE_KEY]
-                q_eligible[q.port_between(head, point)] = False
+            if head in adjacent:
+                # Inlined q.port_between(head, point): q occupies ``head``
+                # by construction, so the validation can be skipped.
+                port = (direction_between(head, point)
+                        - q.orientation) % NUM_DIRECTIONS
+                q[ELIGIBLE_KEY][port] = False
 
     @staticmethod
     def _adjacent_points(point: Point) -> Set[Point]:
-        return {neighbor(point, d) for d in range(NUM_DIRECTIONS)}
+        return set(neighbors(point))
 
     # -- instrumentation --------------------------------------------------------
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from ..amoebot.scheduler import Scheduler, SchedulerResult
+from ..amoebot.scheduler import SchedulerResult, make_scheduler
 from ..amoebot.system import ParticleSystem
 from ..grid.shape import Shape
 from .collect import CollectResult, CollectSimulator
@@ -58,10 +58,10 @@ class ElectionOutcome:
 
 
 def _run_dle(system: ParticleSystem, outer_from_memory: bool,
-             scheduler_order: str, seed: int,
-             max_rounds: int) -> tuple[DLEAlgorithm, SchedulerResult]:
+             scheduler_order: str, seed: int, max_rounds: int,
+             engine: str = "sweep") -> tuple[DLEAlgorithm, SchedulerResult]:
     algorithm = DLEAlgorithm(outer_from_memory=outer_from_memory)
-    scheduler = Scheduler(order=scheduler_order, seed=seed)
+    scheduler = make_scheduler(engine, order=scheduler_order, seed=seed)
     result = scheduler.run(algorithm, system, max_rounds=max_rounds)
     if not result.terminated:
         raise RuntimeError(
@@ -80,15 +80,18 @@ def elect_leader_known_boundary(system: ParticleSystem,
                                 reconnect: bool = True,
                                 scheduler_order: str = "random",
                                 seed: int = 0,
-                                max_rounds: int = 1_000_000) -> ElectionOutcome:
+                                max_rounds: int = 1_000_000,
+                                engine: str = "sweep") -> ElectionOutcome:
     """Leader election under the known-outer-boundary assumption.
 
     Runs Algorithm DLE (faithful per-activation execution) and, when
     ``reconnect`` is true, Algorithm Collect to restore connectivity.
+    ``engine`` selects the activation engine for the DLE stage (``"sweep"``
+    or ``"event"``; both produce identical traces and round counts).
     """
     _, dle_result = _run_dle(system, outer_from_memory=False,
                              scheduler_order=scheduler_order, seed=seed,
-                             max_rounds=max_rounds)
+                             max_rounds=max_rounds, engine=engine)
     leader = verify_unique_leader(system)
     collect_result: Optional[CollectResult] = None
     collect_rounds = 0
@@ -111,18 +114,20 @@ def elect_leader(system: ParticleSystem,
                  reconnect: bool = True,
                  scheduler_order: str = "random",
                  seed: int = 0,
-                 max_rounds: int = 1_000_000) -> ElectionOutcome:
+                 max_rounds: int = 1_000_000,
+                 engine: str = "sweep") -> ElectionOutcome:
     """Leader election without the known-boundary assumption.
 
     Runs primitive OBD first (``O(L_out + D)`` rounds), feeds the detected
     boundary information to Algorithm DLE, and optionally reconnects with
-    Algorithm Collect.
+    Algorithm Collect.  ``engine`` selects the activation engine for the
+    scheduler-driven DLE stage.
     """
     obd = OuterBoundaryDetection(system)
     obd_result = obd.run()
     _, dle_result = _run_dle(system, outer_from_memory=True,
                              scheduler_order=scheduler_order, seed=seed,
-                             max_rounds=max_rounds)
+                             max_rounds=max_rounds, engine=engine)
     leader = verify_unique_leader(system)
     collect_result: Optional[CollectResult] = None
     collect_rounds = 0

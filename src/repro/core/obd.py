@@ -194,6 +194,17 @@ class OuterBoundaryDetection:
             raise ValueError("OBD expects a contracted initial configuration")
         self.system = system
 
+    def is_quiescent(self, particle: Particle, system: ParticleSystem) -> bool:
+        """Explicit quiescence declaration for the event-driven engine.
+
+        OBD is a synchronous primitive whose rounds are charged analytically
+        (see the module docstring): no particle ever performs scheduler-driven
+        work, so every particle is vacuously quiescent for the primitive's
+        whole duration.  Pipelines that interleave OBD with scheduler-driven
+        stages can therefore keep the whole system parked while it runs.
+        """
+        return True
+
     # -- main entry point ------------------------------------------------------
 
     def run(self) -> OBDResult:

@@ -67,7 +67,12 @@ def rotate_ccw(direction: int, steps: int = 1) -> int:
 
 def neighbor(point: Point, direction: int) -> Point:
     """Return the neighbour of ``point`` in the given global direction."""
-    dq, dr = DIRECTIONS[direction_index(direction)]
+    # Hot path of every activation: index directly for the canonical int
+    # case, fall back to the normalising lookup for names / out-of-range.
+    if type(direction) is int and 0 <= direction < NUM_DIRECTIONS:
+        dq, dr = DIRECTIONS[direction]
+    else:
+        dq, dr = DIRECTIONS[direction_index(direction)]
     return (point[0] + dq, point[1] + dr)
 
 
@@ -77,16 +82,18 @@ def neighbors(point: Point) -> List[Point]:
     return [(q + dq, r + dr) for dq, dr in DIRECTIONS]
 
 
+_DELTA_TO_DIRECTION = {delta: index for index, delta in enumerate(DIRECTIONS)}
+
+
 def direction_between(src: Point, dst: Point) -> int:
     """Return the global direction index from ``src`` to its neighbour ``dst``.
 
     Raises ``ValueError`` if the two points are not adjacent.
     """
-    delta = (dst[0] - src[0], dst[1] - src[1])
-    try:
-        return DIRECTIONS.index(delta)
-    except ValueError:
-        raise ValueError(f"{src} and {dst} are not adjacent grid points") from None
+    direction = _DELTA_TO_DIRECTION.get((dst[0] - src[0], dst[1] - src[1]))
+    if direction is None:
+        raise ValueError(f"{src} and {dst} are not adjacent grid points")
+    return direction
 
 
 def are_adjacent(a: Point, b: Point) -> bool:

@@ -273,6 +273,8 @@ class Shape:
         self._outer_empty: Set[Point] = set()
         self._holes: List[FrozenSet[Point]] = []
         self._rings: Optional[List[VirtualRing]] = None
+        self._connected: Optional[bool] = None
+        self._area_points: Optional[FrozenSet[Point]] = None
 
     # -- basic protocol ----------------------------------------------------
 
@@ -316,8 +318,12 @@ class Shape:
     # -- connectivity -------------------------------------------------------
 
     def is_connected(self) -> bool:
-        """True iff the shape is non-empty and connected."""
-        return is_connected(self._points)
+        """True iff the shape is non-empty and connected.
+
+        Memoised: the shape is immutable, so the BFS runs at most once."""
+        if self._connected is None:
+            self._connected = is_connected(self._points)
+        return self._connected
 
     def connected_components(self) -> List[Set[Point]]:
         return connected_components(self._points)
@@ -385,8 +391,13 @@ class Shape:
 
     @property
     def area_points(self) -> FrozenSet[Point]:
-        """The area of the shape: its points plus all of its hole points."""
-        return self._points | self.hole_points
+        """The area of the shape: its points plus all of its hole points.
+
+        Memoised: the shape is immutable, so the union is built at most
+        once."""
+        if self._area_points is None:
+            self._area_points = self._points | self.hole_points
+        return self._area_points
 
     def point_in_outer_face(self, point: Point) -> bool:
         """True iff ``point`` is an empty point lying on the outer face.

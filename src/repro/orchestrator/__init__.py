@@ -39,6 +39,7 @@ from .report import (
     scaling_summaries,
 )
 from .spec import (
+    ENGINES,
     SCHEDULER_ORDERS,
     RunConfig,
     SweepSpec,
@@ -49,6 +50,7 @@ from .store import RunLedger
 
 __all__ = [
     "DEFAULT_JOBS",
+    "ENGINES",
     "SCHEDULER_ORDERS",
     "ResultCache",
     "RunConfig",

@@ -141,7 +141,8 @@ def execute_config(config: RunConfig) -> ExperimentRecord:
                                         config.seed)
     return run_experiment(config.algorithm, shape, family=config.family,
                           size=config.size, seed=config.seed,
-                          metrics=metrics, order=config.scheduler)
+                          metrics=metrics, order=config.scheduler,
+                          engine=config.engine)
 
 
 def _worker(config_dict: Dict[str, Any]) -> Dict[str, Any]:

@@ -21,10 +21,13 @@ import itertools
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..amoebot.scheduler import ENGINES as _ENGINE_REGISTRY
+from ..amoebot.scheduler import SCHEDULER_ORDERS as _SCHEDULER_ORDERS
 from ..analysis.experiments import ALGORITHMS, TABLE1_ALGORITHMS, TABLE1_FAMILIES
 from ..grid.generators import SHAPE_FAMILIES
 
 __all__ = [
+    "ENGINES",
     "SCHEDULER_ORDERS",
     "RunConfig",
     "SweepSpec",
@@ -32,9 +35,18 @@ __all__ = [
     "table1_spec",
 ]
 
-#: Activation-order policies the adversary (scheduler) may use; mirrors the
-#: registry in :mod:`repro.amoebot.scheduler`.
-SCHEDULER_ORDERS: Tuple[str, ...] = ("random", "round_robin", "reversed")
+#: Activation-order policies the adversary (scheduler) may use; derived
+#: from the registry in :mod:`repro.amoebot.scheduler` so new policies are
+#: automatically runnable through sweeps and the CLI.
+SCHEDULER_ORDERS: Tuple[str, ...] = _SCHEDULER_ORDERS
+
+#: Activation engines, derived from :data:`repro.amoebot.scheduler.ENGINES`:
+#: ``sweep`` activates every particle each round, ``event`` parks quiescent
+#: particles and re-wakes them on dirty-neighborhood events.  Both produce
+#: identical traces and round counts, so the engine only matters for wall
+#: clock — but it is still part of the config (and therefore of the cache
+#: digest) so that performance experiments comparing engines never alias.
+ENGINES: Tuple[str, ...] = tuple(sorted(_ENGINE_REGISTRY))
 
 
 @dataclass(frozen=True, order=True)
@@ -53,6 +65,7 @@ class RunConfig:
     size: int
     seed: int
     scheduler: str = "random"
+    engine: str = "sweep"
 
     def validate(self) -> None:
         """Raise ``ValueError`` unless every field names a known entity."""
@@ -70,6 +83,11 @@ class RunConfig:
                 f"unknown scheduler order {self.scheduler!r}; "
                 f"known: {sorted(SCHEDULER_ORDERS)}"
             )
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown activation engine {self.engine!r}; "
+                f"known: {sorted(ENGINES)}"
+            )
         if self.size < 0:
             raise ValueError(f"size must be non-negative, got {self.size}")
 
@@ -81,6 +99,7 @@ class RunConfig:
             "size": self.size,
             "seed": self.seed,
             "scheduler": self.scheduler,
+            "engine": self.engine,
         }
 
     @classmethod
@@ -92,6 +111,7 @@ class RunConfig:
             size=int(data["size"]),
             seed=int(data["seed"]),
             scheduler=str(data.get("scheduler", "random")),
+            engine=str(data.get("engine", "sweep")),
         )
 
     def describe(self) -> str:
@@ -99,6 +119,8 @@ class RunConfig:
         label = f"{self.algorithm}/{self.family} size={self.size} seed={self.seed}"
         if self.scheduler != "random":
             label += f" sched={self.scheduler}"
+        if self.engine != "sweep":
+            label += f" engine={self.engine}"
         return label
 
 
@@ -117,6 +139,7 @@ class SweepSpec:
     sizes: Sequence[int]
     seeds: Sequence[int] = (0,)
     scheduler: str = "random"
+    engine: str = "sweep"
 
     def __post_init__(self) -> None:
         self.algorithms = list(self.algorithms)
@@ -134,7 +157,7 @@ class SweepSpec:
         """The full list of configs, validated, in canonical order."""
         configs = [
             RunConfig(algorithm=algorithm, family=family, size=size,
-                      seed=seed, scheduler=self.scheduler)
+                      seed=seed, scheduler=self.scheduler, engine=self.engine)
             for family, size, seed, algorithm in itertools.product(
                 self.families, self.sizes, self.seeds, self.algorithms)
         ]
@@ -151,6 +174,7 @@ class SweepSpec:
             "sizes": list(self.sizes),
             "seeds": list(self.seeds),
             "scheduler": self.scheduler,
+            "engine": self.engine,
         }
 
     @classmethod
@@ -164,21 +188,26 @@ class SweepSpec:
             sizes=data["sizes"],
             seeds=data.get("seeds", [0]),
             scheduler=data.get("scheduler", "random"),
+            engine=data.get("engine", "sweep"),
         )
 
 
 def scaling_spec(algorithm: str, family: str, sizes: Sequence[int],
-                 seed: int = 0, scheduler: str = "random") -> SweepSpec:
+                 seed: int = 0, scheduler: str = "random",
+                 engine: str = "sweep") -> SweepSpec:
     """The spec behind one scaling series (one algorithm, one family)."""
     return SweepSpec(algorithms=[algorithm], families=[family],
-                     sizes=list(sizes), seeds=[seed], scheduler=scheduler)
+                     sizes=list(sizes), seeds=[seed], scheduler=scheduler,
+                     engine=engine)
 
 
 def table1_spec(sizes: Sequence[int] = (2, 3, 4), seed: int = 0,
                 families: Sequence[str] = TABLE1_FAMILIES,
                 algorithms: Optional[Sequence[str]] = None,
-                scheduler: str = "random") -> SweepSpec:
+                scheduler: str = "random",
+                engine: str = "sweep") -> SweepSpec:
     """The spec behind the Table 1 reproduction (all algorithms × shapes)."""
     selected = list(algorithms) if algorithms is not None else list(TABLE1_ALGORITHMS)
     return SweepSpec(algorithms=selected, families=list(families),
-                     sizes=list(sizes), seeds=[seed], scheduler=scheduler)
+                     sizes=list(sizes), seeds=[seed], scheduler=scheduler,
+                     engine=engine)

@@ -1,0 +1,151 @@
+"""Tests for the micro-benchmark harness behind ``python -m repro bench``."""
+
+import json
+
+import pytest
+
+from repro.analysis.bench import (
+    BENCH_KIND,
+    BenchEntry,
+    BenchReport,
+    FULL_GRID,
+    QUICK_GRID,
+    compare_to_baseline,
+    load_report,
+    run_bench,
+)
+
+#: A grid small enough for unit tests (milliseconds of simulation).
+MICRO_GRID = (
+    ("dle", "hexagon", 2, ("sweep", "event")),
+    ("obd", "hexagon", 2, ("sweep",)),
+)
+
+
+def _entry(key_parts, normalized, seconds=0.01):
+    algorithm, family, size, engine = key_parts
+    return BenchEntry(algorithm=algorithm, family=family, size=int(size),
+                      engine=engine, seconds=seconds, normalized=normalized,
+                      rounds=5, succeeded=True, repeats=1)
+
+
+def _report(entries):
+    return BenchReport(rev="test", quick=True, repeats=1,
+                       calibration_seconds=0.01, entries=list(entries))
+
+
+class TestGrids:
+    def test_quick_grid_is_a_prefix_of_full(self):
+        assert FULL_GRID[:len(QUICK_GRID)] == QUICK_GRID
+
+    def test_quick_grid_pairs_engines_on_dle(self):
+        paired = [entry for entry in QUICK_GRID
+                  if entry[0] == "dle" and set(entry[3]) == {"sweep", "event"}]
+        assert paired, "quick grid must compare engines on DLE"
+
+    def test_quick_grid_covers_the_acceptance_size(self):
+        # The event-engine speedup claim is anchored at hexagon side >= 20.
+        sizes = [size for algorithm, family, size, _ in QUICK_GRID
+                 if algorithm == "dle" and family == "hexagon"]
+        assert any(size >= 20 for size in sizes)
+
+
+class TestRunBench:
+    def test_micro_grid_produces_paired_entries(self):
+        report = run_bench(MICRO_GRID, repeats=1)
+        keys = [entry.key for entry in report.entries]
+        assert keys == ["dle/hexagon/2/sweep", "dle/hexagon/2/event",
+                        "obd/hexagon/2/sweep"]
+        assert all(entry.seconds > 0 for entry in report.entries)
+        assert all(entry.succeeded for entry in report.entries)
+        assert report.calibration_seconds > 0
+        # Both engines ran the same simulation.
+        sweep, event = report.entries[0], report.entries[1]
+        assert sweep.rounds == event.rounds
+        assert "dle/hexagon/2" in report.speedups
+
+    def test_only_filter(self):
+        report = run_bench(MICRO_GRID, repeats=1, only="obd")
+        assert [entry.key for entry in report.entries] == ["obd/hexagon/2/sweep"]
+
+    def test_progress_callback(self):
+        seen = []
+        run_bench(MICRO_GRID[:1], repeats=1,
+                  progress=lambda key, entry: seen.append(key))
+        assert seen == ["dle/hexagon/2/sweep", "dle/hexagon/2/event"]
+
+    def test_report_round_trip(self, tmp_path):
+        report = run_bench(MICRO_GRID, repeats=1, quick=True)
+        path = report.save(tmp_path / "bench.json")
+        loaded = load_report(path)
+        assert loaded.rev == report.rev
+        assert [e.to_dict() for e in loaded.entries] == [
+            e.to_dict() for e in report.entries]
+        data = json.loads(path.read_text())
+        assert data["kind"] == BENCH_KIND
+        assert data["quick"] is True
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"kind": "something-else"}))
+        with pytest.raises(ValueError):
+            load_report(path)
+
+
+class TestBaselineComparison:
+    KEY = ("dle", "hexagon", "2", "sweep")
+
+    def test_no_regression_within_threshold(self):
+        current = _report([_entry(self.KEY, normalized=1.1)])
+        baseline = _report([_entry(self.KEY, normalized=1.0)])
+        comparison = compare_to_baseline(current, baseline, max_regression=0.25)
+        assert comparison.ok
+        assert not comparison.regressions
+
+    def test_regression_beyond_threshold_fails(self):
+        current = _report([_entry(self.KEY, normalized=1.6)])
+        baseline = _report([_entry(self.KEY, normalized=1.0)])
+        comparison = compare_to_baseline(current, baseline, max_regression=0.25)
+        assert not comparison.ok
+        key, cur, base, ratio = comparison.regressions[0]
+        assert key == "dle/hexagon/2/sweep"
+        assert ratio == pytest.approx(1.6)
+
+    def test_improvement_is_reported_not_failed(self):
+        current = _report([_entry(self.KEY, normalized=0.5)])
+        baseline = _report([_entry(self.KEY, normalized=1.0)])
+        comparison = compare_to_baseline(current, baseline, max_regression=0.25)
+        assert comparison.ok
+        assert comparison.improvements
+
+    def test_grid_growth_does_not_fail_the_gate(self):
+        new_key = ("dle", "hexagon", "4", "event")
+        current = _report([_entry(self.KEY, normalized=1.0),
+                           _entry(new_key, normalized=9.9)])
+        baseline = _report([_entry(self.KEY, normalized=1.0)])
+        comparison = compare_to_baseline(current, baseline)
+        assert comparison.ok
+        assert comparison.new_entries == ["dle/hexagon/4/event"]
+
+    def test_missing_entries_are_listed(self):
+        current = _report([])
+        baseline = _report([_entry(self.KEY, normalized=1.0)])
+        comparison = compare_to_baseline(current, baseline)
+        assert comparison.ok  # nothing measured regressed
+        assert comparison.missing == ["dle/hexagon/2/sweep"]
+
+
+class TestCommittedBaseline:
+    def test_committed_baseline_matches_the_quick_grid(self):
+        """BENCH_baseline.json must stay in sync with QUICK_GRID so the CI
+        gate compares every measured entry."""
+        from pathlib import Path
+
+        baseline_path = Path(__file__).resolve().parent.parent / "BENCH_baseline.json"
+        baseline = load_report(baseline_path)
+        expected = {
+            f"{algorithm}/{family}/{size}/{engine}"
+            for algorithm, family, size, engines in QUICK_GRID
+            for engine in engines
+        }
+        assert {entry.key for entry in baseline.entries} == expected

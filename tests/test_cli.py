@@ -144,7 +144,7 @@ class TestCommands:
     def test_sweep_exits_nonzero_when_runs_fail(self, capsys, monkeypatch):
         from repro.analysis import experiments
 
-        def broken(shape, seed, order="random"):
+        def broken(shape, seed, order="random", engine="sweep"):
             raise RuntimeError("driver exploded")
 
         monkeypatch.setitem(experiments.ALGORITHMS, "dle", broken)
@@ -161,3 +161,123 @@ class TestCommands:
                      "--quiet"])
         assert code == 0
         assert "dle rounds vs D_A (hexagon)" in capsys.readouterr().out
+
+
+class TestEngineFlag:
+    def test_sweep_engine_default(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.engine == "sweep"
+
+    def test_sweep_engine_choices(self):
+        args = build_parser().parse_args(["sweep", "--engine", "event"])
+        assert args.engine == "event"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--engine", "warp"])
+
+    def test_sweep_event_engine_runs(self, capsys):
+        code = main(["sweep", "--algorithms", "dle", "--families", "hexagon",
+                     "--sizes", "2", "--engine", "event", "--quiet"])
+        assert code == 0
+        assert "sweep results" in capsys.readouterr().out
+
+    def test_engine_changes_the_cache_key(self, capsys, tmp_path):
+        base = ["sweep", "--algorithms", "dle", "--families", "hexagon",
+                "--sizes", "2", "--quiet", "--cache-dir", str(tmp_path / "c")]
+        assert main(base) == 0
+        assert "1 executed" in capsys.readouterr().out
+        # Same config under the other engine must not be served from cache.
+        assert main(base + ["--engine", "event"]) == 0
+        assert "1 executed" in capsys.readouterr().out
+        # Re-running either engine hits its own cache entry.
+        assert main(base + ["--engine", "event"]) == 0
+        assert "1 cached" in capsys.readouterr().out
+
+    def test_summary_json(self, capsys, tmp_path):
+        path = tmp_path / "summary.json"
+        code = main(["sweep", "--algorithms", "dle", "erosion",
+                     "--families", "hexagon", "--sizes", "2", "--quiet",
+                     "--summary-json", str(path)])
+        assert code == 0
+        summary = json.loads(path.read_text())
+        assert summary["kind"] == "sweep-summary"
+        assert summary["ok"] is True
+        assert summary["counts"]["total"] == 2
+        assert summary["counts"]["executed"] == 2
+        assert summary["failures"] == []
+        assert summary["spec"]["engine"] == "sweep"
+
+    def test_summary_json_records_failures(self, tmp_path, capsys, monkeypatch):
+        from repro.analysis import experiments
+
+        def broken(shape, seed, order="random", engine="sweep"):
+            raise RuntimeError("driver exploded")
+
+        monkeypatch.setitem(experiments.ALGORITHMS, "dle", broken)
+        path = tmp_path / "summary.json"
+        code = main(["sweep", "--algorithms", "dle", "erosion",
+                     "--families", "hexagon", "--sizes", "2", "--quiet",
+                     "--summary-json", str(path)])
+        assert code == 1
+        summary = json.loads(path.read_text())
+        assert summary["ok"] is False
+        assert summary["counts"]["failed"] == 1
+        assert any("dle/hexagon" in failure for failure in summary["failures"])
+
+
+class TestBenchCommand:
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert not args.quick
+        assert args.repeats == 3
+        assert args.max_regression == 0.25
+        assert args.baseline is None
+
+    def test_bench_only_filter_runs_and_writes_report(self, capsys, tmp_path):
+        out = tmp_path / "bench.json"
+        code = main(["bench", "--quick", "--repeats", "1",
+                     "--only", "dle/hexagon/10", "--out", str(out), "--quiet"])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "dle/hexagon/10/sweep" in printed
+        assert "event-engine speedup" in printed
+        data = json.loads(out.read_text())
+        assert data["kind"] == "repro-bench"
+        assert len(data["entries"]) == 2
+
+    def test_bench_unknown_filter_errors(self, capsys, tmp_path):
+        code = main(["bench", "--quick", "--only", "nonexistent",
+                     "--out", str(tmp_path / "b.json"), "--quiet"])
+        assert code == 2
+        assert "no benchmark entries matched" in capsys.readouterr().err
+
+    def test_bench_baseline_gate_passes_against_itself(self, capsys, tmp_path):
+        out1 = tmp_path / "first.json"
+        assert main(["bench", "--quick", "--repeats", "1",
+                     "--only", "dle/hexagon/10", "--out", str(out1),
+                     "--quiet"]) == 0
+        capsys.readouterr()
+        out2 = tmp_path / "second.json"
+        code = main(["bench", "--quick", "--repeats", "1",
+                     "--only", "dle/hexagon/10", "--out", str(out2),
+                     "--baseline", str(out1), "--max-regression", "5.0",
+                     "--quiet"])
+        assert code == 0
+        assert "baseline check ok" in capsys.readouterr().out
+
+    def test_bench_baseline_gate_fails_on_regression(self, capsys, tmp_path):
+        out1 = tmp_path / "first.json"
+        assert main(["bench", "--quick", "--repeats", "1",
+                     "--only", "dle/hexagon/10", "--out", str(out1),
+                     "--quiet"]) == 0
+        # Shrink the baseline's normalized times so the rerun "regresses".
+        data = json.loads(out1.read_text())
+        for entry in data["entries"]:
+            entry["normalized"] /= 100.0
+        out1.write_text(json.dumps(data))
+        capsys.readouterr()
+        code = main(["bench", "--quick", "--repeats", "1",
+                     "--only", "dle/hexagon/10", "--out",
+                     str(tmp_path / "second.json"),
+                     "--baseline", str(out1), "--quiet"])
+        assert code == 1
+        assert "regressed" in capsys.readouterr().err

@@ -43,6 +43,7 @@ class TestSweepSpec:
         {"algorithms": ["frobnicate"]},
         {"families": ["klein-bottle"]},
         {"scheduler": "psychic"},
+        {"engine": "warp"},
     ])
     def test_expand_validates(self, kwargs):
         base = {"algorithms": ["dle"], "families": ["hexagon"], "sizes": [2]}
@@ -63,6 +64,18 @@ class TestSweepSpec:
         assert [c.size for c in spec.expand()] == [2, 3]
         assert all(c.seed == 7 for c in spec.expand())
 
+    def test_engine_is_part_of_the_config(self):
+        spec = SweepSpec(algorithms=["dle"], families=["hexagon"], sizes=[2],
+                         engine="event")
+        configs = spec.expand()
+        assert all(c.engine == "event" for c in configs)
+        assert SweepSpec.from_dict(spec.to_dict()).engine == "event"
+        # Old serialised configs (pre-engine) default to the sweep engine.
+        legacy = {"algorithm": "dle", "family": "hexagon", "size": 2,
+                  "seed": 0}
+        assert RunConfig.from_dict(legacy).engine == "sweep"
+        assert "engine=event" in configs[0].describe()
+
 
 # ---------------------------------------------------------------------------
 # Content-addressed cache
@@ -78,8 +91,9 @@ class TestResultCache:
             RunConfig("dle", "hexagon", 3, 0),
             RunConfig("dle", "hexagon", 2, 1),
             RunConfig("dle", "hexagon", 2, 0, scheduler="reversed"),
+            RunConfig("dle", "hexagon", 2, 0, engine="event"),
         ]
-        assert len({config_digest(m, "v1") for m in mutations} | {digest}) == 6
+        assert len({config_digest(m, "v1") for m in mutations} | {digest}) == 7
         assert config_digest(CONFIG, "v2") != digest
 
     def test_put_get_round_trip(self, tmp_path):
@@ -154,7 +168,7 @@ class TestRunLedger:
 # ---------------------------------------------------------------------------
 
 def _counting_driver(counter):
-    def driver(shape, seed, order="random"):
+    def driver(shape, seed, order="random", engine="sweep"):
         counter["runs"] += 1
         return {"rounds": 1, "succeeded": True}
     return driver
@@ -231,7 +245,7 @@ class TestRunSweep:
                          cache=tmp_path / "cache").counts()["cached"] == 4
 
     def test_failures_are_captured_not_fatal(self, tmp_path, monkeypatch):
-        def flaky(shape, seed, order="random"):
+        def flaky(shape, seed, order="random", engine="sweep"):
             if seed == 1:
                 raise RuntimeError("synthetic failure")
             return {"rounds": 1, "succeeded": True}
@@ -253,7 +267,7 @@ class TestRunSweep:
     def test_failures_never_cached(self, tmp_path, monkeypatch):
         calls = {"n": 0}
 
-        def always_fails(shape, seed, order="random"):
+        def always_fails(shape, seed, order="random", engine="sweep"):
             calls["n"] += 1
             raise RuntimeError("nope")
 
@@ -303,7 +317,7 @@ class TestFrontEnds:
             experiments.TABLE1_ALGORITHMS)
 
     def test_front_end_raises_on_failure(self, monkeypatch):
-        def always_fails(shape, seed, order="random"):
+        def always_fails(shape, seed, order="random", engine="sweep"):
             raise RuntimeError("driver exploded")
 
         monkeypatch.setitem(experiments.ALGORITHMS, "dle", always_fails)
@@ -311,7 +325,7 @@ class TestFrontEnds:
             experiments.run_scaling_experiment("dle", "hexagon", [2])
 
     def test_front_end_preserves_exception_type(self, monkeypatch):
-        def raises_value_error(shape, seed, order="random"):
+        def raises_value_error(shape, seed, order="random", engine="sweep"):
             raise ValueError("bad input")
 
         monkeypatch.setitem(experiments.ALGORITHMS, "dle", raises_value_error)

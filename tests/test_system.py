@@ -223,3 +223,156 @@ class TestBulkOperations:
         snap = system.snapshot()
         assert snap[a.particle_id] == (ORIGIN, ORIGIN)
         assert snap[b.particle_id] == ((1, 0), (1, 0))
+
+
+def _fresh_neighbor_lists(system):
+    """Reference neighbour computation, bypassing the cached index."""
+    result = {}
+    for particle in system.particles():
+        seen = []
+        for origin in particle.occupied_points:
+            for point in neighbor_points(origin):
+                other = system.particle_at(point)
+                if other is None or other is particle:
+                    continue
+                if other.particle_id not in seen:
+                    seen.append(other.particle_id)
+        result[particle.particle_id] = seen
+    return result
+
+
+def neighbor_points(origin):
+    return [neighbor(origin, d) for d in range(6)]
+
+
+class TestNeighborCache:
+    """The cached neighbor index must track every movement operation."""
+
+    def _assert_cache_consistent(self, system):
+        expected = _fresh_neighbor_lists(system)
+        for particle in system.particles():
+            cached = [q.particle_id for q in system.neighbors_of(particle)]
+            assert cached == expected[particle.particle_id], (
+                f"stale neighbour cache for particle {particle.particle_id}"
+            )
+
+    def test_cache_returns_same_result_twice(self):
+        system = ParticleSystem.from_shape(hexagon(2))
+        for particle in system.particles():
+            first = [q.particle_id for q in system.neighbors_of(particle)]
+            second = [q.particle_id for q in system.neighbors_of(particle)]
+            assert first == second
+
+    def test_invalidated_by_expand(self):
+        system = ParticleSystem.from_shape(line_shape(3))
+        self._assert_cache_consistent(system)  # populate the cache
+        p = system.particle_at((0, 0))
+        system.expand(p, (0, 1))
+        self._assert_cache_consistent(system)
+
+    def test_invalidated_by_contract_to_head(self):
+        system = ParticleSystem.from_shape(line_shape(3))
+        self._assert_cache_consistent(system)
+        p = system.particle_at((0, 0))
+        system.expand(p, (0, 1))
+        self._assert_cache_consistent(system)
+        system.contract_to_head(p)
+        self._assert_cache_consistent(system)
+
+    def test_invalidated_by_contract_to_tail(self):
+        system = ParticleSystem.from_shape(line_shape(3))
+        self._assert_cache_consistent(system)
+        p = system.particle_at((0, 0))
+        system.expand(p, (0, 1))
+        system.contract_to_tail(p)
+        self._assert_cache_consistent(system)
+
+    def test_invalidated_by_handover(self):
+        system, a, b = small_system()
+        c = system.add_particle((2, 0))
+        self._assert_cache_consistent(system)
+        system.expand(a, (0, 1))
+        self._assert_cache_consistent(system)
+        # b (contracted) performs a handover with a (expanded): b expands
+        # into a's tail while a contracts.
+        system.handover(b, a)
+        self._assert_cache_consistent(system)
+
+    def test_invalidated_by_teleport(self):
+        system = ParticleSystem.from_shape(line_shape(4))
+        self._assert_cache_consistent(system)
+        p = system.particle_at((0, 0))
+        system.teleport(p, (0, 5))
+        self._assert_cache_consistent(system)
+
+    def test_invalidated_by_bulk_relocate(self):
+        system = ParticleSystem.from_shape(line_shape(4))
+        self._assert_cache_consistent(system)
+        ids = system.particle_ids()
+        system.bulk_relocate({ids[0]: (0, 7), ids[1]: (1, 7)})
+        self._assert_cache_consistent(system)
+
+    def test_invalidated_by_add_particle(self):
+        system = ParticleSystem.from_shape(line_shape(2))
+        self._assert_cache_consistent(system)
+        system.add_particle((2, 0))
+        self._assert_cache_consistent(system)
+
+    def test_neighbor_ids_matches_neighbors_of(self):
+        system = ParticleSystem.from_shape(hexagon(2))
+        for particle in system.particles():
+            ids = list(system.neighbor_ids(particle))
+            assert ids == [q.particle_id for q in system.neighbors_of(particle)]
+
+
+class TestChangeEvents:
+    def test_every_movement_op_publishes_an_event(self):
+        system = ParticleSystem.from_shape(line_shape(3))
+        events = []
+        system.add_change_listener(
+            lambda points, ids: events.append((set(points), set(ids))))
+        p = system.particle_at((0, 0))
+
+        system.expand(p, (0, 1))
+        assert events and (0, 1) in events[-1][0]
+        system.contract_to_tail(p)
+        assert (0, 1) in events[-1][0]
+        system.teleport(p, (0, 5))
+        assert {(0, 0), (0, 5)} <= events[-1][0]
+        count_before = len(events)
+        system.bulk_relocate({p.particle_id: (0, 9)})
+        assert len(events) == count_before + 1
+        system.add_particle((5, 5))
+        assert (5, 5) in events[-1][0]
+
+    def test_affected_ids_cover_the_neighbourhood(self):
+        system, a, b = small_system()
+        events = []
+        system.add_change_listener(
+            lambda points, ids: events.append(frozenset(ids)))
+        # a expands away from b; b is adjacent to the vacated/occupied area
+        # and must be reported as affected.
+        system.expand(a, (0, 1))
+        assert a.particle_id in events[-1]
+        assert b.particle_id in events[-1]
+
+    def test_remove_listener(self):
+        system, a, _ = small_system()
+        events = []
+        listener = system.add_change_listener(
+            lambda points, ids: events.append(points))
+        system.remove_change_listener(listener)
+        system.expand(a, (0, 1))
+        assert events == []
+        # Removing twice is a no-op.
+        system.remove_change_listener(listener)
+
+    def test_shape_cache_tracks_occupancy_version(self):
+        system = ParticleSystem.from_shape(line_shape(3))
+        first = system.shape()
+        assert system.shape() is first  # cached while nothing moves
+        p = system.particle_at((0, 0))
+        system.expand(p, (0, 1))
+        second = system.shape()
+        assert second is not first
+        assert (0, 1) in second.points
