@@ -236,18 +236,21 @@ def run_experiment(algorithm: str, shape: Shape, family: str = "custom",
 def run_scaling_experiment(algorithm: str, family: str, sizes: Iterable[int],
                            seed: int = 0, jobs: int = 1,
                            cache_dir: Optional[str] = None,
+                           transport: Optional[object] = None,
                            ) -> List[ExperimentRecord]:
     """Run one algorithm on a growing sequence of shapes from one family.
 
     Thin front-end over :func:`repro.orchestrator.run_sweep`: ``jobs`` runs
-    the ladder in parallel worker processes and ``cache_dir`` reuses
-    previously-computed results.  Execution errors are re-raised, matching
-    the historical serial-loop behaviour.
+    the ladder in parallel worker processes, ``cache_dir`` reuses
+    previously-computed results, and ``transport`` (a name or a transport
+    object such as :class:`~repro.orchestrator.queue.QueueTransport`)
+    distributes the runs to remote workers.  Execution errors are
+    re-raised, matching the historical serial-loop behaviour.
     """
     from ..orchestrator import run_sweep, scaling_spec
 
     spec = scaling_spec(algorithm, family, list(sizes), seed=seed)
-    result = run_sweep(spec, jobs=jobs, cache=cache_dir)
+    result = run_sweep(spec, jobs=jobs, cache=cache_dir, transport=transport)
     return result.raise_failures().records
 
 
@@ -255,18 +258,19 @@ def run_table1_experiment(sizes: Iterable[int] = (2, 3, 4), seed: int = 0,
                           families: Sequence[str] = TABLE1_FAMILIES,
                           algorithms: Optional[Sequence[str]] = None,
                           jobs: int = 1, cache_dir: Optional[str] = None,
+                          transport: Optional[object] = None,
                           ) -> List[ExperimentRecord]:
     """Measurements behind the Table 1 reproduction.
 
     Every algorithm in ``algorithms`` (default: the Table 1 set) is run on
     every (family, size) pair, through the orchestrator (``jobs`` worker
-    processes, optional result cache).  Failures (e.g. the erosion baseline
-    on holey shapes) are recorded, not raised — they are part of the
-    comparison.
+    processes, optional result cache, optional remote ``transport``).
+    Failures (e.g. the erosion baseline on holey shapes) are recorded, not
+    raised — they are part of the comparison.
     """
     from ..orchestrator import run_sweep, table1_spec
 
     spec = table1_spec(sizes=list(sizes), seed=seed, families=families,
                        algorithms=algorithms)
-    result = run_sweep(spec, jobs=jobs, cache=cache_dir)
+    result = run_sweep(spec, jobs=jobs, cache=cache_dir, transport=transport)
     return result.raise_failures().records

@@ -5,7 +5,11 @@ The CLI exposes the experiment harness without writing any Python:
 * ``python -m repro sweep --algorithms dle obd --sizes 2 4 6 --jobs 4``
   — run an arbitrary experiment grid through the orchestrator
   (parallel workers, ``--cache-dir`` result reuse, ``--resume``,
-  ``--engine`` activation-engine selection)
+  ``--engine`` activation-engine selection, ``--transport queue`` to
+  distribute over worker daemons)
+* ``python -m repro worker runs/queue``        — pull-based worker daemon
+  serving ``--transport queue`` sweeps from any machine sharing the
+  filesystem
 * ``python -m repro bench --quick``               — fixed micro-benchmark grid,
   emits ``BENCH_<rev>.json`` and optionally gates against a baseline
 * ``python -m repro table1``                  — reproduce the Table 1 comparison
@@ -46,8 +50,10 @@ from .grid.metrics import compute_metrics
 from .io import save_records
 from .orchestrator import (
     DEFAULT_JOBS,
+    DEFAULT_MAX_ATTEMPTS,
     ENGINES,
     SCHEDULER_ORDERS,
+    TRANSPORTS,
     SweepSpec,
     format_sweep_scaling,
     format_sweep_summary,
@@ -96,6 +102,27 @@ def build_parser() -> argparse.ArgumentParser:
                             "particles (identical traces, less wall clock)")
     sweep.add_argument("--jobs", type=int, default=DEFAULT_JOBS,
                        help="worker processes (1 = in-process)")
+    sweep.add_argument("--transport", default=None, choices=list(TRANSPORTS),
+                       help="where configs execute: 'inline' (this process),"
+                            " 'process' (local pool, the --jobs default), or"
+                            " 'queue' (worker daemons watching --queue-dir)")
+    sweep.add_argument("--queue-dir", metavar="PATH", default=None,
+                       help="shared task-queue directory "
+                            "(required by --transport queue)")
+    sweep.add_argument("--workers-expected", type=int, default=0,
+                       help="wait until this many live workers are "
+                            "registered before enqueueing (queue transport)")
+    sweep.add_argument("--worker-timeout", type=float, default=60.0,
+                       help="seconds to wait for --workers-expected workers")
+    sweep.add_argument("--queue-timeout", type=float, default=None,
+                       help="overall seconds to wait for queue results "
+                            "(default: wait forever)")
+    sweep.add_argument("--lease-ttl", type=float, default=60.0,
+                       help="seconds without a heartbeat before a queue "
+                            "task lease is reclaimed from a dead worker")
+    sweep.add_argument("--max-attempts", type=int, default=DEFAULT_MAX_ATTEMPTS,
+                       help="retry budget per failing config before a "
+                            "resumed sweep gives up on it (0 = unlimited)")
     sweep.add_argument("--cache-dir", metavar="PATH", default=None,
                        help="content-addressed result cache directory")
     sweep.add_argument("--ledger", metavar="PATH", default=None,
@@ -147,6 +174,27 @@ def build_parser() -> argparse.ArgumentParser:
     elect.add_argument("--render", action="store_true",
                        help="print the final configuration as ASCII art")
 
+    worker = sub.add_parser(
+        "worker",
+        help="run a pull-based sweep worker against a shared queue directory")
+    worker.add_argument("queue_dir", metavar="QUEUE_DIR",
+                        help="the directory '--transport queue' sweeps "
+                             "enqueue into (created if missing)")
+    worker.add_argument("--id", default=None,
+                        help="worker id (default: <hostname>-<pid>)")
+    worker.add_argument("--lease-ttl", type=float, default=60.0,
+                        help="seconds without a heartbeat before other "
+                             "workers may reclaim this worker's task")
+    worker.add_argument("--poll", type=float, default=0.2,
+                        help="seconds between polls when the queue is empty")
+    worker.add_argument("--max-idle", type=float, default=None,
+                        help="exit after this many seconds without work "
+                             "(default: run until a STOP file appears)")
+    worker.add_argument("--max-tasks", type=int, default=None,
+                        help="exit after processing this many tasks")
+    worker.add_argument("--quiet", action="store_true",
+                        help="suppress per-task progress lines on stderr")
+
     bench = sub.add_parser(
         "bench",
         help="run the fixed micro-benchmark grid and emit BENCH_<rev>.json")
@@ -191,6 +239,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.resume and not args.ledger:
         print("error: --resume requires --ledger", file=sys.stderr)
         return 2
+    if args.transport == "queue" and not args.queue_dir:
+        print("error: --transport queue requires --queue-dir",
+              file=sys.stderr)
+        return 2
+    if args.queue_dir and args.transport != "queue":
+        print("error: --queue-dir requires --transport queue",
+              file=sys.stderr)
+        return 2
     if args.parameter and args.parameter not in _sweep_parameters():
         # Validate before the sweep runs so a typo cannot discard the work.
         print(f"error: parameter {args.parameter!r} is not a numeric "
@@ -200,15 +256,30 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                      sizes=args.sizes, seeds=args.seeds,
                      scheduler=args.scheduler, engine=args.engine)
 
+    transport = args.transport
+    if transport == "queue":
+        from .orchestrator import QueueTransport
+
+        transport = QueueTransport(args.queue_dir,
+                                   lease_ttl=args.lease_ttl,
+                                   max_attempts=args.max_attempts,
+                                   workers_expected=args.workers_expected,
+                                   worker_timeout=args.worker_timeout,
+                                   timeout=args.queue_timeout)
+
     def progress(done: int, total: int, result) -> None:
         status = "ok" if result.ok else "FAILED"
         if result.ok and result.source != "executed":
             status += f" ({result.source})"
+        elif not result.ok and result.gave_up:
+            status += " (gave up, retry budget spent)"
         print(f"[{done}/{total}] {result.config.describe()}: {status}",
               file=sys.stderr)
 
     result = run_sweep(spec, jobs=args.jobs, cache=args.cache_dir,
                        ledger=args.ledger, resume=args.resume,
+                       transport=transport,
+                       max_attempts=args.max_attempts or None,
                        progress=None if args.quiet else progress)
     records = result.records
     print(format_records(records, title="sweep results"))
@@ -236,6 +307,36 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             json.dump(summary, handle, indent=2)
         print(f"sweep summary written to {args.summary_json}")
     return 1 if (result.failures or not records) else 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from .orchestrator import run_worker
+
+    def progress(task_id: str, result) -> None:
+        if result.get("retrying"):
+            status = f"retrying (attempt {result.get('attempt')})"
+        elif "record" in result:
+            status = "ok"
+        else:
+            status = "FAILED"
+        print(f"worker: {task_id}: {status}", file=sys.stderr)
+
+    if not args.quiet:
+        print(f"worker: serving queue {args.queue_dir} "
+              f"(lease ttl {args.lease_ttl:.0f}s; stop with a STOP file "
+              f"or Ctrl-C)", file=sys.stderr)
+    try:
+        processed = run_worker(args.queue_dir, worker_id=args.id,
+                               lease_ttl=args.lease_ttl, poll=args.poll,
+                               max_idle=args.max_idle,
+                               max_tasks=args.max_tasks,
+                               progress=None if args.quiet else progress)
+    except KeyboardInterrupt:
+        print("worker: interrupted", file=sys.stderr)
+        return 130
+    if not args.quiet:
+        print(f"worker: exiting after {processed} task(s)", file=sys.stderr)
+    return 0
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -371,6 +472,7 @@ def _cmd_families(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "sweep": _cmd_sweep,
+    "worker": _cmd_worker,
     "bench": _cmd_bench,
     "table1": _cmd_table1,
     "scaling": _cmd_scaling,

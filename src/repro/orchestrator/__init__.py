@@ -6,9 +6,14 @@ Everything that turns a declarative experiment grid into records:
   :class:`RunConfig` lists,
 * :mod:`~repro.orchestrator.cache` — content-addressed on-disk result cache,
 * :mod:`~repro.orchestrator.pool` — :func:`run_sweep`, the cache-aware
-  multiprocessing execution engine,
+  execution engine,
+* :mod:`~repro.orchestrator.transport` — pluggable executors: in-process,
+  local ``multiprocessing`` pool, or a distributed filesystem queue,
+* :mod:`~repro.orchestrator.queue` — the filesystem task queue behind
+  ``--transport queue`` and the ``python -m repro worker`` daemon,
 * :mod:`~repro.orchestrator.store` — the append-only JSONL
-  :class:`RunLedger` that makes interrupted sweeps resumable,
+  :class:`RunLedger` that makes interrupted sweeps resumable (and safe for
+  concurrent writers on a shared filesystem),
 * :mod:`~repro.orchestrator.report` — aggregation back into
   :mod:`repro.analysis.tables` / :mod:`repro.analysis.fitting`.
 
@@ -27,11 +32,13 @@ Typical use (what ``python -m repro sweep`` does)::
 from .cache import ResultCache, config_digest, default_code_version
 from .pool import (
     DEFAULT_JOBS,
+    DEFAULT_MAX_ATTEMPTS,
     RunResult,
     SweepResult,
     execute_config,
     run_sweep,
 )
+from .queue import FileTaskQueue, QueueTransport, run_worker
 from .report import (
     format_sweep_scaling,
     format_sweep_summary,
@@ -47,11 +54,23 @@ from .spec import (
     table1_spec,
 )
 from .store import RunLedger
+from .transport import (
+    TRANSPORTS,
+    InlineTransport,
+    ProcessTransport,
+    resolve_transport,
+)
 
 __all__ = [
     "DEFAULT_JOBS",
+    "DEFAULT_MAX_ATTEMPTS",
     "ENGINES",
     "SCHEDULER_ORDERS",
+    "TRANSPORTS",
+    "FileTaskQueue",
+    "InlineTransport",
+    "ProcessTransport",
+    "QueueTransport",
     "ResultCache",
     "RunConfig",
     "RunLedger",
@@ -64,7 +83,9 @@ __all__ = [
     "format_sweep_scaling",
     "format_sweep_summary",
     "group_records",
+    "resolve_transport",
     "run_sweep",
+    "run_worker",
     "scaling_spec",
     "scaling_summaries",
     "table1_spec",

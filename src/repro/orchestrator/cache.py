@@ -19,11 +19,10 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
-import tempfile
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
+from .fsutil import write_json_atomic
 from .spec import RunConfig
 
 __all__ = ["config_digest", "default_code_version", "ResultCache"]
@@ -95,7 +94,6 @@ class ResultCache:
         from ..io import records_to_dicts
 
         path = self.path_for(config)
-        path.parent.mkdir(parents=True, exist_ok=True)
         envelope: Dict[str, Any] = {
             "kind": "sweep-cache-entry",
             "digest": self.digest(config),
@@ -103,17 +101,10 @@ class ResultCache:
             "config": config.to_dict(),
             "record": records_to_dicts([record])[0],
         }
-        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(envelope, handle)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        # Atomic and durable (temp file + fsync + os.replace): on a shared
+        # filesystem another machine may read the entry the moment it
+        # appears.
+        write_json_atomic(path, envelope)
         return path
 
     # -- bookkeeping --------------------------------------------------------

@@ -1,0 +1,48 @@
+"""Shared filesystem primitives for the orchestrator's on-disk state.
+
+The result cache, the task queue and the ledger all coordinate concurrent
+processes — possibly on different machines — through plain files, so they
+share one publication idiom: write to a hidden temp file in the target
+directory, ``fsync``, then ``os.replace``.  Readers see either nothing or
+the complete payload, never a torn write, and the data is on stable
+storage before the name becomes visible (a bare rename can survive a crash
+that the unsynced data behind it does not).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+__all__ = ["read_json", "write_json_atomic"]
+
+
+def write_json_atomic(path: Path, payload: Dict[str, Any]) -> None:
+    """Publish ``payload`` at ``path`` atomically and durably."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), prefix=".",
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def read_json(path: Path) -> Optional[Dict[str, Any]]:
+    """Parse ``path`` as a JSON object; ``None`` if missing or unreadable."""
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    return data if isinstance(data, dict) else None

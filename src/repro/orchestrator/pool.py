@@ -9,23 +9,25 @@ available source:
 1. the run ledger, when ``resume`` is set and a previous sweep already
    finished the config,
 2. the content-addressed :class:`~repro.orchestrator.cache.ResultCache`,
-3. actual execution — in-process for ``jobs=1`` (zero overhead, easiest to
-   debug and to monkeypatch in tests), in a ``multiprocessing`` pool
-   otherwise.
+3. actual execution through a pluggable
+   :mod:`~repro.orchestrator.transport`: in-process for ``jobs=1`` (zero
+   overhead, easiest to debug and to monkeypatch in tests), a
+   ``multiprocessing`` pool for ``jobs>1``, or a filesystem task queue
+   served by ``python -m repro worker`` daemons on other machines.
 
 A run that raises is captured as a failed :class:`RunResult` instead of
-killing the sweep; failures are appended to the ledger (so they are retried
-on resume) but never cached.  Results always come back in spec order, no
-matter which worker finished first, so ``jobs=1`` and ``jobs=8`` produce
-byte-identical record lists.
+killing the sweep; failures are appended to the ledger with a cumulative
+attempt count (so resume can retry them — up to ``max_attempts``, after
+which the sweep *gives up* on the config and reports it) but never cached.
+Results always come back in spec order, no matter which worker finished
+first, and the ledger is written in spec order too, so ``jobs=1``,
+``jobs=8`` and a queue sweep over many machines produce identical ledgers.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import time
-import traceback
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
@@ -36,9 +38,11 @@ from ..grid.metrics import compute_metrics
 from .cache import ResultCache
 from .spec import RunConfig, SweepSpec
 from .store import RunLedger
+from .transport import resolve_transport
 
 __all__ = [
     "DEFAULT_JOBS",
+    "DEFAULT_MAX_ATTEMPTS",
     "RunResult",
     "SweepResult",
     "execute_config",
@@ -48,6 +52,10 @@ __all__ = [
 #: Shared default for every ``--jobs`` flag.
 DEFAULT_JOBS = 1
 
+#: How many times a failing config is attempted (first run + resumes)
+#: before ``--resume`` gives up on it.  ``None`` retries forever.
+DEFAULT_MAX_ATTEMPTS = 3
+
 PathOrCache = Union[str, "os.PathLike[str]", "ResultCache", None]
 PathOrLedger = Union[str, "os.PathLike[str]", "RunLedger", None]
 ProgressFn = Callable[[int, int, "RunResult"], None]
@@ -56,6 +64,8 @@ ProgressFn = Callable[[int, int, "RunResult"], None]
 SOURCE_EXECUTED = "executed"
 SOURCE_CACHED = "cached"
 SOURCE_RESUMED = "resumed"
+#: A resumed config whose retry budget is exhausted: not re-run, not ok.
+SOURCE_GAVE_UP = "gave-up"
 
 
 @dataclass
@@ -71,10 +81,19 @@ class RunResult:
     #: (``jobs=1``) execution — worker-pool failures cross a process
     #: boundary and survive as the ``error`` traceback string only.
     exception: Optional[BaseException] = None
+    #: How many executions this outcome consumed.  1 except for queue
+    #: results, where the workers may already have retried the task up to
+    #: its per-task budget; the ledger's cumulative attempt count advances
+    #: by this much so the resume retry cap counts real executions.
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
         return self.record is not None and self.error is None
+
+    @property
+    def gave_up(self) -> bool:
+        return self.source == SOURCE_GAVE_UP
 
 
 @dataclass
@@ -94,14 +113,22 @@ class SweepResult:
         return [r for r in self.results if not r.ok]
 
     def counts(self) -> Dict[str, int]:
-        """How each config's result was obtained, plus the failure count."""
+        """How each config's result was obtained, plus the failure count.
+
+        ``"failed"`` counts every unsuccessful config; ``"gave-up"`` is the
+        subset that a resumed sweep refused to retry because the attempt
+        budget was exhausted.
+        """
         counts = {"total": len(self.results), SOURCE_EXECUTED: 0,
-                  SOURCE_CACHED: 0, SOURCE_RESUMED: 0, "failed": 0}
+                  SOURCE_CACHED: 0, SOURCE_RESUMED: 0, "failed": 0,
+                  SOURCE_GAVE_UP: 0}
         for result in self.results:
             if result.ok:
                 counts[result.source] += 1
             else:
                 counts["failed"] += 1
+                if result.gave_up:
+                    counts[SOURCE_GAVE_UP] += 1
         return counts
 
     def raise_failures(self) -> "SweepResult":
@@ -145,27 +172,6 @@ def execute_config(config: RunConfig) -> ExperimentRecord:
                           engine=config.engine)
 
 
-def _worker(config_dict: Dict[str, Any]) -> Dict[str, Any]:
-    """Pool worker: executes one config, never raises (must be picklable)."""
-    from ..io import records_to_dicts
-
-    started = time.perf_counter()
-    try:
-        config = RunConfig.from_dict(config_dict)
-        record = execute_config(config)
-        return {
-            "config": config_dict,
-            "record": records_to_dicts([record])[0],
-            "elapsed": time.perf_counter() - started,
-        }
-    except Exception:
-        return {
-            "config": config_dict,
-            "error": traceback.format_exc(),
-            "elapsed": time.perf_counter() - started,
-        }
-
-
 def _result_from_payload(config: RunConfig,
                          payload: Dict[str, Any]) -> RunResult:
     from ..io import records_from_dicts
@@ -175,7 +181,9 @@ def _result_from_payload(config: RunConfig,
         return RunResult(config=config, record=record,
                          elapsed=payload.get("elapsed", 0.0))
     return RunResult(config=config, error=payload.get("error", "unknown error"),
-                     elapsed=payload.get("elapsed", 0.0))
+                     exception=payload.get("exception"),
+                     elapsed=payload.get("elapsed", 0.0),
+                     attempts=max(1, int(payload.get("attempt", 1))))
 
 
 def _record_dict(record: ExperimentRecord) -> Dict[str, Any]:
@@ -193,14 +201,27 @@ def run_sweep(spec: Union[SweepSpec, Sequence[RunConfig]],
               cache: PathOrCache = None,
               ledger: PathOrLedger = None,
               resume: bool = False,
-              progress: Optional[ProgressFn] = None) -> SweepResult:
+              progress: Optional[ProgressFn] = None,
+              transport: Any = None,
+              max_attempts: Optional[int] = DEFAULT_MAX_ATTEMPTS) -> SweepResult:
     """Execute every config of ``spec``, returning results in spec order.
 
     ``cache`` / ``ledger`` accept paths or pre-built objects.  ``resume``
     requires a ledger and skips configs it already marks ``done``; failed
-    and missing configs re-run.  ``progress`` is called as
+    and missing configs re-run, except configs that have already failed
+    ``max_attempts`` times, which are *given up* (reported as failures with
+    source ``"gave-up"``, without re-running).  ``progress`` is called as
     ``progress(finished_so_far, total, result)`` after every config, from
     the coordinating process, in completion order.
+
+    ``transport`` selects where pending configs execute: ``None`` keeps the
+    historical behaviour (in-process for ``jobs<=1``, a local
+    ``multiprocessing`` pool otherwise), ``"inline"`` / ``"process"`` force
+    a backend, and a :class:`~repro.orchestrator.queue.QueueTransport`
+    instance distributes the work to ``python -m repro worker`` daemons.
+    Whatever the transport and completion order, ledger lines are flushed
+    in spec order, so distributed sweeps and ``jobs=1`` sweeps write
+    identical ledgers.
     """
     configs = spec.expand() if isinstance(spec, SweepSpec) else list(spec)
     for config in configs:
@@ -211,6 +232,7 @@ def run_sweep(spec: Union[SweepSpec, Sequence[RunConfig]],
         ledger = RunLedger(ledger)
     if resume and ledger is None:
         raise ValueError("resume=True requires a ledger")
+    transport = resolve_transport(transport, jobs=jobs)
 
     code_version = cache.code_version if cache is not None else None
     if code_version is None:
@@ -222,26 +244,52 @@ def run_sweep(spec: Union[SweepSpec, Sequence[RunConfig]],
                for config in configs}
 
     started = time.perf_counter()
-    slots: List[Optional[RunResult]] = [None] * len(configs)
-    done_count = 0
     total = len(configs)
+    slots: List[Optional[RunResult]] = [None] * total
+    #: Per-slot (result, write_to_ledger) staging for the in-order flush.
+    ledger_slots: List[Optional[bool]] = [None] * total
+    flushed = 0
+    done_count = 0
+    prior_failures = ledger.failures() if ledger is not None else {}
+    failed_attempts = {digest: entry["attempts"]
+                       for digest, entry in prior_failures.items()}
+
+    def flush_ledger() -> None:
+        """Append finished slots to the ledger in spec order.
+
+        Results can finish in any order; holding back out-of-order entries
+        keeps the ledger byte-comparable across transports, at the cost
+        that a crash loses the held-back lines — pair the ledger with a
+        result cache (which is written immediately, per completion) to
+        make resumes after a coordinator crash cheap.
+        """
+        nonlocal flushed
+        while flushed < total and ledger_slots[flushed] is not None:
+            result = slots[flushed]
+            if ledger_slots[flushed] and ledger is not None:
+                config = result.config
+                if result.ok:
+                    ledger.append(digests[config], config, "done",
+                                  record_dict=_record_dict(result.record),
+                                  elapsed=result.elapsed)
+                else:
+                    attempts = (failed_attempts.get(digests[config], 0)
+                                + result.attempts)
+                    failed_attempts[digests[config]] = attempts
+                    ledger.append(digests[config], config, "failed",
+                                  error=result.error, elapsed=result.elapsed,
+                                  attempts=attempts)
+            flushed += 1
 
     def finish(index: int, result: RunResult,
                write_ledger: bool = True) -> None:
         nonlocal done_count
-        config = result.config
         slots[index] = result
         done_count += 1
         if result.ok and cache is not None and result.source == SOURCE_EXECUTED:
-            cache.put(config, result.record)
-        if ledger is not None and write_ledger:
-            if result.ok:
-                ledger.append(digests[config], config, "done",
-                              record_dict=_record_dict(result.record),
-                              elapsed=result.elapsed)
-            else:
-                ledger.append(digests[config], config, "failed",
-                              error=result.error, elapsed=result.elapsed)
+            cache.put(result.config, result.record)
+        ledger_slots[index] = write_ledger and ledger is not None
+        flush_ledger()
         if progress is not None:
             progress(done_count, total, result)
 
@@ -256,6 +304,18 @@ def run_sweep(spec: Union[SweepSpec, Sequence[RunConfig]],
             # Already in the ledger — appending again would bloat it.
             finish(index, result, write_ledger=False)
             continue
+        if resume and max_attempts is not None:
+            failed = prior_failures.get(digests[config])
+            if failed is not None and failed["attempts"] >= max_attempts:
+                result = RunResult(
+                    config=config,
+                    error=(f"gave up after {failed['attempts']} failed "
+                           f"attempts (max_attempts={max_attempts}); "
+                           f"last error:\n{failed.get('error', '(unknown)')}"),
+                    source=SOURCE_GAVE_UP)
+                # Not re-appended: the attempt count only grows on real runs.
+                finish(index, result, write_ledger=False)
+                continue
         if cache is not None:
             record = cache.get(config)
             if record is not None:
@@ -264,40 +324,12 @@ def run_sweep(spec: Union[SweepSpec, Sequence[RunConfig]],
                 continue
         pending.append(index)
 
-    # Pass 2: execute what remains.
-    if pending and jobs <= 1:
-        for index in pending:
-            config = configs[index]
-            run_started = time.perf_counter()
-            try:
-                record = execute_config(config)
-                result = RunResult(config=config, record=record,
-                                   elapsed=time.perf_counter() - run_started)
-            except Exception as exc:
-                result = RunResult(config=config,
-                                   error=traceback.format_exc(),
-                                   exception=exc,
-                                   elapsed=time.perf_counter() - run_started)
-            finish(index, result)
-    elif pending:
-        payloads = [(index, configs[index].to_dict()) for index in pending]
-        with multiprocessing.Pool(processes=min(jobs, len(pending))) as pool:
-            jobs_iter = pool.imap_unordered(
-                _indexed_worker, payloads, chunksize=1)
-            try:
-                for index, payload in jobs_iter:
-                    finish(index,
-                           _result_from_payload(configs[index], payload))
-            except KeyboardInterrupt:
-                pool.terminate()
-                raise
+    # Pass 2: execute what remains through the transport.
+    if pending:
+        items = [(index, configs[index], digests[configs[index]])
+                 for index in pending]
+        for index, payload in transport.run(items):
+            finish(index, _result_from_payload(configs[index], payload))
 
     return SweepResult(results=list(slots),
                        elapsed=time.perf_counter() - started)
-
-
-def _indexed_worker(item):
-    """Pairs each worker payload with the caller's key so results can be
-    matched up regardless of completion order."""
-    key, config_dict = item
-    return key, _worker(config_dict)

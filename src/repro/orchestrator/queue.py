@@ -1,0 +1,532 @@
+"""Filesystem task queue: distribute a sweep across machines.
+
+Any number of ``python -m repro worker <queue-dir>`` daemons on machines
+that share a filesystem pull tasks from one queue directory; the sweep
+coordinator (:class:`QueueTransport`) enqueues the pending configs, waits
+for their result files, and feeds them back through the normal
+:func:`~repro.orchestrator.pool.run_sweep` bookkeeping — so cache,
+ledger, ordering and aggregation behave exactly as in a local run.
+
+The queue needs nothing but POSIX rename semantics:
+
+* **Claiming is an atomic rename** of ``tasks/<id>.json`` into
+  ``leases/<id>.json``.  Exactly one worker wins; losers get ``ENOENT``
+  and move on.
+* **Leases are heartbeats**: the owning worker re-touches its lease file
+  while it executes.  A lease whose mtime is older than ``lease_ttl`` is
+  presumed dead and *reclaimed* — renamed away under a private name (again
+  atomic, so only one reclaimer wins) and re-enqueued with its attempt
+  counter bumped.
+* **Results are atomic too**: workers write ``results/<id>.json`` via a
+  temp file + ``os.replace``, so the coordinator never reads a torn
+  result.
+* **Retries are budgeted**: each task carries ``attempt``/``max_attempts``;
+  a task that keeps failing (or whose workers keep dying) becomes a failed
+  result instead of looping forever.
+
+Directory layout under the queue root::
+
+    tasks/<id>.json     pending work, claimable
+    leases/<id>.json    claimed work; mtime is the owner's heartbeat
+    results/<id>.json   finished work (a record or an error payload)
+    workers/<id>.json   live worker registrations; mtime is the heartbeat
+    STOP                sentinel: workers exit at the next loop turn
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+import uuid
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from .fsutil import read_json as _read_json
+from .fsutil import write_json_atomic as _write_json_atomic
+from .transport import TransportItem, execute_payload
+
+__all__ = [
+    "DEFAULT_LEASE_TTL",
+    "DEFAULT_POLL",
+    "FileTaskQueue",
+    "QueueTransport",
+    "run_worker",
+]
+
+PathLike = Union[str, Path]
+
+TASK_KIND = "sweep-task"
+RESULT_KIND = "sweep-task-result"
+WORKER_KIND = "sweep-worker"
+STOP_FILENAME = "STOP"
+
+#: Seconds without a heartbeat after which a lease is presumed dead.
+DEFAULT_LEASE_TTL = 60.0
+#: Seconds between idle polls (workers) and result scans (coordinator).
+DEFAULT_POLL = 0.2
+#: Default per-task execution budget (first try included).
+DEFAULT_TASK_ATTEMPTS = 3
+
+
+def _touch(path: Path) -> None:
+    try:
+        os.utime(path, None)
+    except OSError:
+        pass  # raced a reclaim/cleanup; the owner will find out shortly
+
+
+def _budget(value: Any) -> Optional[int]:
+    """Normalise a retry budget: ``None`` / ``<= 0`` mean unlimited."""
+    if value is None:
+        return None
+    value = int(value)
+    return value if value > 0 else None
+
+
+def _payload_budget(payload: Dict[str, Any]) -> Optional[int]:
+    return _budget(payload.get("max_attempts", DEFAULT_TASK_ATTEMPTS))
+
+
+class FileTaskQueue:
+    """The on-disk queue shared by the coordinator and the workers."""
+
+    def __init__(self, root: PathLike,
+                 lease_ttl: float = DEFAULT_LEASE_TTL) -> None:
+        self.root = Path(root)
+        self.lease_ttl = float(lease_ttl)
+        self.tasks = self.root / "tasks"
+        self.leases = self.root / "leases"
+        self.results = self.root / "results"
+        self.workers = self.root / "workers"
+
+    def ensure_layout(self) -> None:
+        for directory in (self.tasks, self.leases, self.results, self.workers):
+            directory.mkdir(parents=True, exist_ok=True)
+
+    # -- identities ---------------------------------------------------------
+
+    @staticmethod
+    def task_id(index: int, digest: str) -> str:
+        """Stable id: the spec index keeps claim order ≈ spec order, the
+        digest makes concurrent coordinators running the same spec share
+        (rather than duplicate) tasks."""
+        return f"{index:06d}-{digest}"
+
+    def task_path(self, task_id: str) -> Path:
+        return self.tasks / f"{task_id}.json"
+
+    def lease_path(self, task_id: str) -> Path:
+        return self.leases / f"{task_id}.json"
+
+    def result_path(self, task_id: str) -> Path:
+        return self.results / f"{task_id}.json"
+
+    # -- coordinator side ---------------------------------------------------
+
+    def enqueue(self, task_id: str, config_dict: Dict[str, Any], digest: str,
+                max_attempts: Optional[int] = DEFAULT_TASK_ATTEMPTS) -> str:
+        """Make ``task_id`` runnable; returns how it was handled.
+
+        ``"result-exists"``: a previous (identical) run already finished it
+        and the result can be consumed immediately.  ``"pending"``: some
+        coordinator already enqueued it and it is waiting or running.
+        ``"enqueued"``: a fresh task file was written.  A lingering *failed*
+        result is deleted and retried — failures are never treated as
+        cached.
+        """
+        self.ensure_layout()
+        result = self.result_path(task_id)
+        payload = _read_json(result)
+        if payload is not None and "record" in payload:
+            return "result-exists"
+        if payload is not None:
+            try:
+                result.unlink()
+            except OSError:
+                pass
+        if self.task_path(task_id).exists() or self.lease_path(task_id).exists():
+            return "pending"
+        _write_json_atomic(self.task_path(task_id), {
+            "kind": TASK_KIND,
+            "id": task_id,
+            "digest": digest,
+            "config": config_dict,
+            "attempt": 0,
+            "max_attempts": _budget(max_attempts),
+            "enqueued_at": time.time(),
+        })
+        return "enqueued"
+
+    def live_workers(self, ttl: Optional[float] = None) -> List[str]:
+        """Ids of workers whose registration heartbeat is fresh."""
+        ttl = self.lease_ttl if ttl is None else float(ttl)
+        now = time.time()
+        alive = []
+        for path in self.workers.glob("*.json"):
+            try:
+                if now - path.stat().st_mtime <= ttl:
+                    alive.append(path.stem)
+            except OSError:
+                continue
+        return sorted(alive)
+
+    # -- worker side --------------------------------------------------------
+
+    def claim(self) -> Optional[Tuple[str, Dict[str, Any]]]:
+        """Atomically claim the lowest-id pending task, or ``None``."""
+        for task_path in sorted(self.tasks.glob("*.json")):
+            lease_path = self.leases / task_path.name
+            try:
+                os.rename(task_path, lease_path)
+            except OSError:
+                continue  # another worker won the rename
+            # rename() preserves the task file's mtime; refresh it so the
+            # lease clock starts at claim time, not enqueue time —
+            # otherwise a task that waited longer than the TTL would be
+            # born stale and reclaimed out from under its live owner.
+            _touch(lease_path)
+            payload = _read_json(lease_path)
+            if payload is None or payload.get("kind") != TASK_KIND:
+                # An unreadable task must still terminate: publishing a
+                # failed result (rather than silently dropping the file)
+                # keeps the coordinator from waiting on it forever.
+                self.complete(task_path.stem, {
+                    "error": (f"unreadable task payload for "
+                              f"{task_path.stem!r}"),
+                    "attempt": 1,
+                })
+                continue
+            return task_path.stem, payload
+        return None
+
+    def touch_lease(self, task_id: str) -> None:
+        """Heartbeat: prove the lease owner is still alive."""
+        _touch(self.lease_path(task_id))
+
+    def complete(self, task_id: str, result_payload: Dict[str, Any]) -> None:
+        """Publish a result (record or terminal error) and drop the lease.
+
+        A failure never overwrites an existing *successful* result: a
+        reclaimer that presumed a slow-but-alive worker dead (or a worker
+        whose duplicate run lost a race) must not turn a finished task
+        back into a failed one.
+        """
+        result_payload.setdefault("kind", RESULT_KIND)
+        result_payload.setdefault("id", task_id)
+        existing = _read_json(self.result_path(task_id))
+        if not (existing is not None and "record" in existing
+                and "record" not in result_payload):
+            _write_json_atomic(self.result_path(task_id), result_payload)
+        try:
+            self.lease_path(task_id).unlink()
+        except OSError:
+            pass  # already reclaimed; the duplicate run wrote the same result
+
+    def release_for_retry(self, task_id: str, payload: Dict[str, Any]) -> None:
+        """Put a failed-but-retryable task back on the queue."""
+        _write_json_atomic(self.task_path(task_id), payload)
+        try:
+            self.lease_path(task_id).unlink()
+        except OSError:
+            pass
+
+    # -- shared: stale-lease recovery ---------------------------------------
+
+    def reclaim_stale(self, now: Optional[float] = None) -> List[str]:
+        """Recover leases whose owner stopped heartbeating.
+
+        Both workers and the coordinator call this opportunistically, so a
+        sweep finishes even if the machine that claimed a task died.  Each
+        reclaim consumes one attempt; a task out of attempts becomes a
+        failed result.  ``.reclaim`` files orphaned by a reclaimer that
+        itself died mid-recovery are swept by the same pass, so a task can
+        never be stranded under a name nothing scans.
+        """
+        now = time.time() if now is None else now
+        reclaimed: List[str] = []
+        candidates = list(self.leases.glob("*.json"))
+        candidates += list(self.leases.glob(".*.reclaim"))
+        for path in candidates:
+            try:
+                age = now - path.stat().st_mtime
+            except OSError:
+                continue  # completed or reclaimed while we looked
+            if age <= self.lease_ttl:
+                continue
+            task_id = self._reclaim_one(path)
+            if task_id is not None:
+                reclaimed.append(task_id)
+        return reclaimed
+
+    def _reclaim_one(self, path: Path) -> Optional[str]:
+        """Recover one stale lease (or orphaned reclaim file).
+
+        Crash-safe ordering: the stale file is first renamed to a fresh
+        private name (atomic — exactly one reclaimer wins, and the file
+        keeps a scannable ``.reclaim`` suffix in case *this* process dies
+        next), then the re-enqueued task or terminal failure is written,
+        and only then is the private file removed.
+        """
+        if path.suffix == ".json":
+            fallback_id = path.stem
+        else:  # ".<task-id>.<nonce>.reclaim" left by a dead reclaimer
+            fallback_id = path.name.lstrip(".").rsplit(".", 2)[0]
+        private = self.leases / f".{fallback_id}.{uuid.uuid4().hex}.reclaim"
+        try:
+            os.rename(path, private)
+        except OSError:
+            return None  # lost the race to another reclaimer / completion
+        payload = _read_json(private)
+        if payload is None or payload.get("kind") != TASK_KIND:
+            # Same liveness rule as claim(): an unreadable task becomes a
+            # failed result instead of vanishing.
+            self.complete(fallback_id, {
+                "error": f"unreadable task payload for {fallback_id!r}",
+                "attempt": 1,
+            })
+            try:
+                private.unlink()
+            except OSError:
+                pass
+            return fallback_id
+        task_id = payload.get("id") or fallback_id
+        # If the task turned out to be alive after all — its result was
+        # published, it was re-enqueued, or it is leased again — recovering
+        # would resurrect finished work; just drop the stale copy.
+        alive = (self.task_path(task_id).exists()
+                 or self.lease_path(task_id).exists())
+        result = _read_json(self.result_path(task_id))
+        if alive or (result is not None and "record" in result):
+            try:
+                private.unlink()
+            except OSError:
+                pass
+            return None
+        payload["attempt"] = int(payload.get("attempt", 0)) + 1
+        budget = _payload_budget(payload)
+        if budget is not None and payload["attempt"] >= budget:
+            self.complete(task_id, {
+                "kind": RESULT_KIND,
+                "id": task_id,
+                "digest": payload.get("digest", ""),
+                "config": payload.get("config", {}),
+                "error": (f"worker lease expired and the task is out of "
+                          f"attempts ({payload['attempt']}/{budget})"),
+                "attempt": payload["attempt"],
+            })
+        else:
+            _write_json_atomic(self.task_path(task_id), payload)
+        try:
+            private.unlink()
+        except OSError:
+            pass
+        return task_id
+
+
+# ---------------------------------------------------------------------------
+# The worker daemon — ``python -m repro worker <queue-dir>``
+# ---------------------------------------------------------------------------
+
+def run_worker(queue_dir: PathLike,
+               worker_id: Optional[str] = None,
+               lease_ttl: float = DEFAULT_LEASE_TTL,
+               poll: float = DEFAULT_POLL,
+               max_idle: Optional[float] = None,
+               max_tasks: Optional[int] = None,
+               progress: Optional[Callable[[str, Dict[str, Any]], None]] = None,
+               ) -> int:
+    """Pull-and-execute loop; returns the number of tasks processed.
+
+    The worker claims tasks, executes them through the same
+    :func:`~repro.orchestrator.transport.execute_payload` body the process
+    pool uses, heartbeats its lease from a background thread while the
+    simulation runs, and publishes the outcome.  A task that raises is
+    retried (by this or any other worker) until its attempt budget is
+    spent, then published as a failed result.
+
+    Exit conditions: a ``STOP`` file in the queue root, ``max_idle``
+    seconds without finding work, or ``max_tasks`` processed.
+    """
+    queue = FileTaskQueue(queue_dir, lease_ttl=lease_ttl)
+    queue.ensure_layout()
+    worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+    worker_file = queue.workers / f"{worker_id}.json"
+    _write_json_atomic(worker_file, {
+        "kind": WORKER_KIND,
+        "id": worker_id,
+        "host": socket.gethostname(),
+        "pid": os.getpid(),
+        "started_at": time.time(),
+    })
+    heartbeat_every = max(min(lease_ttl / 4.0, 5.0), 0.05)
+    reclaim_every = max(lease_ttl / 4.0, poll)
+    processed = 0
+    idle_since = time.monotonic()
+    last_beat = last_reclaim = float("-inf")
+    try:
+        while True:
+            if (queue.root / STOP_FILENAME).exists():
+                break
+            now = time.monotonic()
+            if now - last_beat >= heartbeat_every:
+                _touch(worker_file)
+                last_beat = now
+            if now - last_reclaim >= reclaim_every:
+                queue.reclaim_stale()
+                last_reclaim = now
+            claimed = queue.claim()
+            if claimed is None:
+                if (max_idle is not None
+                        and time.monotonic() - idle_since >= max_idle):
+                    break
+                time.sleep(poll)
+                continue
+            task_id, payload = claimed
+
+            stop_beat = threading.Event()
+
+            def beat() -> None:
+                while not stop_beat.wait(heartbeat_every):
+                    queue.touch_lease(task_id)
+                    _touch(worker_file)
+
+            beater = threading.Thread(target=beat, daemon=True)
+            beater.start()
+            try:
+                outcome = execute_payload(payload.get("config", {}))
+            finally:
+                stop_beat.set()
+                beater.join()
+
+            attempt = int(payload.get("attempt", 0)) + 1
+            budget = _payload_budget(payload)
+            result: Dict[str, Any] = {
+                "kind": RESULT_KIND,
+                "id": task_id,
+                "digest": payload.get("digest", ""),
+                "config": payload.get("config", {}),
+                "elapsed": outcome.get("elapsed", 0.0),
+                "worker": worker_id,
+                "attempt": attempt,
+            }
+            if "record" in outcome:
+                result["record"] = outcome["record"]
+                queue.complete(task_id, result)
+            elif budget is not None and attempt >= budget:
+                result["error"] = outcome.get("error", "unknown error")
+                queue.complete(task_id, result)
+            else:
+                payload["attempt"] = attempt
+                queue.release_for_retry(task_id, payload)
+                result["retrying"] = True
+                result["error"] = outcome.get("error", "unknown error")
+            processed += 1
+            # The idle clock starts when the task *finishes* — a long task
+            # must not count toward --max-idle.
+            idle_since = time.monotonic()
+            if progress is not None:
+                progress(task_id, result)
+            if max_tasks is not None and processed >= max_tasks:
+                break
+    finally:
+        try:
+            worker_file.unlink()
+        except OSError:
+            pass
+    return processed
+
+
+# ---------------------------------------------------------------------------
+# The coordinator-side transport
+# ---------------------------------------------------------------------------
+
+class QueueTransport:
+    """Execute pending configs through a shared filesystem task queue.
+
+    Construct with the queue directory the workers watch and pass to
+    :func:`~repro.orchestrator.pool.run_sweep` (or use
+    ``repro sweep --transport queue --queue-dir DIR``).  ``workers_expected``
+    makes the sweep wait (up to ``worker_timeout`` seconds) until that many
+    live workers are registered before enqueueing, so a sweep against an
+    empty queue directory fails fast instead of hanging silently;
+    ``timeout`` bounds the whole wait for results.
+    """
+
+    name = "queue"
+
+    def __init__(self, queue_dir: PathLike,
+                 lease_ttl: float = DEFAULT_LEASE_TTL,
+                 poll: float = DEFAULT_POLL,
+                 max_attempts: Optional[int] = DEFAULT_TASK_ATTEMPTS,
+                 workers_expected: int = 0,
+                 worker_timeout: float = 60.0,
+                 timeout: Optional[float] = None) -> None:
+        self.queue_dir = Path(queue_dir)
+        self.lease_ttl = float(lease_ttl)
+        self.poll = float(poll)
+        self.max_attempts = _budget(max_attempts)
+        self.workers_expected = int(workers_expected)
+        self.worker_timeout = float(worker_timeout)
+        self.timeout = timeout
+
+    def run(self, items: Sequence[TransportItem]
+            ) -> Iterator[Tuple[int, Dict[str, Any]]]:
+        queue = FileTaskQueue(self.queue_dir, lease_ttl=self.lease_ttl)
+        queue.ensure_layout()
+        if self.workers_expected > 0:
+            self._await_workers(queue)
+        pending: Dict[str, int] = {}
+        for index, config, digest in items:
+            task_id = queue.task_id(index, digest)
+            queue.enqueue(task_id, config.to_dict(), digest,
+                          max_attempts=self.max_attempts)
+            pending[task_id] = index
+        deadline = (time.monotonic() + self.timeout
+                    if self.timeout is not None else None)
+        reclaim_every = max(self.lease_ttl / 4.0, self.poll)
+        last_reclaim = float("-inf")
+        while pending:
+            if time.monotonic() - last_reclaim >= reclaim_every:
+                queue.reclaim_stale()
+                last_reclaim = time.monotonic()
+            progressed = False
+            # One directory listing per poll instead of one stat per
+            # pending task — kinder to the network filesystems this
+            # transport is designed for.
+            try:
+                ready = {entry[:-5] for entry in os.listdir(queue.results)
+                         if entry.endswith(".json")}
+            except OSError:
+                ready = set()
+            for task_id in sorted(pending.keys() & ready):
+                payload = _read_json(queue.result_path(task_id))
+                if payload is None:
+                    continue
+                index = pending.pop(task_id)
+                progressed = True
+                yield index, payload
+            if not pending:
+                break
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"queue sweep timed out after {self.timeout}s with "
+                    f"{len(pending)} task(s) unfinished "
+                    f"(live workers: {queue.live_workers() or 'none'})")
+            if not progressed:
+                time.sleep(self.poll)
+
+    def _await_workers(self, queue: FileTaskQueue) -> None:
+        deadline = time.monotonic() + self.worker_timeout
+        while True:
+            alive = queue.live_workers()
+            if len(alive) >= self.workers_expected:
+                return
+            if time.monotonic() >= deadline:
+                raise RuntimeError(
+                    f"only {len(alive)} of {self.workers_expected} expected "
+                    f"worker(s) registered under {queue.root} within "
+                    f"{self.worker_timeout:.0f}s — start them with "
+                    f"'python -m repro worker {queue.root}'")
+            time.sleep(min(self.poll, 0.5))

@@ -68,6 +68,9 @@ def format_sweep_summary(result: SweepResult) -> str:
              f"{counts['cached']} cached",
              f"{counts['resumed']} resumed"]
     if counts["failed"]:
-        parts.append(f"{counts['failed']} FAILED")
+        failed = f"{counts['failed']} FAILED"
+        if counts.get("gave-up"):
+            failed += f" ({counts['gave-up']} gave up, retry budget spent)"
+        parts.append(failed)
     parts.append(f"{result.elapsed:.2f}s")
     return "sweep: " + ", ".join(parts)

@@ -7,8 +7,9 @@ values.  Every layer of the execution subsystem speaks ``RunConfig``:
 
 * the :mod:`~repro.orchestrator.cache` keys results by a stable digest of
   the config plus the code version,
-* the :mod:`~repro.orchestrator.pool` ships configs to worker processes as
-  plain dictionaries,
+* the :mod:`~repro.orchestrator.transport` backends ship configs to worker
+  processes — and, through the :mod:`~repro.orchestrator.queue` filesystem
+  task queue, to worker daemons on other machines — as plain dictionaries,
 * the :mod:`~repro.orchestrator.store` ledger records which configs an
   interrupted sweep already finished.
 

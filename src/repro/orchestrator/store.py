@@ -1,10 +1,18 @@
 """Append-only JSONL run ledger: the durable record of a sweep.
 
 Every finished run — executed, cache-served or failed — is appended to the
-ledger as one self-contained JSON line and flushed immediately, so the file
-is valid after a crash at any byte boundary except possibly its final line
-(which the reader tolerantly skips).  Resuming an interrupted sweep is then
-just "skip every config whose digest already has a ``done`` line".
+ledger as one self-contained JSON line, so the file is valid after a crash
+at any byte boundary except possibly its final line (which the reader
+tolerantly skips).  Resuming an interrupted sweep is then just "skip every
+config whose digest already has a ``done`` line".
+
+The ledger is safe for **concurrent writers on a shared filesystem**: each
+entry is encoded once and emitted with a single ``os.write`` on an
+``O_APPEND`` descriptor (atomic with respect to the file offset), under an
+advisory ``fcntl`` lock where the platform provides one so that appends
+from different machines cannot interleave even on filesystems with weaker
+append semantics.  This is what lets the queue transport's coordinator and
+any number of concurrent sweeps share one ledger file.
 
 The ledger stores full :class:`ExperimentRecord` payloads (via the
 :mod:`repro.io` dictionary form), so a finished ledger doubles as the raw
@@ -15,10 +23,16 @@ straight into :mod:`repro.analysis.tables`.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Set, Union
 
 from .spec import RunConfig
+
+try:  # advisory locking is POSIX-only; the O_APPEND write stands alone
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 __all__ = ["LEDGER_KIND", "RunLedger"]
 
@@ -38,8 +52,14 @@ class RunLedger:
     def append(self, digest: str, config: RunConfig, status: str,
                record_dict: Optional[Dict[str, Any]] = None,
                error: Optional[str] = None,
-               elapsed: float = 0.0) -> None:
-        """Append one finished run; ``status`` is ``"done"`` or ``"failed"``."""
+               elapsed: float = 0.0,
+               attempts: Optional[int] = None) -> None:
+        """Append one finished run; ``status`` is ``"done"`` or ``"failed"``.
+
+        ``attempts`` records how many times this config has failed so far
+        (cumulative across resumed sweeps); :func:`~repro.orchestrator.pool.
+        run_sweep` uses it to cap retries on ``--resume``.
+        """
         if status not in ("done", "failed"):
             raise ValueError(f"status must be 'done' or 'failed', got {status!r}")
         entry: Dict[str, Any] = {
@@ -53,10 +73,23 @@ class RunLedger:
             entry["record"] = record_dict
         if error is not None:
             entry["error"] = error
+        if attempts is not None:
+            entry["attempts"] = int(attempts)
+        line = (json.dumps(entry) + "\n").encode("utf-8")
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a") as handle:
-            handle.write(json.dumps(entry) + "\n")
-            handle.flush()
+        # One write() call on an O_APPEND descriptor: the kernel advances
+        # the offset and writes atomically, so two processes appending at
+        # once can never tear each other's lines on a local filesystem.
+        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            if fcntl is not None:
+                try:
+                    fcntl.flock(fd, fcntl.LOCK_EX)
+                except OSError:
+                    pass  # locking unsupported (some network mounts)
+            os.write(fd, line)
+        finally:
+            os.close(fd)  # closing the descriptor releases the lock
 
     # -- reading ------------------------------------------------------------
 
@@ -93,20 +126,43 @@ class RunLedger:
                 done[entry["digest"]] = entry
         return done
 
+    def failures(self) -> Dict[str, Dict[str, Any]]:
+        """Map digest → latest ``failed`` entry, with an ``attempts`` count.
+
+        ``attempts`` is the larger of the count recorded on the entry and
+        the number of failed lines seen for the digest, so ledgers written
+        before attempts were recorded still count correctly.
+        """
+        failed: Dict[str, Dict[str, Any]] = {}
+        seen: Dict[str, int] = {}
+        for entry in self.entries():
+            if entry.get("status") == "failed" and entry.get("digest"):
+                digest = entry["digest"]
+                seen[digest] = seen.get(digest, 0) + 1
+                latest = dict(entry)
+                latest["attempts"] = max(int(entry.get("attempts", 0)),
+                                         seen[digest])
+                failed[digest] = latest
+        return failed
+
     def records(self) -> List:
         """All successfully-recorded :class:`ExperimentRecord` values, in
         first-completion order.
 
         Deduplicated by digest: a config that was completed in one sweep and
         served from the result cache in a later one appears in the ledger
-        twice but counts as one measurement.
+        twice but counts as one measurement.  Entries with no digest (e.g.
+        written by external tooling) cannot be identified as duplicates of
+        anything, so each one is kept as its own measurement rather than
+        silently collapsed.
         """
         from ..io import records_from_dicts
 
         dicts: Dict[str, Dict[str, Any]] = {}
-        for entry in self.entries():
+        for position, entry in enumerate(self.entries()):
             if entry.get("status") == "done" and "record" in entry:
-                dicts.setdefault(entry.get("digest", ""), entry["record"])
+                key = entry.get("digest") or f"__undigested-{position}"
+                dicts.setdefault(key, entry["record"])
         return records_from_dicts(dicts.values())
 
     def __len__(self) -> int:

@@ -1,0 +1,170 @@
+"""Pluggable sweep executors: where a config actually runs.
+
+:func:`~repro.orchestrator.pool.run_sweep` resolves every config it can
+from the ledger and the result cache first; whatever remains is handed to a
+*transport*, an object with one method::
+
+    run(items) -> iterator of (index, payload)
+
+``items`` is a sequence of ``(index, config, digest)`` triples in spec
+order; the transport may yield results in any completion order — the pool
+reassembles spec order from the indices.  A payload is the JSON-safe
+outcome dictionary produced by :func:`execute_payload` (either a
+``"record"`` or an ``"error"`` key, plus ``"elapsed"``), which is exactly
+what queue workers write to result files and what pool workers return over
+the process boundary.
+
+Three backends ship with the orchestrator:
+
+* :class:`InlineTransport` — in the calling process, zero overhead, keeps
+  the original exception object (the historical ``jobs=1`` path),
+* :class:`ProcessTransport` — a ``multiprocessing`` pool on this machine
+  (the historical ``jobs>1`` path),
+* :class:`~repro.orchestrator.queue.QueueTransport` — a filesystem task
+  queue served by ``python -m repro worker`` daemons on any machines that
+  share the filesystem.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from typing import Any, Dict, Iterator, Sequence, Tuple
+
+__all__ = [
+    "TRANSPORTS",
+    "InlineTransport",
+    "ProcessTransport",
+    "TransportItem",
+    "execute_payload",
+    "resolve_transport",
+]
+
+#: ``(spec index, config, digest)`` — the unit of work a transport executes.
+TransportItem = Tuple[int, Any, str]
+
+#: Names accepted by ``run_sweep(transport=...)`` and ``--transport``.
+TRANSPORTS: Tuple[str, ...] = ("inline", "process", "queue")
+
+
+def execute_payload(config_dict: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one serialised config; never raises.
+
+    The shared worker body: process-pool workers call it across a pickle
+    boundary, queue workers call it and write the returned payload to a
+    result file.  Both sides therefore speak the same dialect.
+    """
+    from ..io import records_to_dicts
+    from .pool import execute_config
+    from .spec import RunConfig
+
+    started = time.perf_counter()
+    try:
+        config = RunConfig.from_dict(config_dict)
+        record = execute_config(config)
+        return {
+            "config": config_dict,
+            "record": records_to_dicts([record])[0],
+            "elapsed": time.perf_counter() - started,
+        }
+    except Exception:
+        return {
+            "config": config_dict,
+            "error": traceback.format_exc(),
+            "elapsed": time.perf_counter() - started,
+        }
+
+
+def _indexed_payload(item):
+    """Pool worker: pairs each payload with the caller's index so results
+    can be matched up regardless of completion order (top-level so it is
+    picklable)."""
+    index, config_dict = item
+    return index, execute_payload(config_dict)
+
+
+class InlineTransport:
+    """Execute configs in the calling process, one at a time.
+
+    The payloads additionally carry the live ``"exception"`` object so
+    ``SweepResult.raise_failures`` can re-raise the original type —
+    behaviour the serial front-ends rely on and process boundaries cannot
+    provide.
+    """
+
+    name = "inline"
+
+    def run(self, items: Sequence[TransportItem]
+            ) -> Iterator[Tuple[int, Dict[str, Any]]]:
+        from ..io import records_to_dicts
+        from .pool import execute_config
+
+        for index, config, _digest in items:
+            started = time.perf_counter()
+            try:
+                record = execute_config(config)
+                payload: Dict[str, Any] = {
+                    "record": records_to_dicts([record])[0],
+                    "elapsed": time.perf_counter() - started,
+                }
+            except Exception as exc:
+                payload = {
+                    "error": traceback.format_exc(),
+                    "exception": exc,
+                    "elapsed": time.perf_counter() - started,
+                }
+            yield index, payload
+
+
+class ProcessTransport:
+    """Execute configs on a ``multiprocessing`` pool on this machine."""
+
+    name = "process"
+
+    def __init__(self, jobs: int = 2) -> None:
+        self.jobs = max(1, int(jobs))
+
+    def run(self, items: Sequence[TransportItem]
+            ) -> Iterator[Tuple[int, Dict[str, Any]]]:
+        payloads = [(index, config.to_dict()) for index, config, _ in items]
+        with multiprocessing.Pool(
+                processes=min(self.jobs, len(payloads))) as pool:
+            results = pool.imap_unordered(_indexed_payload, payloads,
+                                          chunksize=1)
+            try:
+                for index, payload in results:
+                    yield index, payload
+            except KeyboardInterrupt:
+                pool.terminate()
+                raise
+
+
+def resolve_transport(transport: Any = None, jobs: int = 1,
+                      queue_dir: Any = None, **queue_options: Any):
+    """Turn a transport name (or ``None``) into a transport object.
+
+    ``None`` preserves the historical behaviour: in-process for
+    ``jobs <= 1``, a local worker pool otherwise.  Objects that already
+    look like transports (anything with a ``run`` method) pass through, so
+    callers can hand :func:`~repro.orchestrator.pool.run_sweep` a
+    pre-configured :class:`~repro.orchestrator.queue.QueueTransport`.
+    """
+    if transport is not None and not isinstance(transport, str):
+        if hasattr(transport, "run"):
+            return transport
+        raise TypeError(f"not a transport: {transport!r}")
+    name = transport or ("inline" if jobs <= 1 else "process")
+    if name == "inline":
+        return InlineTransport()
+    if name == "process":
+        return ProcessTransport(jobs=jobs)
+    if name == "queue":
+        if queue_dir is None:
+            raise ValueError(
+                "transport='queue' needs a queue directory: pass queue_dir= "
+                "or construct repro.orchestrator.queue.QueueTransport directly")
+        from .queue import QueueTransport
+
+        return QueueTransport(queue_dir, **queue_options)
+    raise ValueError(f"unknown transport {name!r}; known: {list(TRANSPORTS)}")

@@ -1,5 +1,10 @@
 """Tests for the ``repro.orchestrator`` sweep subsystem."""
 
+import json
+import os
+import subprocess
+import sys
+
 import pytest
 
 from repro.analysis import experiments
@@ -17,6 +22,16 @@ from repro.orchestrator import (
 )
 
 CONFIG = RunConfig(algorithm="dle", family="hexagon", size=2, seed=0)
+
+
+def _subprocess_env():
+    """Environment for helper subprocesses: make ``repro`` importable."""
+    import repro
+
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
 
 
 # ---------------------------------------------------------------------------
@@ -123,6 +138,45 @@ class TestResultCache:
         cache.path_for(CONFIG).write_text("{not json")
         assert cache.get(CONFIG) is None
 
+    def test_writer_replace_never_exposes_partial_entry(self, tmp_path):
+        # The temp-file + os.replace write racing a reader: while another
+        # process overwrites the entry in a tight loop, every successful
+        # read must be the complete, correct record — never a torn file.
+        cache = ResultCache(tmp_path / "cache", code_version="race")
+        record = execute_config(CONFIG)
+        expected = records_to_dicts([record])
+        cache.put(CONFIG, record)
+        script = (
+            "import sys\n"
+            "from repro.orchestrator import ResultCache, RunConfig,"
+            " execute_config\n"
+            "config = RunConfig('dle', 'hexagon', 2, 0)\n"
+            "cache = ResultCache(sys.argv[1], code_version='race')\n"
+            "record = execute_config(config)\n"
+            "for _ in range(200):\n"
+            "    cache.put(config, record)\n"
+        )
+        writer = subprocess.Popen(
+            [sys.executable, "-c", script, str(tmp_path / "cache")],
+            env=_subprocess_env())
+        try:
+            reads = 0
+            while writer.poll() is None:
+                got = cache.get(CONFIG)
+                assert got is not None, "reader saw a missing/partial entry"
+                assert records_to_dicts([got]) == expected
+                reads += 1
+            assert writer.wait(timeout=120) == 0
+            assert reads > 0
+        finally:
+            if writer.poll() is None:
+                writer.kill()
+        # Leftover hidden temp files (from a crashed writer) are not
+        # counted as entries.
+        (tmp_path / "cache" / cache.digest(CONFIG)[:2] / ".leftover.tmp"
+         ).write_text("junk")
+        assert len(cache) == 1
+
 
 # ---------------------------------------------------------------------------
 # Run ledger
@@ -161,6 +215,61 @@ class TestRunLedger:
         ledger.append("d1", CONFIG, "done", record_dict=record_dict)
         assert len(ledger) == 2
         assert len(ledger.records()) == 1
+
+    def test_digestless_entries_are_not_collapsed(self, tmp_path):
+        # Regression: entries with a missing (or empty) digest used to all
+        # share the "" dedup key, so every digestless measurement after the
+        # first was silently dropped.
+        path = tmp_path / "ledger.jsonl"
+        ledger = RunLedger(path)
+        record_dict = records_to_dicts([execute_config(CONFIG)])[0]
+        ledger.append("d1", CONFIG, "done", record_dict=record_dict)
+        with path.open("a") as handle:
+            for _ in range(2):  # externally-written lines without a digest
+                entry = {"kind": "sweep-run", "status": "done",
+                         "record": record_dict}
+                handle.write(json.dumps(entry) + "\n")
+        assert len(ledger) == 3
+        assert len(ledger.records()) == 3
+
+    def test_concurrent_appenders_tear_no_lines(self, tmp_path):
+        # Two processes hammering append() on the same file: every line
+        # must stay parseable and none may be lost (single O_APPEND write
+        # per entry, plus an advisory lock).
+        path = tmp_path / "ledger.jsonl"
+        per_writer, writers = 150, 2
+        script = (
+            "import sys\n"
+            "from repro.orchestrator import RunConfig, RunLedger\n"
+            "config = RunConfig('dle', 'hexagon', 2, 0)\n"
+            "ledger = RunLedger(sys.argv[1])\n"
+            "for i in range(int(sys.argv[3])):\n"
+            "    ledger.append(f'{sys.argv[2]}-{i}', config, 'done',\n"
+            "                  record_dict={'writer': sys.argv[2], 'i': i})\n"
+        )
+        procs = [subprocess.Popen(
+            [sys.executable, "-c", script, str(path), f"w{n}",
+             str(per_writer)], env=_subprocess_env()) for n in range(writers)]
+        for proc in procs:
+            assert proc.wait(timeout=120) == 0
+        raw_lines = [line for line in path.read_text().splitlines() if line]
+        assert len(raw_lines) == per_writer * writers
+        parsed = [json.loads(line) for line in raw_lines]  # raises if torn
+        assert len({entry["digest"] for entry in parsed}) == len(parsed)
+
+    def test_failures_report_attempt_counts(self, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger.jsonl")
+        ledger.append("d1", CONFIG, "failed", error="boom", attempts=1)
+        ledger.append("d1", CONFIG, "failed", error="boom again", attempts=2)
+        failures = ledger.failures()
+        assert failures["d1"]["attempts"] == 2
+        assert failures["d1"]["error"] == "boom again"
+        # Ledgers written before attempts were recorded fall back to
+        # counting failed lines.
+        legacy = RunLedger(tmp_path / "legacy.jsonl")
+        legacy.append("d2", CONFIG, "failed", error="old")
+        legacy.append("d2", CONFIG, "failed", error="old")
+        assert legacy.failures()["d2"]["attempts"] == 2
 
 
 # ---------------------------------------------------------------------------
@@ -278,6 +387,71 @@ class TestRunSweep:
         run_sweep(spec, jobs=1, cache=cache)
         assert calls["n"] == 2  # second sweep re-ran the failure
         assert len(cache) == 0
+
+    def test_resume_gives_up_after_max_attempts(self, tmp_path, monkeypatch):
+        calls = {"n": 0}
+
+        def always_fails(shape, seed, order="random", engine="sweep"):
+            calls["n"] += 1
+            raise RuntimeError("deterministic failure")
+
+        monkeypatch.setitem(experiments.ALGORITHMS, "bad", always_fails)
+        spec = SweepSpec(algorithms=["bad"], families=["hexagon"], sizes=[2])
+        ledger_path = tmp_path / "ledger.jsonl"
+
+        run_sweep(spec, jobs=1, ledger=str(ledger_path))
+        for expected_attempts in (2, 3):
+            result = run_sweep(spec, jobs=1, ledger=str(ledger_path),
+                               resume=True, max_attempts=3)
+            assert calls["n"] == expected_attempts
+            assert result.counts()["gave-up"] == 0
+        ledger = RunLedger(ledger_path)
+        assert ledger.failures()[next(iter(ledger.failures()))]["attempts"] == 3
+
+        # Attempt budget spent: the next resume refuses to re-run.
+        size_before = len(ledger)
+        result = run_sweep(spec, jobs=1, ledger=str(ledger_path),
+                           resume=True, max_attempts=3)
+        assert calls["n"] == 3  # nothing re-ran
+        counts = result.counts()
+        assert counts["gave-up"] == 1 and counts["failed"] == 1
+        assert result.failures[0].gave_up
+        assert "gave up after 3 failed attempts" in result.failures[0].error
+        assert "deterministic failure" in result.failures[0].error
+        # Giving up does not append (the attempt count only grows on runs).
+        assert len(ledger) == size_before
+
+        # The give-up is surfaced in the sweep report.
+        from repro.orchestrator import format_sweep_summary
+        assert "1 gave up" in format_sweep_summary(result)
+
+        # max_attempts=None keeps the historical retry-forever behaviour.
+        result = run_sweep(spec, jobs=1, ledger=str(ledger_path),
+                           resume=True, max_attempts=None)
+        assert calls["n"] == 4
+
+    def test_ledger_is_written_in_spec_order_for_any_transport(self, tmp_path):
+        from repro.orchestrator import default_code_version
+
+        spec = SweepSpec(algorithms=["dle", "erosion"], families=["hexagon"],
+                         sizes=[2, 3], seeds=[0])
+        expected = [config_digest(c, default_code_version())
+                    for c in spec.expand()]
+        for name, jobs in (("serial", 1), ("parallel", 4)):
+            ledger = RunLedger(tmp_path / f"{name}.jsonl")
+            run_sweep(spec, jobs=jobs, ledger=ledger)
+            assert [e["digest"] for e in ledger.entries()] == expected
+
+    def test_explicit_transport_names(self, tmp_path):
+        spec = SweepSpec(algorithms=["dle"], families=["hexagon"], sizes=[2],
+                         seeds=[0, 1])
+        inline = run_sweep(spec, transport="inline").records
+        process = run_sweep(spec, transport="process", jobs=2).records
+        assert records_to_dicts(inline) == records_to_dicts(process)
+        with pytest.raises(ValueError, match="queue directory"):
+            run_sweep(spec, transport="queue")
+        with pytest.raises(ValueError, match="unknown transport"):
+            run_sweep(spec, transport="carrier-pigeon")
 
     def test_progress_callback_streams_every_config(self):
         seen = []
