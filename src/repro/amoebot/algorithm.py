@@ -27,7 +27,24 @@ from .system import ParticleSystem
 
 __all__ = ["AmoebotAlgorithm", "StatusMixin", "STATUS_KEY",
            "STATUS_UNDECIDED", "STATUS_LEADER", "STATUS_FOLLOWER",
-           "is_sce_flag_arc"]
+           "TERMINATED", "QUIESCENT", "is_sce_flag_arc"]
+
+#: Sentinel an activation may return to declare, in one step, that it
+#: changed nothing a neighbour observes **and** that the activated particle
+#: has just reached a final state.  Algorithms that return it from every
+#: terminating activation can set :attr:`AmoebotAlgorithm.
+#: reports_termination` and spare the engines one ``is_terminated`` poll
+#: per examination.
+TERMINATED = object()
+
+#: Sentinel an activation may return to declare that it was a no-op *and*
+#: will remain one until the particle is woken (the same promise as
+#: :meth:`AmoebotAlgorithm.is_quiescent`, evaluated during the activation
+#: itself).  Algorithms that return it from every quiescent activation can
+#: set :attr:`AmoebotAlgorithm.reports_quiescence`; the event engine then
+#: parks on the sentinel instead of running the separate ``is_quiescent``
+#: pre-check per examination.  The sweep engine treats it as a plain no-op.
+QUIESCENT = object()
 
 #: Memory key conventionally used for the leader-election output variable.
 STATUS_KEY = "status"
@@ -46,13 +63,14 @@ def is_sce_flag_arc(flags) -> bool:
     it directly to the port-indexed flags, skipping the port translation
     the activation itself needs).
     """
-    k = sum(flags)
-    if k == 0 or k > 3:
+    if not 1 <= flags.count(True) <= 3:
         return False
     starts = 0
-    for i in range(6):
-        if flags[i] and not flags[i - 1]:
+    prev = flags[5]
+    for flag in flags:
+        if flag and not prev:
             starts += 1
+        prev = flag
     return starts == 1
 
 
@@ -61,6 +79,35 @@ class AmoebotAlgorithm(ABC):
 
     #: Human readable algorithm name (used in experiment reports).
     name: str = "amoebot-algorithm"
+
+    #: Opt-in fast path for both engines: when True, the algorithm promises
+    #: that a particle only ever reaches a final state during its own
+    #: activation, and that the activation returns :data:`TERMINATED` when
+    #: it does.  The engines then stop polling :meth:`is_terminated` before
+    #: every activation and retire particles exactly when the sentinel is
+    #: returned.  (Global termination — :meth:`has_terminated` — is still
+    #: polled once per round, so stall-style endings keep working.)
+    reports_termination: bool = False
+
+    #: Companion opt-in to :data:`QUIESCENT`: when True, the algorithm
+    #: promises that every activation that is (and will remain) a no-op
+    #: returns the :data:`QUIESCENT` sentinel.  The event engine then
+    #: skips the :meth:`is_quiescent` pre-check entirely — the activation
+    #: itself is the quiescence test — and parks on the sentinel.  The
+    #: extra activations this implies are no-ops by definition, so traces
+    #: are unchanged (the sweep performs them anyway).
+    reports_quiescence: bool = False
+
+    #: Opt-out for the event engine's movement wakes: set to False when a
+    #: movement event whose dirty points are all *occupied afterwards* (an
+    #: expansion, or a particle added next to a parked one) can never end a
+    #: parked particle's quiescence.  Algorithm DLE qualifies — a parked
+    #: undecided particle waits on its own flags, and a parked decided one
+    #: waits for an undecided neighbour to decide or leave; gaining a
+    #: neighbour changes neither.  Unsound for algorithms that use
+    #: handovers (the dirty point stays occupied but changes owner) or
+    #: whose quiescence reads adjacent occupancy directly.
+    occupancy_gain_wakes: bool = True
 
     @abstractmethod
     def setup(self, system: ParticleSystem) -> None:
@@ -71,13 +118,25 @@ class AmoebotAlgorithm(ABC):
         """Perform one atomic activation of ``particle``.
 
         The return value is an optional *visibility hint* for the
-        event-driven engine: returning exactly ``False`` declares that the
-        activation changed nothing a neighbour can observe — no movement
-        performed beyond what the system's dirty-neighborhood events already
-        report, and no write to any memory a neighbour reads.  The engine
-        then skips the conservative "wake all neighbours" step.  Any other
-        return value (including the implicit ``None``) keeps the
-        conservative wake, so existing algorithms are unaffected.
+        event-driven engine:
+
+        * exactly ``False`` declares that the activation changed nothing a
+          neighbour can observe — no movement performed beyond what the
+          system's dirty-neighborhood events already report, and no write
+          to any memory a neighbour reads.  The engine then skips the
+          conservative "wake all neighbours" step.
+        * a list or tuple of :class:`Particle` objects declares
+          *precisely* which particles observed a change (beyond what the
+          movement events already report): the engine wakes exactly
+          those.  An algorithm returning a wake list promises it covers
+          every particle whose quiescence this activation can end.
+        * the :data:`TERMINATED` sentinel declares "nothing visible
+          changed and this particle just reached a final state" — the
+          engines retire it on the spot (see
+          :attr:`reports_termination`).
+        * any other return value (including the implicit ``None``) keeps
+          the conservative wake of the full pre-activation neighbourhood,
+          so existing algorithms are unaffected.
         """
 
     @abstractmethod
@@ -117,6 +176,39 @@ class AmoebotAlgorithm(ABC):
         unmodified algorithms stay correct and merely forgo the speedup.
         """
         return False
+
+    def wakes_on_movement(self, particle: Particle,
+                          system: ParticleSystem) -> bool:
+        """Whether an occupancy change adjacent to a *parked* particle can
+        end its quiescence (the second opt-in of the event-driven engine).
+
+        The engine consults this only when a movement event touches a
+        parked particle and no explicit wake (a neighbour's action) names
+        it.  An algorithm may return ``False`` for particles whose
+        quiescence provably depends on their own memory and their
+        neighbours' memories alone — e.g. Algorithm DLE's undecided
+        particles, which stay no-ops until their eligibility flags are
+        written, regardless of who moves next to them.  Returning ``False``
+        for a particle whose next activation could be enabled by an
+        occupancy change alone breaks the engine contract.
+
+        The conservative default returns ``True`` (every movement wakes).
+        """
+        return True
+
+    def initially_active_ids(self, system: ParticleSystem):
+        """Ids of the particles whose *first* activation may act, or None.
+
+        Consulted once by the event-driven engine right after
+        :meth:`setup`: an algorithm that can enumerate, from setup-time
+        knowledge, every particle that is not quiescent at the start can
+        return their ids here and the engine parks the rest immediately
+        instead of examining the whole population in round one.  The
+        returned set must contain every particle for which
+        :meth:`is_quiescent` would return False before any activation.
+        The default ``None`` starts everyone awake.
+        """
+        return None
 
 
 class StatusMixin:

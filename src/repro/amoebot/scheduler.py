@@ -54,9 +54,10 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 from heapq import heapify, heappop, heappush
+from itertools import islice
 from typing import Callable, Dict, List, Optional, Sequence, Set
 
-from .algorithm import AmoebotAlgorithm
+from .algorithm import QUIESCENT, TERMINATED, AmoebotAlgorithm
 from .system import ParticleSystem
 
 __all__ = [
@@ -83,6 +84,16 @@ def _reversed_order(round_index: int, ids: List[int],
     return list(reversed(ids))
 
 
+def _key_function(ids: List[int], keys: List[float]):
+    """Map a drawn key list onto a pid -> key function."""
+    if ids and ids[0] == 0 and ids[-1] == len(ids) - 1:
+        # ids is sorted and unique, so first==0 and last==n-1 means it is
+        # exactly range(n): each id indexes its own key.
+        return keys.__getitem__
+    positions = {pid: index for index, pid in enumerate(ids)}
+    return lambda pid: keys[positions[pid]]
+
+
 def _draw_random_keys(ids: List[int], rng: random.Random):
     """Draw one uniform key per particle and return a pid -> key function.
 
@@ -92,13 +103,49 @@ def _draw_random_keys(ids: List[int], rng: random.Random):
     identically and therefore order particles identically.
     """
     rand = rng.random
-    keys = [rand() for _ in ids]
-    if ids and ids[0] == 0 and ids[-1] == len(ids) - 1:
-        # ids is sorted and unique, so first==0 and last==n-1 means it is
-        # exactly range(n): each id indexes its own key.
-        return keys.__getitem__
-    positions = {pid: index for index, pid in enumerate(ids)}
-    return lambda pid: keys[positions[pid]]
+    # ``iter(rand, None)`` never hits its sentinel, so this draws exactly
+    # len(ids) keys with no per-key bytecode — ~2x faster than a list
+    # comprehension for the one O(n)-per-round cost round-fairness forces
+    # on both engines.
+    return _key_function(ids, list(islice(iter(rand, None), len(ids))))
+
+
+class _UniformKeyStream:
+    """Bulk source of the ``random`` policy's per-round keys.
+
+    Produces floats **bit-identical** to calling ``rng.random()`` once per
+    particle: when numpy is importable, the stdlib generator's Mersenne
+    Twister state is transplanted into a ``numpy.random.RandomState`` —
+    both implement the same MT19937 and the same 53-bit double derivation
+    — and the keys are drawn in one C call per round; without numpy the
+    stdlib generator itself is used.  Either way the engines consume the
+    exact same key sequence, so traces and round counts are engine- and
+    numpy-independent (asserted by tests/test_scheduler.py).
+    """
+
+    __slots__ = ("draw", "draw_raw")
+
+    def __init__(self, rng: random.Random) -> None:
+        try:
+            import numpy
+        except ImportError:
+            rand = rng.random
+            self.draw = lambda n: list(islice(iter(rand, None), n))
+            self.draw_raw = self.draw
+        else:
+            internal = rng.getstate()[1]
+            state = numpy.random.RandomState()
+            state.set_state(("MT19937",
+                             numpy.array(internal[:-1], dtype=numpy.uint32),
+                             internal[-1]))
+            sample = state.random_sample
+            self.draw = lambda n: sample(n).tolist()
+            # The raw ndarray: float64 entries compare identically to the
+            # converted floats, and the event engine only ever *reads* a
+            # handful of keys per round, so skipping the bulk conversion
+            # is a net win there (the sweep sorts 10k+ keys and keeps the
+            # converted list).
+            self.draw_raw = sample
 
 
 def _random_order(round_index: int, ids: List[int],
@@ -187,6 +234,14 @@ class SequentialScheduler:
         inspect the partial execution.
         """
         rng = random.Random(self.seed)
+        # For the built-in ``random`` policy the scheduler rng feeds the
+        # per-round key draws and nothing else, so the draws can come from
+        # the bulk stream (same floats, one C call per round).  Custom
+        # policies receive ``rng`` directly and keep the plain path.
+        if not self._validate_order and self.order_name == "random":
+            self._key_stream = _UniformKeyStream(rng)
+        else:
+            self._key_stream = None
         algorithm.setup(system)
         state = self._start(algorithm, system)
         moves_before = system.move_count
@@ -223,8 +278,15 @@ class SequentialScheduler:
 
     def _start(self, algorithm: AmoebotAlgorithm,
                system: ParticleSystem) -> Optional[object]:
-        """Per-run engine state, created after ``algorithm.setup``."""
-        return None
+        """Per-run engine state, created after ``algorithm.setup``.
+
+        The sweep keeps one set: the particles it has observed terminated.
+        Final states are absorbing (the model's contract, already relied on
+        by the event engine's ``done`` set), so a terminated particle is
+        dropped from future rounds without re-asking the algorithm — the
+        sweep's per-round cost becomes O(live particles), not O(n).
+        """
+        return set()
 
     def _finish(self, system: ParticleSystem, state: Optional[object]) -> None:
         """Tear down per-run engine state (always called, even on error)."""
@@ -243,14 +305,49 @@ class SequentialScheduler:
 
     def _run_round(self, algorithm: AmoebotAlgorithm, system: ParticleSystem,
                    round_index: int, rng: random.Random,
-                   state: Optional[object]):
+                   state: Set[int]):
         """Activate one round; returns (activations, skipped)."""
+        done = state
+        name = None if self._validate_order else self.order_name
+        if name == "random":
+            # Draw keys for the *full* id list (the RNG stream the event
+            # engine reproduces), then order only the live particles: the
+            # sub-order of a stable key sort is the same whether or not the
+            # terminated particles are sorted along.
+            ids = system._ids_snapshot()
+            keyfn = _key_function(ids, self._key_stream.draw(len(ids)))
+            live = [pid for pid in ids if pid not in done] if done else ids
+            order = sorted(live, key=keyfn)
+        elif name == "round_robin":
+            ids = system._ids_snapshot()
+            order = [pid for pid in ids if pid not in done] if done else ids
+        elif name == "reversed":
+            ids = system._ids_snapshot()
+            order = [pid for pid in reversed(ids) if pid not in done] \
+                if done else list(reversed(ids))
+        else:
+            order = self._round_order(system, round_index, rng)
+            if done:
+                order = [pid for pid in order if pid not in done]
+        particles = system._particles
+        is_terminated = algorithm.is_terminated
+        activate = algorithm.activate
         activations = 0
-        for particle_id in self._round_order(system, round_index, rng):
-            particle = system.get_particle(particle_id)
-            if algorithm.is_terminated(particle, system):
+        if algorithm.reports_termination:
+            # Terminating activations hand back the TERMINATED sentinel, so
+            # the per-particle is_terminated poll is unnecessary.
+            done_add = done.add
+            for particle_id in order:
+                if activate(particles[particle_id], system) is TERMINATED:
+                    done_add(particle_id)
+                activations += 1
+            return activations, 0
+        for particle_id in order:
+            particle = particles[particle_id]
+            if is_terminated(particle, system):
+                done.add(particle_id)
                 continue
-            algorithm.activate(particle, system)
+            activate(particle, system)
             activations += 1
         return activations, 0
 
@@ -321,30 +418,67 @@ class EventDrivenScheduler(SequentialScheduler):
     def _start(self, algorithm: AmoebotAlgorithm,
                system: ParticleSystem) -> _EventState:
         state = _EventState()
-        state.active = set(system.particle_ids())
+        initial = algorithm.initially_active_ids(system)
+        all_ids = system.particle_ids()
+        if initial is None:
+            state.active = set(all_ids)
+        else:
+            # The algorithm enumerated the particles whose first activation
+            # may act; everyone else starts parked instead of being
+            # examined (and re-parked) during round one.
+            state.active = set(initial)
+            state.parked = set(all_ids) - state.active
         active = state.active
         parked = state.parked
         done = state.done
+        # Algorithms that keep the conservative default (every movement
+        # wakes) skip the per-particle filter call entirely.
+        movement_filter = None
+        if (type(algorithm).wakes_on_movement
+                is not AmoebotAlgorithm.wakes_on_movement):
+            movement_filter = algorithm.wakes_on_movement
+        gain_insensitive = not algorithm.occupancy_gain_wakes
+        particles = system._particles
+        mirror = system._points
 
         def wake(dirty_points, affected_ids):
             # Everything affected that is not terminated must be awake:
-            # parked particles are woken, brand-new particles (added while
+            # parked particles are woken (unless the algorithm declares
+            # them movement-insensitive), brand-new particles (added while
             # the run executes) become active.
             woken = affected_ids - active - done
-            if woken:
-                parked.difference_update(woken)
-                active.update(woken)
-                keyfn = state.keyfn
-                if keyfn is not None:
-                    heap = state.heap
-                    limit = state.round_limit
-                    for w in woken:
-                        # A particle created after the round's order was
-                        # drawn has no slot in it — the sweep would not
-                        # reach it either; it joins the next round's
-                        # schedule via ``active``.
-                        if w < limit:
-                            heappush(heap, (keyfn(w), w))
+            if not woken:
+                return
+            if gain_insensitive:
+                for point in dirty_points:
+                    if point not in mirror:
+                        break
+                else:
+                    # Every dirty point is occupied afterwards: a pure
+                    # occupancy gain, which this algorithm declares unable
+                    # to end anyone's quiescence — only brand-new
+                    # particles (not yet tracked) still need scheduling.
+                    woken = woken - parked
+                    if not woken:
+                        return
+            keyfn = state.keyfn
+            heap = state.heap
+            limit = state.round_limit
+            candidates = woken & parked
+            for w in woken - candidates if len(candidates) != len(woken) \
+                    else ():
+                # Brand-new particles (added while the run executes): they
+                # have no slot in the current round's order — the sweep
+                # would not reach them either — so they join via ``active``.
+                active.add(w)
+            for w in candidates:
+                if (movement_filter is not None
+                        and not movement_filter(particles[w], system)):
+                    continue
+                parked.discard(w)
+                active.add(w)
+                if keyfn is not None and w < limit:
+                    heappush(heap, (keyfn(w), w))
 
         state.listener = system.add_change_listener(wake)
         return state
@@ -366,8 +500,12 @@ class EventDrivenScheduler(SequentialScheduler):
         full permutation.
         """
         name = self.order_name
-        if name == "random":
-            return _draw_random_keys(system.particle_ids(), rng)
+        if name == "random" and self._key_stream is not None:
+            # The stream is only built for the *built-in* random policy; a
+            # user-supplied callable that happens to be named "random" must
+            # fall through to the materialise-full-order path below.
+            ids = system._ids_snapshot()
+            return _key_function(ids, self._key_stream.draw_raw(len(ids)))
         if name == "round_robin":
             return lambda pid: pid
         if name == "reversed":
@@ -383,7 +521,14 @@ class EventDrivenScheduler(SequentialScheduler):
         is_terminated = algorithm.is_terminated
         is_quiescent = algorithm.is_quiescent
         activate = algorithm.activate
-        neighbor_ids = system.neighbor_ids
+        neighbors_of = system.neighbors_of
+        # With reports_termination, terminating activations return the
+        # TERMINATED sentinel, so the per-examination poll is skipped;
+        # with reports_quiescence, quiescent activations return the
+        # QUIESCENT sentinel and replace the is_quiescent pre-check (the
+        # activation itself is the quiescence test).
+        poll_terminated = not algorithm.reports_termination
+        poll_quiescent = not algorithm.reports_quiescence
         activations = 0
         examined = 0
 
@@ -400,22 +545,39 @@ class EventDrivenScheduler(SequentialScheduler):
             for particle_id in schedule:
                 examined += 1
                 particle = particles[particle_id]
-                if is_terminated(particle, system):
+                if poll_terminated and is_terminated(particle, system):
                     done.add(particle_id)
                     active.discard(particle_id)
                     continue
-                if is_quiescent(particle, system):
+                if poll_quiescent and is_quiescent(particle, system):
                     parked.add(particle_id)
                     active.discard(particle_id)
                     continue
-                nbr_ids = neighbor_ids(particle)
                 acted = activate(particle, system)
                 activations += 1
-                if acted is not False:
-                    for q in nbr_ids:
-                        if q in parked:
-                            parked.discard(q)
-                            active.add(q)
+                if acted is False:
+                    continue
+                if acted is QUIESCENT:
+                    parked.add(particle_id)
+                    active.discard(particle_id)
+                    continue
+                if acted is TERMINATED:
+                    done.add(particle_id)
+                    active.discard(particle_id)
+                    continue
+                if type(acted) is not list and type(acted) is not tuple:
+                    # Anything but a precise wake list (True, None, or any
+                    # legacy truthy flag) keeps the conservative wake: the
+                    # post-activation neighbourhood plus the movement
+                    # events fired during the activation cover every
+                    # pre-activation neighbour (a vacated point's event
+                    # wakes whoever only touched it).
+                    acted = neighbors_of(particle)
+                for q in acted:
+                    qid = q.particle_id
+                    if qid in parked:
+                        parked.discard(qid)
+                        active.add(qid)
             return activations, population - examined
 
         # Built-in policy: schedule only the awake particles, in the exact
@@ -442,32 +604,49 @@ class EventDrivenScheduler(SequentialScheduler):
                 particle_id = entry[1]
                 examined += 1
                 particle = particles[particle_id]
-                if is_terminated(particle, system):
+                if poll_terminated and is_terminated(particle, system):
                     done.add(particle_id)
                     active.discard(particle_id)
                     continue
-                if is_quiescent(particle, system):
+                if poll_quiescent and is_quiescent(particle, system):
                     parked.add(particle_id)
                     active.discard(particle_id)
                     continue
                 # The particle acts: anything it writes lives in its own or
-                # a neighbour's memory, so waking the pre-activation
-                # neighbourhood (plus the movement events fired during the
-                # activation, which wake the post-movement neighbourhood)
-                # covers every particle whose quiescence this activation can
-                # end.  An activation returning exactly ``False`` declares
-                # it changed nothing a neighbour observes (or that its only
-                # observable change was a movement, whose event already woke
-                # the right particles), so the explicit wake is skipped.
-                nbr_ids = neighbor_ids(particle)
+                # a neighbour's memory, so waking its neighbourhood (plus
+                # the movement events fired during the activation, which
+                # wake the neighbourhood of every vacated or occupied
+                # point) covers every particle whose quiescence this
+                # activation can end.  An activation returning exactly
+                # ``False`` declares it changed nothing a neighbour
+                # observes (or that its only observable change was a
+                # movement, whose event already woke the right particles),
+                # so the wake is skipped entirely; QUIESCENT additionally
+                # parks the particle, TERMINATED retires it, and a
+                # particle list narrows the wake to exactly those.
                 acted = activate(particle, system)
                 activations += 1
-                if acted is not False:
-                    for q in nbr_ids:
-                        if q in parked:
-                            parked.discard(q)
-                            active.add(q)
-                            heappush(heap, (keyfn(q), q))
+                if acted is False:
+                    continue
+                if acted is QUIESCENT:
+                    parked.add(particle_id)
+                    active.discard(particle_id)
+                    continue
+                if acted is TERMINATED:
+                    done.add(particle_id)
+                    active.discard(particle_id)
+                    continue
+                if type(acted) is not list and type(acted) is not tuple:
+                    # Any non-list hint keeps the conservative wake:
+                    # post-activation neighbourhood + movement events
+                    # cover every pre-activation neighbour.
+                    acted = neighbors_of(particle)
+                for q in acted:
+                    qid = q.particle_id
+                    if qid in parked:
+                        parked.discard(qid)
+                        active.add(qid)
+                        heappush(heap, (keyfn(qid), qid))
         finally:
             state.heap = None
             state.keyfn = None

@@ -14,6 +14,18 @@ particle system to disconnect temporarily (that is the point of Algorithm
 DLE).  Callers that want the classical connectivity requirement can assert
 :meth:`ParticleSystem.is_connected` themselves.
 
+Packed-coordinate core
+----------------------
+
+Internally the occupancy map is keyed by *packed* coordinates
+(:mod:`repro.grid.packed`): each grid point is one int, neighbours are
+reached by branch-free integer additions, and the six neighbours of a point
+come out of an interned ring cache as a single shared tuple.  Every public
+API still speaks tuple ``Point``\\ s — the packing is invisible at the
+module edge; it only makes the per-activation occupancy probes (the hottest
+reads of the whole simulator) hash ints instead of tuples and allocate
+nothing.
+
 Change notifications
 --------------------
 
@@ -23,37 +35,82 @@ Every operation that alters occupancy (``add_particle``, ``expand``,
 points whose occupancy changed (gained, lost, or switched occupant),
 together with the ids of every particle whose visible neighbourhood those
 points touch — the occupants of the dirty points and of the points adjacent
-to them.  Two consumers are built on
-the events:
+to them.  Three consumers are built on the events:
 
 * the **cached neighbor index** behind :meth:`ParticleSystem.neighbors_of`
   — neighbour lists are computed once and reused until an event touches
   them, which turns the hottest read of every activation into a handful of
-  dictionary lookups, and
+  dictionary lookups,
 * the :class:`~repro.amoebot.scheduler.EventDrivenScheduler`, which parks
   quiescent particles and uses the events to re-wake only the particles
-  adjacent to a change (see :meth:`add_change_listener`).
+  adjacent to a change (see :meth:`add_change_listener`), and
+* the **incremental shape tracker** behind :meth:`ParticleSystem.shape`:
+  occupancy gains and losses since the last snapshot are recorded as an
+  ordered delta stream, and the next ``shape()`` call patches the previous
+  snapshot's memoised connectivity / outer-face / hole state through those
+  deltas (:meth:`repro.grid.shape.Shape._apply_deltas`) instead of
+  recomputing the geometry from scratch.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
-from ..grid.coords import Point, direction_between, neighbor, neighbors
-from ..grid.shape import Shape, is_connected
+from ..grid.coords import Point, direction_between
+from ..grid.packed import (
+    OFFSET as _OFFSET,
+    SHIFT as _SHIFT,
+    pack_point,
+    packed_neighbors,
+    unpack,
+)
+
+_MASK = (1 << _SHIFT) - 1
+from ..grid.shape import Shape
 from .particle import Particle
 
 __all__ = ["ParticleSystem", "IllegalMoveError", "ChangeListener"]
 
 #: Signature of a dirty-neighborhood event subscriber: called with the grid
 #: points whose occupancy changed and the ids of every particle occupying
-#: one of those points or a point adjacent to one.
-ChangeListener = Callable[[FrozenSet[Point], FrozenSet[int]], None]
+#: one of those points or a point adjacent to one.  Both arguments are
+#: read-only views (a tuple and a set) — listeners must not mutate them.
+ChangeListener = Callable[[Sequence[Point], Set[int]], None]
 
 
 class IllegalMoveError(RuntimeError):
     """Raised when an algorithm requests a movement the model forbids."""
+
+
+def _draw_orientations(seed: int, count: int) -> List[int]:
+    """The orientation stream of :meth:`ParticleSystem.from_shape`:
+    ``count`` draws of ``random.Random(seed).randrange(6)``.
+
+    When numpy is importable the stdlib generator's Mersenne Twister state
+    is transplanted into a ``numpy.random.MT19937`` bit generator and the
+    rejection sampling ``randrange`` performs (top three bits of one raw
+    word per attempt, retried while >= 6) is replayed vectorised — the
+    resulting sequence is integer-identical to the stdlib draws, just bulk
+    (asserted by tests/test_system.py)."""
+    rng = random.Random(seed)
+    try:
+        import numpy
+    except ImportError:
+        return [rng.randrange(6) for _ in range(count)]
+    internal = rng.getstate()[1]
+    bits = numpy.random.MT19937()
+    bits.state = {
+        "bit_generator": "MT19937",
+        "state": {"key": numpy.array(internal[:-1], dtype=numpy.uint32),
+                  "pos": internal[-1]},
+    }
+    out: List[int] = []
+    while len(out) < count:
+        words = bits.random_raw(2 * (count - len(out)) + 8)
+        draws = words >> 29
+        out.extend(draws[draws < 6][:count - len(out)].tolist())
+    return out
 
 
 class ParticleSystem:
@@ -61,20 +118,33 @@ class ParticleSystem:
 
     def __init__(self) -> None:
         self._particles: Dict[int, Particle] = {}
-        self._occupancy: Dict[Point, int] = {}
+        #: Occupancy keyed by packed coordinates (see the module docstring).
+        self._occupancy: Dict[int, int] = {}
+        #: Tuple-point mirror of the occupancy keys, maintained per event —
+        #: the source of the public ``occupied_points()`` view and of the
+        #: shape tracker's delta stream.
+        self._points: Set[Point] = set()
         self._next_id = 0
         #: Total number of expansion / contraction / handover operations
         #: performed so far (movement complexity, used by some experiments).
         self.move_count = 0
         #: Cached neighbor index: particle id -> tuple of neighbouring
-        #: particle ids, invalidated by dirty-neighborhood events.
-        self._neighbor_cache: Dict[int, Tuple[int, ...]] = {}
+        #: Particle objects, invalidated by dirty-neighborhood events.
+        self._neighbor_cache: Dict[int, Tuple[Particle, ...]] = {}
         self._listeners: List[ChangeListener] = []
         #: Monotone occupancy version: bumped by every occupancy-changing
-        #: operation; keys the cached :meth:`shape` snapshot.
+        #: operation; keys the cached :meth:`shape` snapshot and the cached
+        #: :meth:`occupied_points` view.
         self._version = 0
         self._shape_cache: Optional[Shape] = None
         self._shape_version = -1
+        #: Ordered ``(point, added)`` occupancy deltas since the cached
+        #: shape snapshot, or None when delta tracking is disarmed (no
+        #: snapshot yet, or the stream outgrew the worth of patching).
+        self._shape_deltas: Optional[List[Tuple[Point, bool]]] = None
+        self._occupied_cache: Optional[FrozenSet[Point]] = None
+        self._occupied_version = -1
+        self._ids_cache: Optional[List[int]] = None
 
     # -- change notifications -------------------------------------------------
 
@@ -99,33 +169,65 @@ class ParticleSystem:
         """Ids of every particle occupying one of ``points`` or a point
         adjacent to one — exactly the particles whose neighbour lists (and
         visible neighbourhoods) an occupancy change at ``points`` can touch."""
-        occupancy = self._occupancy
-        ids = set()
-        for point in points:
-            pid = occupancy.get(point)
-            if pid is not None:
-                ids.add(pid)
-            for adjacent in neighbors(point):
-                pid = occupancy.get(adjacent)
-                if pid is not None:
-                    ids.add(pid)
-        return frozenset(ids)
+        return frozenset(
+            self._affected_ids_packed([pack_point(p) for p in points]))
 
-    def _notify_change(self, points: Iterable[Point]) -> None:
-        """Invalidate the neighbor index around ``points`` and publish the
-        event to subscribers.  Cheap when nothing is cached or subscribed."""
+    def _affected_ids_packed(self, packed_points: Sequence[int]) -> Set[int]:
+        occupancy = self._occupancy
+        get = occupancy.get
+        ids = set()
+        add = ids.add
+        for packed in packed_points:
+            pid = get(packed)
+            if pid is not None:
+                add(pid)
+            for adjacent in packed_neighbors(packed):
+                pid = get(adjacent)
+                if pid is not None:
+                    add(pid)
+        return ids
+
+    def _notify_change(self, packed_points: Sequence[int]) -> None:
+        """Record the occupancy deltas at ``packed_points``, invalidate the
+        neighbor index around them and publish the event to subscribers.
+        Cheap when nothing is cached or subscribed.  Expansions,
+        contractions and handovers dirty exactly one point, so that case
+        is the tight one."""
         self._version += 1
+        occupancy = self._occupancy
+        mirror = self._points
+        deltas = self._shape_deltas
+        dirty: List[Point] = []
+        for packed in packed_points:
+            point = ((packed >> _SHIFT) - _OFFSET,
+                     (packed & _MASK) - _OFFSET)
+            dirty.append(point)
+            if packed in occupancy:
+                if point not in mirror:
+                    mirror.add(point)
+                    if deltas is not None:
+                        deltas.append((point, True))
+            elif point in mirror:
+                mirror.discard(point)
+                if deltas is not None:
+                    deltas.append((point, False))
+        if deltas is not None and len(deltas) * 3 > len(mirror) + 48:
+            # The delta stream outgrew the worth of patching: replaying it
+            # would cost more than rebuilding, so the next shape() poll
+            # recomputes from scratch and re-arms the tracker.
+            self._shape_deltas = None
         cache = self._neighbor_cache
         if not cache and not self._listeners:
             return
-        affected = self.affected_ids(points)
+        affected = self._affected_ids_packed(packed_points)
         if cache:
+            pop = cache.pop
             for pid in affected:
-                cache.pop(pid, None)
+                pop(pid, None)
         if self._listeners:
-            dirty = frozenset(points)
+            dirty_view = tuple(dirty)
             for listener in self._listeners:
-                listener(dirty, affected)
+                listener(dirty_view, affected)
 
     # -- construction -------------------------------------------------------
 
@@ -141,26 +243,55 @@ class ParticleSystem:
         """
         system = cls()
         points = shape.points if isinstance(shape, Shape) else frozenset(shape)
-        rng = random.Random(orientation_seed) if orientation_seed is not None else None
-        for point in sorted(points):
-            orientation = rng.randrange(6) if rng is not None else 0
-            system.add_particle(point, orientation=orientation)
+        ordered = sorted(points)
+        if orientation_seed is not None:
+            orientations = _draw_orientations(orientation_seed, len(ordered))
+        else:
+            orientations = [0] * len(ordered)
+        # Bulk construction: nothing is cached and nobody is subscribed yet,
+        # so the per-particle event machinery is skipped and the occupancy
+        # structures are filled directly (one version bump for the batch).
+        particles = system._particles
+        occupancy = system._occupancy
+        mirror = system._points
+        next_id = 0
+        new_particle = Particle.__new__
+        for point, orientation in zip(ordered, orientations):
+            # Direct slot construction: the arguments are valid by
+            # construction, so Particle.__init__'s validation is skipped
+            # (and the packing is inlined — this loop builds every system).
+            particle = new_particle(Particle)
+            particle.particle_id = next_id
+            particle.head = point
+            particle.tail = point
+            particle.orientation = orientation
+            particle.memory = {}
+            particles[next_id] = particle
+            q, r = point
+            occupancy[((q + _OFFSET) << _SHIFT) | (r + _OFFSET)] = next_id
+            mirror.add(point)
+            next_id += 1
+        system._next_id = next_id
+        system._version += 1
         if isinstance(shape, Shape):
             # Seed the shape cache with the caller's instance: its memoised
-            # faces / connectivity carry over to algorithm setup.
+            # faces / connectivity carry over to algorithm setup, and the
+            # delta tracker starts patching from it.
             system._shape_cache = shape
             system._shape_version = system._version
+            system._shape_deltas = []
         return system
 
     def add_particle(self, point: Point, orientation: int = 0) -> Particle:
         """Add a contracted particle at an empty point."""
-        if point in self._occupancy:
+        packed = pack_point(point)
+        if packed in self._occupancy:
             raise IllegalMoveError(f"point {point} is already occupied")
         particle = Particle(self._next_id, point, orientation=orientation)
         self._particles[particle.particle_id] = particle
-        self._occupancy[point] = particle.particle_id
+        self._occupancy[packed] = particle.particle_id
         self._next_id += 1
-        self._notify_change((point,))
+        self._notify_change((packed,))
         return particle
 
     # -- inspection ----------------------------------------------------------
@@ -173,27 +304,47 @@ class ParticleSystem:
 
     def particles(self) -> List[Particle]:
         """All particles, in a deterministic (id) order."""
-        return [self._particles[i] for i in sorted(self._particles)]
+        particles = self._particles
+        return [particles[i] for i in self.particle_ids()]
 
     def particle_ids(self) -> List[int]:
-        return sorted(self._particles)
+        """All particle ids, ascending.  Ids are allocated monotonically and
+        never removed, so the sorted list is cached until a particle is
+        added (the schedulers ask for it every round)."""
+        return list(self._ids_snapshot())
+
+    def _ids_snapshot(self) -> List[int]:
+        """The cached ascending id list itself (no defensive copy) — for
+        per-round readers that promise not to mutate it."""
+        cached = self._ids_cache
+        if cached is None or len(cached) != len(self._particles):
+            cached = self._ids_cache = sorted(self._particles)
+        return cached
 
     def get_particle(self, particle_id: int) -> Particle:
         return self._particles[particle_id]
 
     def particle_at(self, point: Point) -> Optional[Particle]:
         """The particle occupying ``point``, or None."""
-        pid = self._occupancy.get(point)
+        pid = self._occupancy.get(pack_point(point))
         if pid is None:
             return None
         return self._particles[pid]
 
     def is_occupied(self, point: Point) -> bool:
-        return point in self._occupancy
+        return pack_point(point) in self._occupancy
 
     def occupied_points(self) -> frozenset:
-        """All currently occupied points."""
-        return frozenset(self._occupancy)
+        """All currently occupied points.
+
+        Cached against the occupancy version: erosion, OBD and the
+        state-dependent adversaries poll this every round, and repeated
+        calls while nothing moves share one frozenset.
+        """
+        if self._occupied_version != self._version:
+            self._occupied_cache = frozenset(self._points)
+            self._occupied_version = self._version
+        return self._occupied_cache
 
     def shape(self) -> Shape:
         """The current shape of the particle system.
@@ -202,61 +353,136 @@ class ParticleSystem:
         version the dirty-neighborhood events bump, so repeated calls while
         nothing moves (algorithm setup, instrumentation, metrics) share one
         instance — and therefore share its memoised faces / connectivity.
+
+        When the previous snapshot is stale, the new one is **patched**
+        from it through the occupancy deltas recorded since (incremental
+        connectivity / outer-face / hole maintenance) rather than
+        recomputed from scratch; a full rebuild only happens when no
+        snapshot exists yet or the delta stream outgrew the worth of
+        patching.
         """
-        if self._shape_cache is None or self._shape_version != self._version:
-            self._shape_cache = Shape(self._occupancy)
-            self._shape_version = self._version
-        return self._shape_cache
+        if self._shape_cache is not None and self._shape_version == self._version:
+            return self._shape_cache
+        base = self._shape_cache
+        deltas = self._shape_deltas
+        if base is not None and deltas is not None:
+            shape = base._apply_deltas(deltas)
+        else:
+            shape = Shape(self._points)
+        self._shape_cache = shape
+        self._shape_version = self._version
+        self._shape_deltas = []
+        return shape
 
     def is_connected(self) -> bool:
-        """Whether the set of occupied points is connected."""
-        return is_connected(frozenset(self._occupancy))
+        """Whether the set of occupied points is connected.
+
+        Served by the cached :meth:`shape` snapshot's memoised connectivity:
+        while nothing moves, repeated calls cost two attribute reads, and
+        after movement the incremental shape state usually still knows the
+        answer without a BFS.
+        """
+        return self.shape().is_connected()
 
     def all_contracted(self) -> bool:
         return all(p.is_contracted for p in self._particles.values())
 
-    def neighbors_of(self, particle: Particle) -> List[Particle]:
+    def neighbors_of(self, particle: Particle) -> Tuple[Particle, ...]:
         """The neighbouring particles of ``particle`` (particles occupying a
         point adjacent to one of its occupied points), in a deterministic
         order without duplicates.
 
-        Served from the cached neighbor index: the id list is computed once
+        Served from the cached neighbor index: the tuple is computed once
         and reused until a dirty-neighborhood event touches this particle,
         which every occupancy-changing operation publishes automatically.
+        The returned tuple is the cache entry itself — treat it as
+        immutable.
         """
-        particles = self._particles
-        return [particles[i] for i in self.neighbor_ids(particle)]
-
-    def neighbor_ids(self, particle: Particle) -> Tuple[int, ...]:
-        """The cached tuple behind :meth:`neighbors_of` — ids of the
-        neighbouring particles, deterministic order, no duplicates."""
-        pid = particle.particle_id
-        cached = self._neighbor_cache.get(pid)
+        cached = self._neighbor_cache.get(particle.particle_id)
         if cached is None:
-            seen = {pid}
-            ids: List[int] = []
-            occupancy = self._occupancy
-            get = occupancy.get
-            head = particle.head
-            for point in neighbors(head):
+            cached = self._compute_neighbors(particle)
+        return cached
+
+    def _compute_neighbors(self, particle: Particle) -> Tuple[Particle, ...]:
+        pid = particle.particle_id
+        seen = {pid}
+        found: List[Particle] = []
+        get = self._occupancy.get
+        particles = self._particles
+        head = particle.head
+        for point in packed_neighbors(pack_point(head)):
+            other_id = get(point)
+            if other_id is not None and other_id not in seen:
+                seen.add(other_id)
+                found.append(particles[other_id])
+        tail = particle.tail
+        if tail != head:
+            for point in packed_neighbors(pack_point(tail)):
                 other_id = get(point)
                 if other_id is not None and other_id not in seen:
                     seen.add(other_id)
-                    ids.append(other_id)
-            tail = particle.tail
-            if tail != head:
-                for point in neighbors(tail):
-                    other_id = get(point)
-                    if other_id is not None and other_id not in seen:
-                        seen.add(other_id)
-                        ids.append(other_id)
-            cached = tuple(ids)
-            self._neighbor_cache[pid] = cached
+                    found.append(particles[other_id])
+        cached = tuple(found)
+        self._neighbor_cache[pid] = cached
         return cached
+
+    def neighborhood_intact(self, particle: Particle) -> bool:
+        """True iff the cached neighbourhood of ``particle`` exists and no
+        occupancy change has touched it since it was computed — algorithms
+        can use this as a validity token for their own derived
+        neighbourhood state (every dirty-neighborhood event drops the
+        entry)."""
+        return particle.particle_id in self._neighbor_cache
+
+    def neighbor_ids(self, particle: Particle) -> Tuple[int, ...]:
+        """Ids of the neighbouring particles, deterministic order, no
+        duplicates (a derived view of :meth:`neighbors_of`)."""
+        return tuple(q.particle_id for q in self.neighbors_of(particle))
 
     def neighbor_particle(self, origin: Point, direction: int) -> Optional[Particle]:
         """The particle occupying the neighbour of ``origin`` in ``direction``."""
-        return self.particle_at(neighbor(origin, direction))
+        pid = self._occupancy.get(
+            packed_neighbors(pack_point(origin))[direction])
+        if pid is None:
+            return None
+        return self._particles[pid]
+
+    def occupancy_maps(self):
+        """The packed occupancy getter and the particle table —
+        ``(occupancy.get, particles)`` — for algorithm hot paths that walk
+        neighbourhood rings themselves (see :mod:`repro.grid.packed`).
+        Read-only by contract: all mutation goes through the movement
+        operations so the caches and events stay coherent."""
+        return self._occupancy.get, self._particles
+
+    def head_adjacent_particles(self, point: Point
+                                ) -> List[Tuple[Particle, int]]:
+        """``(particle, direction)`` pairs for the particles whose *head*
+        occupies a neighbour of ``point``; ``direction`` is the global
+        direction from ``point`` to that head.
+
+        This walks the occupancy ring directly instead of going through
+        the cached neighbor index, so it stays cheap for points whose
+        occupants just moved (the erosion hot path: every eligibility
+        write targets head ports of points adjacent to the eroded one).
+        Expanded particles whose only adjacency is their tail are omitted
+        — their head ports do not face ``point``.
+        """
+        get = self._occupancy.get
+        particles = self._particles
+        found: List[Tuple[Particle, int]] = []
+        direction = 0
+        for packed in packed_neighbors(pack_point(point)):
+            pid = get(packed)
+            if pid is not None:
+                q = particles[pid]
+                # The occupant of this slot contributes iff its head is
+                # here: contracted particles always qualify; an expanded
+                # one only when the slot is not its tail.
+                if q.head == q.tail or pack_point(q.head) == packed:
+                    found.append((q, direction))
+            direction += 1
+        return found
 
     # -- movement operations ---------------------------------------------------
 
@@ -267,21 +493,22 @@ class ParticleSystem:
             raise IllegalMoveError("cannot expand an already expanded particle")
         origin = particle.head
         direction_between(origin, target)  # raises if not adjacent
-        if target in self._occupancy:
+        packed_target = pack_point(target)
+        if packed_target in self._occupancy:
             raise IllegalMoveError(f"cannot expand into occupied point {target}")
         particle.tail = origin
         particle.head = target
-        self._occupancy[target] = particle.particle_id
+        self._occupancy[packed_target] = particle.particle_id
         self.move_count += 1
         # Only the target's occupancy changed (the origin keeps the tail);
         # the expanding particle itself is adjacent to the target, so its
         # own neighbor-cache entry is invalidated with its neighbours'.
-        self._notify_change((target,))
+        self._notify_change((packed_target,))
 
     def expand_toward(self, particle: Particle, direction: int) -> Point:
         """Expand a contracted particle along a global direction and return
         the new head point."""
-        target = neighbor(particle.head, direction)
+        target = unpack(packed_neighbors(pack_point(particle.head))[direction])
         self.expand(particle, target)
         return target
 
@@ -289,21 +516,21 @@ class ParticleSystem:
         """Contract an expanded particle into its head (vacating the tail)."""
         if particle.is_contracted:
             raise IllegalMoveError("cannot contract a contracted particle")
-        tail = particle.tail
-        del self._occupancy[tail]
+        packed_tail = pack_point(particle.tail)
+        del self._occupancy[packed_tail]
         particle.tail = particle.head
         self.move_count += 1
-        self._notify_change((tail,))
+        self._notify_change((packed_tail,))
 
     def contract_to_tail(self, particle: Particle) -> None:
         """Contract an expanded particle into its tail (vacating the head)."""
         if particle.is_contracted:
             raise IllegalMoveError("cannot contract a contracted particle")
-        head = particle.head
-        del self._occupancy[head]
+        packed_head = pack_point(particle.head)
+        del self._occupancy[packed_head]
         particle.head = particle.tail
         self.move_count += 1
-        self._notify_change((head,))
+        self._notify_change((packed_head,))
 
     def handover(self, contracted: Particle, expanded: Particle,
                  into: Optional[Point] = None) -> None:
@@ -331,12 +558,13 @@ class ParticleSystem:
         origin = contracted.head
         contracted.tail = origin
         contracted.head = into
-        self._occupancy[into] = contracted.particle_id
+        packed_into = pack_point(into)
+        self._occupancy[packed_into] = contracted.particle_id
         self.move_count += 1
         # ``into`` changed owner; ``keep`` and the contracted particle's
         # origin stay occupied by the same particles, and both movers are
         # adjacent to ``into``, so one dirty point covers every stale entry.
-        self._notify_change((into,))
+        self._notify_change((packed_into,))
 
     # -- bulk helpers used by structured simulations --------------------------
 
@@ -351,14 +579,16 @@ class ParticleSystem:
             raise IllegalMoveError("cannot teleport an expanded particle")
         if target == particle.head:
             return
-        if target in self._occupancy:
+        packed_target = pack_point(target)
+        if packed_target in self._occupancy:
             raise IllegalMoveError(f"cannot teleport onto occupied point {target}")
         origin = particle.head
-        del self._occupancy[origin]
+        packed_origin = pack_point(origin)
+        del self._occupancy[packed_origin]
         particle.head = target
         particle.tail = target
-        self._occupancy[target] = particle.particle_id
-        self._notify_change((origin, target))
+        self._occupancy[packed_target] = particle.particle_id
+        self._notify_change((packed_origin, packed_target))
 
     def bulk_relocate(self, targets: Dict[int, Point]) -> None:
         """Atomically move several contracted particles to new points.
@@ -379,23 +609,25 @@ class ParticleSystem:
             raise IllegalMoveError("bulk_relocate targets collide with each other")
         moving = set(targets)
         for point in new_points:
-            occupant = self._occupancy.get(point)
+            occupant = self._occupancy.get(pack_point(point))
             if occupant is not None and occupant not in moving:
                 raise IllegalMoveError(
                     f"bulk_relocate target {point} is occupied by a particle "
                     "that is not being moved"
                 )
-        dirty: List[Point] = []
+        dirty: List[int] = []
         for pid in targets:
             particle = self._particles[pid]
-            dirty.append(particle.head)
-            del self._occupancy[particle.head]
+            packed_head = pack_point(particle.head)
+            dirty.append(packed_head)
+            del self._occupancy[packed_head]
         for pid, point in targets.items():
             particle = self._particles[pid]
             particle.head = point
             particle.tail = point
-            self._occupancy[point] = pid
-            dirty.append(point)
+            packed = pack_point(point)
+            self._occupancy[packed] = pid
+            dirty.append(packed)
         self._notify_change(dirty)
 
     def snapshot(self) -> Dict[int, Tuple[Point, Point]]:

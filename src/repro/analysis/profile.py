@@ -1,0 +1,198 @@
+"""cProfile-backed phase profiler behind ``python -m repro profile``.
+
+Perf work on this reproduction keeps flowing through the same three layers
+— the geometry substrate (``repro.grid``), the activation machinery
+(``repro.amoebot``) and the algorithm implementations (``repro.core`` /
+``repro.baselines``) — so the profiler buckets every profiled function
+into one of those **phases** and reports how the run's self-time splits
+between them.  A perf PR should name the phase it attacks and show this
+breakdown moving; "measured, not guessed" is the whole point of the
+subcommand.
+
+The report also carries the top functions by self-time (for drilling in)
+and the usual run metadata (rounds, success, wall seconds), and can be
+written as JSON (``--json``) so CI uploads machine-readable profiles as
+workflow artifacts.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import json
+import pstats
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from ..grid.generators import make_shape
+from .experiments import ALGORITHMS
+
+__all__ = [
+    "PROFILE_KIND",
+    "PHASES",
+    "ProfileReport",
+    "classify_path",
+    "run_profile",
+    "SMOKE_CONFIG",
+]
+
+PROFILE_KIND = "repro-profile"
+
+#: Phase buckets, matched against each profiled function's file path in
+#: order (first match wins).  Anything that matches none of them (stdlib,
+#: orchestration glue, the profiler itself) lands in ``other``.
+PHASES: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("geometry", ("repro/grid/",)),
+    ("activation", ("repro/amoebot/",)),
+    ("algorithm", ("repro/core/", "repro/baselines/")),
+)
+
+#: The configuration ``--smoke`` runs: small enough for CI seconds, large
+#: enough that every phase shows up with non-trivial self-time.
+SMOKE_CONFIG = {"algorithm": "dle", "family": "hexagon", "size": 16,
+                "seed": 0, "engine": "event"}
+
+
+def classify_path(filename: str) -> str:
+    """The phase bucket of a profiled function's source path."""
+    normalized = filename.replace("\\", "/")
+    for phase, fragments in PHASES:
+        for fragment in fragments:
+            if fragment in normalized:
+                return phase
+    return "other"
+
+
+@dataclass
+class ProfileReport:
+    """One profiled run: phase breakdown plus drill-down data."""
+
+    algorithm: str
+    family: str
+    size: int
+    seed: int
+    engine: str
+    order: str
+    seconds: float
+    rounds: int
+    succeeded: bool
+    #: phase -> summed self-time (tottime) of its functions, seconds.
+    phases: Dict[str, float] = field(default_factory=dict)
+    #: Top functions by self-time: (phase, location, calls, tottime, cumtime).
+    top: List[Tuple[str, str, int, float, float]] = field(default_factory=list)
+
+    @property
+    def total_self_time(self) -> float:
+        return sum(self.phases.values())
+
+    def phase_fractions(self) -> Dict[str, float]:
+        """Each phase's share of the total profiled self-time."""
+        total = self.total_self_time
+        if total <= 0:
+            return {phase: 0.0 for phase in self.phases}
+        return {phase: t / total for phase, t in self.phases.items()}
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": PROFILE_KIND,
+            "algorithm": self.algorithm,
+            "family": self.family,
+            "size": self.size,
+            "seed": self.seed,
+            "engine": self.engine,
+            "order": self.order,
+            "seconds": self.seconds,
+            "rounds": self.rounds,
+            "succeeded": self.succeeded,
+            "phases": {k: round(v, 6) for k, v in self.phases.items()},
+            "phase_fractions": {k: round(v, 4)
+                                for k, v in self.phase_fractions().items()},
+            "top": [
+                {"phase": phase, "function": location, "calls": calls,
+                 "tottime": round(tottime, 6), "cumtime": round(cumtime, 6)}
+                for phase, location, calls, tottime, cumtime in self.top
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ProfileReport":
+        if data.get("kind") != PROFILE_KIND:
+            raise ValueError("not a repro-profile report")
+        report = cls(
+            algorithm=str(data["algorithm"]),
+            family=str(data["family"]),
+            size=int(data["size"]),
+            seed=int(data.get("seed", 0)),
+            engine=str(data.get("engine", "sweep")),
+            order=str(data.get("order", "random")),
+            seconds=float(data.get("seconds", 0.0)),
+            rounds=int(data.get("rounds", 0)),
+            succeeded=bool(data.get("succeeded", False)),
+            phases={str(k): float(v)
+                    for k, v in dict(data.get("phases", {})).items()},
+        )
+        report.top = [
+            (str(entry["phase"]), str(entry["function"]),
+             int(entry["calls"]), float(entry["tottime"]),
+             float(entry["cumtime"]))
+            for entry in data.get("top", [])
+        ]
+        return report
+
+    def save(self, path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+
+def run_profile(algorithm: str = "dle", family: str = "hexagon",
+                size: int = 16, seed: int = 0, order: str = "random",
+                engine: str = "event", top: int = 15) -> ProfileReport:
+    """Profile one experiment driver run and aggregate it into phases.
+
+    The profiled region is exactly what ``repro bench`` times: the
+    algorithm driver, excluding shape construction.
+    """
+    try:
+        driver = ALGORITHMS[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; known: {sorted(ALGORITHMS)}"
+        ) from None
+    shape = make_shape(family, size, seed=seed)
+    # Warm-up on a toy instance: one-time costs (lazy imports, interned
+    # ring caches) would otherwise land in the profile as "other" noise.
+    driver(make_shape(family, 2, seed=seed), seed, order, engine)
+    profiler = cProfile.Profile()
+    started = time.perf_counter()
+    profiler.enable()
+    details = driver(shape, seed, order, engine)
+    profiler.disable()
+    seconds = time.perf_counter() - started
+
+    stats = pstats.Stats(profiler)
+    phases: Dict[str, float] = {phase: 0.0 for phase, _ in PHASES}
+    phases["other"] = 0.0
+    rows: List[Tuple[str, str, int, float, float]] = []
+    for (filename, lineno, funcname), data in stats.stats.items():
+        _, ncalls, tottime, cumtime, _ = data
+        phase = classify_path(filename)
+        phases[phase] += tottime
+        location = f"{Path(filename).name}:{lineno}({funcname})"
+        rows.append((phase, location, ncalls, tottime, cumtime))
+    rows.sort(key=lambda row: -row[3])
+
+    return ProfileReport(
+        algorithm=algorithm,
+        family=family,
+        size=size,
+        seed=seed,
+        engine=engine,
+        order=order,
+        seconds=seconds,
+        rounds=int(details.get("rounds", 0)),
+        succeeded=bool(details.get("succeeded", False)),
+        phases=phases,
+        top=rows[:max(0, top)],
+    )

@@ -27,10 +27,12 @@ from dataclasses import dataclass
 from typing import List, Optional, Set
 
 from ..amoebot.algorithm import (
+    QUIESCENT,
     STATUS_FOLLOWER,
     STATUS_KEY,
     STATUS_LEADER,
     STATUS_UNDECIDED,
+    TERMINATED,
     AmoebotAlgorithm,
     StatusMixin,
     is_sce_flag_arc,
@@ -38,7 +40,7 @@ from ..amoebot.algorithm import (
 from ..amoebot.particle import Particle
 from ..amoebot.scheduler import make_scheduler
 from ..amoebot.system import ParticleSystem
-from ..grid.coords import NUM_DIRECTIONS, Point, neighbor
+from ..grid.coords import NUM_DIRECTIONS, Point
 
 __all__ = ["ErosionLeaderElection", "ErosionOutcome", "run_erosion_election"]
 
@@ -50,6 +52,8 @@ class ErosionLeaderElection(AmoebotAlgorithm, StatusMixin):
     """SCE-erosion leader election without movement (hole-free shapes)."""
 
     name = "erosion-baseline"
+    reports_termination = True
+    reports_quiescence = True
 
     def __init__(self) -> None:
         #: Instrumentation: candidate points still eligible.
@@ -62,6 +66,9 @@ class ErosionLeaderElection(AmoebotAlgorithm, StatusMixin):
         #: ``has_terminated`` is O(1) instead of an O(n) scan per round.
         self._terminated_count = 0
         self._population = 0
+        #: Setup-time ids of the particles whose first activation acts
+        #: (flags empty or SCE) — the event engine's initial active set.
+        self._initially_active: Set[int] = set()
 
     # -- setup -----------------------------------------------------------------
 
@@ -77,6 +84,7 @@ class ErosionLeaderElection(AmoebotAlgorithm, StatusMixin):
         self._changes_this_round = 0
         self._terminated_count = 0
         self._population = len(system)
+        self._initially_active = initially_active = set()
         for particle in system.particles():
             particle[STATUS_KEY] = STATUS_UNDECIDED
             particle[TERMINATED_KEY] = False
@@ -84,11 +92,13 @@ class ErosionLeaderElection(AmoebotAlgorithm, StatusMixin):
             for port in range(NUM_DIRECTIONS):
                 eligible[port] = particle.head_neighbor(port) in occupied
             particle[ELIGIBLE_KEY] = eligible
+            if True not in eligible or is_sce_flag_arc(eligible):
+                initially_active.add(particle.particle_id)
 
     # -- termination --------------------------------------------------------------
 
     def is_terminated(self, particle: Particle, system: ParticleSystem) -> bool:
-        return bool(particle.get(TERMINATED_KEY, False)) or self.stalled
+        return particle.memory.get(TERMINATED_KEY, False) or self.stalled
 
     def has_terminated(self, system: ParticleSystem) -> bool:
         # The terminated flag is set in exactly one place and never cleared;
@@ -130,47 +140,73 @@ class ErosionLeaderElection(AmoebotAlgorithm, StatusMixin):
         # SCE is rotation invariant: test the port-indexed flags directly.
         return not is_sce_flag_arc(flags)
 
+    def initially_active_ids(self, system: ParticleSystem):
+        """At setup every particle is undecided, so the particles whose
+        first activation acts are exactly those with actionable flags."""
+        return self._initially_active
+
     # -- activation ---------------------------------------------------------------
 
     def activate(self, particle: Particle, system: ParticleSystem) -> object:
         # Returns the visibility hint of the base-class contract (``False``
         # = nothing a neighbour observes changed; neighbours only read each
         # other's ``status``).
-        status = particle[STATUS_KEY]
-        neighbors_particles = system.neighbors_of(particle)
+        memory = particle.memory
+        status = memory[STATUS_KEY]
 
         if status != STATUS_UNDECIDED:
-            if all(q[STATUS_KEY] != STATUS_UNDECIDED for q in neighbors_particles):
-                if not particle[TERMINATED_KEY]:
-                    particle[TERMINATED_KEY] = True
+            if all(q.memory[STATUS_KEY] != STATUS_UNDECIDED
+                   for q in system.neighbors_of(particle)):
+                if not memory[TERMINATED_KEY]:
+                    memory[TERMINATED_KEY] = True
                     self._terminated_count += 1
                     self._changes_this_round += 1
-            return False  # the terminated flag is not neighbour-visible
+                # Neither the flag nor the transition is neighbour-visible;
+                # the sentinel also retires the particle (reports_termination).
+                return TERMINATED
+            return QUIESCENT  # waiting on an undecided neighbour
 
-        eligible = particle[ELIGIBLE_KEY]
-        eligible_dirs = [d for d in range(NUM_DIRECTIONS)
-                         if eligible[particle.direction_to_port(d)]]
+        eligible = memory[ELIGIBLE_KEY]
 
-        if not eligible_dirs:
-            particle[STATUS_KEY] = STATUS_LEADER
+        if True not in eligible:
+            memory[STATUS_KEY] = STATUS_LEADER
             self._changes_this_round += 1
-            return True  # status change: neighbours must re-examine
+            # Only decided neighbours act on the status change (an
+            # undecided particle's next step depends on its own flags).
+            return [q for q, _ in
+                    system.head_adjacent_particles(particle.head)
+                    if q.memory[STATUS_KEY] != STATUS_UNDECIDED]
 
-        if not self._is_sce(eligible_dirs):
-            return False  # no-op activation
+        # SCE is rotation invariant, so the common no-op activation is
+        # rejected straight off the port-indexed flags — the action path
+        # below no longer needs the direction translation at all.
+        if not is_sce_flag_arc(eligible):
+            return QUIESCENT  # no-op activation until a flag is written
 
         # Erode: the particle withdraws from candidacy and its point leaves
         # the eligible set; neighbours with an adjacent head fix their flags.
+        # The wake list evaluates the quiescence predicate at the write
+        # site: an undecided neighbour is woken only when its new flags
+        # make it act (no eligible ports left, or SCE), a decided
+        # neighbour only for the status change it waits on.
         point = particle.head
         self.eligible_points.discard(point)
-        particle[STATUS_KEY] = STATUS_FOLLOWER
+        memory[STATUS_KEY] = STATUS_FOLLOWER
         self._changes_this_round += 1
-        adjacent = {neighbor(point, d) for d in range(NUM_DIRECTIONS)}
-        for q in neighbors_particles:
-            head = q.head
-            if head in adjacent:
-                q[ELIGIBLE_KEY][q.port_between(head, point)] = False
-        return True  # status + neighbour flags changed
+        wake: List[Particle] = []
+        for q, direction in system.head_adjacent_particles(point):
+            qmemory = q.memory
+            # ``direction`` points from v to q's head; the head port facing
+            # v is the opposite direction, in q's own port numbering.
+            port = (direction + 3 - q.orientation) % NUM_DIRECTIONS
+            qflags = qmemory[ELIGIBLE_KEY]
+            qflags[port] = False
+            if qmemory[STATUS_KEY] == STATUS_UNDECIDED:
+                if True not in qflags or is_sce_flag_arc(qflags):
+                    wake.append(q)
+            else:
+                wake.append(q)
+        return wake
 
     @staticmethod
     def _is_sce(eligible_dirs: List[int]) -> bool:

@@ -10,8 +10,13 @@ The CLI exposes the experiment harness without writing any Python:
 * ``python -m repro worker runs/queue``        — pull-based worker daemon
   serving ``--transport queue`` sweeps from any machine sharing the
   filesystem
+* ``python -m repro queue-gc runs/queue --ttl 86400`` — prune finished
+  results, dead worker registrations and stale leases from a long-lived
+  queue directory
 * ``python -m repro bench --quick``               — fixed micro-benchmark grid,
   emits ``BENCH_<rev>.json`` and optionally gates against a baseline
+* ``python -m repro profile --engine event``  — cProfile one driver run and
+  report the geometry / activation / algorithm phase breakdown
 * ``python -m repro table1``                  — reproduce the Table 1 comparison
 * ``python -m repro scaling dle --families hexagon holey`` — scaling figures
 * ``python -m repro elect --family holey --size 4``        — one election run
@@ -195,6 +200,24 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--quiet", action="store_true",
                         help="suppress per-task progress lines on stderr")
 
+    queue_gc = sub.add_parser(
+        "queue-gc",
+        help="prune finished results and stale state from a queue directory")
+    queue_gc.add_argument("queue_dir", metavar="QUEUE_DIR",
+                          help="the queue directory to prune")
+    queue_gc.add_argument("--ttl", type=float, default=24 * 3600.0,
+                          help="age in seconds before results, worker "
+                               "registrations and a STOP sentinel are "
+                               "pruned (default 86400 = 1 day); use a ttl "
+                               "larger than any live sweep's duration")
+    queue_gc.add_argument("--lease-ttl", type=float, default=60.0,
+                          help="heartbeat age after which leases are "
+                               "reclaimed before pruning (default 60)")
+    queue_gc.add_argument("--no-reclaim", action="store_true",
+                          help="skip the stale-lease recovery pass")
+    queue_gc.add_argument("--json", metavar="PATH", default=None,
+                          help="also write the pruning counts to a JSON file")
+
     bench = sub.add_parser(
         "bench",
         help="run the fixed micro-benchmark grid and emit BENCH_<rev>.json")
@@ -215,6 +238,28 @@ def build_parser() -> argparse.ArgumentParser:
                             "against the baseline (default 0.25 = +25%%)")
     bench.add_argument("--quiet", action="store_true",
                        help="suppress per-entry progress lines on stderr")
+
+    profile = sub.add_parser(
+        "profile",
+        help="cProfile one algorithm run; report the per-phase breakdown "
+             "(geometry / activation / algorithm)")
+    profile.add_argument("--algorithm", default="dle",
+                         choices=sorted(ALGORITHMS))
+    profile.add_argument("--family", default="hexagon",
+                         choices=sorted(SHAPE_FAMILIES))
+    profile.add_argument("--size", type=int, default=16)
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--engine", default="event", choices=sorted(ENGINES))
+    profile.add_argument("--scheduler", default="random",
+                         choices=sorted(SCHEDULER_ORDERS),
+                         help="activation order the profiled run uses")
+    profile.add_argument("--top", type=int, default=15,
+                         help="number of hottest functions to list")
+    profile.add_argument("--smoke", action="store_true",
+                         help="profile the fixed small CI configuration "
+                              "and fail unless the run succeeded")
+    profile.add_argument("--json", metavar="PATH", default=None,
+                         help="also write the report to a JSON file")
 
     metrics = sub.add_parser("metrics", help="print the parameters of a shape")
     metrics.add_argument("--family", default="hexagon", choices=sorted(SHAPE_FAMILIES))
@@ -449,6 +494,58 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_queue_gc(args: argparse.Namespace) -> int:
+    from .orchestrator.queue import FileTaskQueue
+
+    queue = FileTaskQueue(args.queue_dir, lease_ttl=args.lease_ttl)
+    counts = queue.gc(ttl=args.ttl, reclaim=not args.no_reclaim)
+    print(f"queue-gc {args.queue_dir}: "
+          f"{counts['reclaimed']} lease(s) reclaimed, "
+          f"{counts['results']} result(s) pruned, "
+          f"{counts['workers']} dead worker registration(s) removed"
+          + (", STOP sentinel removed" if counts["stop"] else ""))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump({"kind": "queue-gc", "queue_dir": args.queue_dir,
+                       "ttl": args.ttl, "counts": counts}, handle, indent=2)
+        print(f"counts written to {args.json}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .analysis.profile import SMOKE_CONFIG, run_profile
+
+    if args.smoke:
+        config = dict(SMOKE_CONFIG)
+    else:
+        config = {"algorithm": args.algorithm, "family": args.family,
+                  "size": args.size, "seed": args.seed,
+                  "engine": args.engine}
+    report = run_profile(order=args.scheduler, top=args.top, **config)
+
+    fractions = report.phase_fractions()
+    rows = [{
+        "phase": phase,
+        "self seconds": round(report.phases[phase], 4),
+        "share": f"{fractions[phase]:.1%}",
+    } for phase in sorted(report.phases, key=lambda p: -report.phases[p])]
+    title = (f"profile {report.algorithm}/{report.family}/{report.size} "
+             f"engine={report.engine} ({report.seconds:.2f}s wall, "
+             f"{report.rounds} rounds)")
+    print(format_table(rows, title=title))
+    print("\nhottest functions (self time):")
+    for phase, location, calls, tottime, cumtime in report.top:
+        print(f"  {tottime * 1000:8.1f} ms  {phase:<10} {location} "
+              f"({calls} calls)")
+    if args.json:
+        report.save(args.json)
+        print(f"\nreport written to {args.json}")
+    if args.smoke and not report.succeeded:
+        print("error: smoke profile run did not succeed", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     shape = make_shape(args.family, args.size, seed=args.seed)
     metrics = compute_metrics(shape)
@@ -473,7 +570,9 @@ def _cmd_families(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "sweep": _cmd_sweep,
     "worker": _cmd_worker,
+    "queue-gc": _cmd_queue_gc,
     "bench": _cmd_bench,
+    "profile": _cmd_profile,
     "table1": _cmd_table1,
     "scaling": _cmd_scaling,
     "elect": _cmd_elect,

@@ -31,10 +31,12 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..amoebot.algorithm import (
+    QUIESCENT,
     STATUS_FOLLOWER,
     STATUS_KEY,
     STATUS_LEADER,
     STATUS_UNDECIDED,
+    TERMINATED,
     AmoebotAlgorithm,
     StatusMixin,
     is_sce_flag_arc,
@@ -44,10 +46,10 @@ from ..amoebot.system import ParticleSystem
 from ..grid.coords import (
     NUM_DIRECTIONS,
     Point,
-    direction_between,
     neighbor,
-    neighbors,
+    neighbors_interned,
 )
+from ..grid.packed import pack_point, packed_neighbors
 from ..grid.shape import Shape
 
 __all__ = ["DLEAlgorithm", "LeaderElectionError", "verify_unique_leader"]
@@ -71,26 +73,51 @@ def verify_unique_leader(system: ParticleSystem) -> Particle:
     Raises :class:`LeaderElectionError` if there is not exactly one leader or
     if some particle is neither leader nor follower.
     """
-    leaders = [p for p in system.particles()
-               if p.get(STATUS_KEY) == STATUS_LEADER]
-    followers = [p for p in system.particles()
-                 if p.get(STATUS_KEY) == STATUS_FOLLOWER]
+    leaders = []
+    followers = 0
+    for p in system._particles.values():
+        status = p.memory.get(STATUS_KEY)
+        if status == STATUS_LEADER:
+            leaders.append(p)
+        elif status == STATUS_FOLLOWER:
+            followers += 1
     if len(leaders) != 1:
         raise LeaderElectionError(
             f"expected exactly one leader, found {len(leaders)}"
         )
-    if len(leaders) + len(followers) != len(system):
-        undecided = len(system) - len(leaders) - len(followers)
+    if len(leaders) + followers != len(system):
+        undecided = len(system) - len(leaders) - followers
         raise LeaderElectionError(
             f"{undecided} particles are neither leader nor follower"
         )
     return leaders[0]
 
 
+#: Per-orientation port -> ring-index tables: ``_ROTATIONS[o][port]`` is
+#: ``(port + o) % 6``, precomputed so setup's per-particle loop avoids six
+#: modulo operations per particle; ``_INVERSE[o][d]`` is ``(d - o) % 6``,
+#: the direction -> port translation used per erosion step.
+_ROTATIONS = tuple(
+    tuple((port + o) % NUM_DIRECTIONS for port in range(NUM_DIRECTIONS))
+    for o in range(NUM_DIRECTIONS)
+)
+_INVERSE = tuple(
+    tuple((d - o) % NUM_DIRECTIONS for d in range(NUM_DIRECTIONS))
+    for o in range(NUM_DIRECTIONS)
+)
+
+
 class DLEAlgorithm(AmoebotAlgorithm, StatusMixin):
     """The paper's Algorithm DLE, executed per atomic activation."""
 
     name = "dle"
+    reports_termination = True
+    reports_quiescence = True
+    #: An expansion next to a parked particle changes no flags and removes
+    #: no undecided neighbour, so pure occupancy gains never wake (see the
+    #: base-class attribute for the full contract).  DLE performs no
+    #: handovers, so the owner-switch caveat does not apply.
+    occupancy_gain_wakes = False
 
     def __init__(self, outer_from_memory: bool = False,
                  strict_checks: bool = True) -> None:
@@ -111,6 +138,21 @@ class DLEAlgorithm(AmoebotAlgorithm, StatusMixin):
         #: absorbing, so a counter makes ``has_terminated`` O(1)).
         self._terminated_count = 0
         self._population = 0
+        #: Ids of the undecided contracted particles whose next activation
+        #: provably acts (no eligible ports left, or SCE flags) — the
+        #: algorithm-side mirror of the quiescence predicate, maintained at
+        #: every flag-write site so :meth:`is_quiescent` is one set probe.
+        self._actionable: Set[int] = set()
+        #: decided pid -> lower bound on its undecided-neighbour count.
+        #: Decremented when an adjacent particle decides; a decided
+        #: neighbour is only woken once its count runs out, sparing the
+        #: event engine one examine/re-park cycle per early decision.
+        #: Never an overcount (initialised from head-adjacency or an exact
+        #: scan), so a zero is at worst premature — the examination
+        #: re-checks and re-parks; departures of counted neighbours are
+        #: caught by the movement wake, which refreshes the count exactly
+        #: (:meth:`is_quiescent`).
+        self._waiting: Dict[int, int] = {}
 
     # -- setup ----------------------------------------------------------------
 
@@ -125,24 +167,39 @@ class DLEAlgorithm(AmoebotAlgorithm, StatusMixin):
         self.erosions = 0
         self._terminated_count = 0
         self._population = len(system)
+        self._waiting = {}
         # An adjacent empty point is on the outer face iff it is neither
         # occupied nor a hole point, i.e. not in the area — a set lookup,
         # much cheaper than six point_in_outer_face calls per particle.
         area = initial_shape.area_points
+        self._actionable = actionable = set()
         for particle in system.particles():
             if self.outer_from_memory:
                 outer = self._outer_input(particle, initial_shape)
+                eligible = [not flag for flag in outer]
+                memory = particle.memory
+                memory[OUTER_KEY] = outer
+                memory[STATUS_KEY] = STATUS_UNDECIDED
+                memory[TERMINATED_KEY] = False
+                memory[ELIGIBLE_KEY] = eligible
             else:
-                adjacent = neighbors(particle.head)
-                orientation = particle.orientation
-                outer = [adjacent[(port + orientation) % NUM_DIRECTIONS] not in area
-                         for port in range(NUM_DIRECTIONS)]
-            particle[OUTER_KEY] = list(outer)
-            particle[STATUS_KEY] = STATUS_UNDECIDED
-            particle[TERMINATED_KEY] = False
-            # Initialization (line 6): eligible iff the neighbour is not on
-            # the outer face, i.e. it is occupied or a hole point.
-            particle[ELIGIBLE_KEY] = [not flag for flag in outer]
+                adjacent = neighbors_interned(particle.head)
+                # Initialization (line 6): eligible iff the neighbour is in
+                # the area (occupied or a hole point); computed C-side.
+                eligible = list(map(
+                    area.__contains__,
+                    map(adjacent.__getitem__,
+                        _ROTATIONS[particle.orientation])))
+                # One dict display replaces four item writes; the memory
+                # is fresh from construction, so nothing is clobbered.
+                particle.memory = {
+                    OUTER_KEY: [not flag for flag in eligible],
+                    STATUS_KEY: STATUS_UNDECIDED,
+                    TERMINATED_KEY: False,
+                    ELIGIBLE_KEY: eligible,
+                }
+            if True not in eligible or is_sce_flag_arc(eligible):
+                actionable.add(particle.particle_id)
 
     def _outer_input(self, particle: Particle, shape: Shape) -> List[bool]:
         if self.outer_from_memory:
@@ -162,7 +219,7 @@ class DLEAlgorithm(AmoebotAlgorithm, StatusMixin):
     # -- termination ------------------------------------------------------------
 
     def is_terminated(self, particle: Particle, system: ParticleSystem) -> bool:
-        return bool(particle.get(TERMINATED_KEY, False))
+        return particle.memory.get(TERMINATED_KEY, False)
 
     def has_terminated(self, system: ParticleSystem) -> bool:
         # The terminated flag is set in exactly one place and never cleared,
@@ -187,17 +244,44 @@ class DLEAlgorithm(AmoebotAlgorithm, StatusMixin):
         memory = particle.memory
         if memory[STATUS_KEY] != STATUS_UNDECIDED:
             # Lines 10-11 terminate it unless some neighbour is undecided.
+            # While the cached neighbourhood is intact, the wait count is
+            # *exact*: the neighbour set cannot have changed (any movement
+            # nearby drops the cache entry) and every adjacent decision
+            # decremented it — so a positive count answers without a scan.
+            pid = particle.particle_id
+            count = self._waiting.get(pid)
+            if (count is not None and count > 0
+                    and system.neighborhood_intact(particle)):
+                return True
+            undecided = 0
             for q in system.neighbors_of(particle):
                 if q.memory[STATUS_KEY] == STATUS_UNDECIDED:
-                    return True
-            return False
-        flags = memory[ELIGIBLE_KEY]
-        if True not in flags:
-            return False  # lines 14-15 would elect it leader
-        # The SCE test (contiguous cyclic arc of 1-3 eligible neighbours) is
-        # rotation invariant, so it can run directly on the port-indexed
-        # flags without translating ports to global directions.
-        return not is_sce_flag_arc(flags)
+                    undecided += 1
+            self._waiting[pid] = undecided
+            return undecided > 0
+        # Undecided: quiescent unless its flags are actionable (no eligible
+        # ports left -> leader, or SCE -> erode).  The predicate is mirrored
+        # in ``_actionable`` at every flag-write site, so this is one probe.
+        return particle.particle_id not in self._actionable
+
+    def wakes_on_movement(self, particle: Particle,
+                          system: ParticleSystem) -> bool:
+        """Movement-wake declaration for the event-driven engine.
+
+        A parked *undecided* particle is quiescent because its eligibility
+        flags are non-SCE, and those flags are written exclusively by
+        ``_mark_ineligible`` — whose acting particle names it in the
+        precise wake list — so an occupancy change alone can never end its
+        quiescence.  A parked *decided* particle waits on its neighbours'
+        statuses, and movement can change who its neighbours are, so it
+        keeps the conservative wake."""
+        return particle.memory[STATUS_KEY] != STATUS_UNDECIDED
+
+    def initially_active_ids(self, system: ParticleSystem):
+        """At setup every particle is contracted and undecided, so the
+        particles whose first activation acts are exactly the actionable
+        ones (flags empty or SCE) — the mirror setup just built."""
+        return self._actionable
 
     # -- activation ---------------------------------------------------------------
 
@@ -205,53 +289,115 @@ class DLEAlgorithm(AmoebotAlgorithm, StatusMixin):
         # Returns the visibility hint of the base-class contract: ``False``
         # when the activation wrote nothing a neighbour observes (neighbours
         # only read each other's ``status``) beyond movements the system's
-        # dirty-neighborhood events already report.
+        # dirty-neighborhood events already report, and a precise wake list
+        # when the only non-movement writes went to known neighbours.
 
         # Line 9: an expanded particle contracts into its head.
-        if particle.is_expanded:
+        if particle.head != particle.tail:
             system.contract_to_head(particle)
-            return False  # the contraction event wakes the neighbourhood
+            # The contraction event wakes the neighbourhood; the particle
+            # itself parks unless its flags are already actionable again.
+            if particle.particle_id in self._actionable:
+                return False
+            return QUIESCENT
 
-        status = particle[STATUS_KEY]
+        memory = particle.memory
+        status = memory[STATUS_KEY]
 
         # Lines 10-11: a decided particle surrounded by decided particles
-        # terminates (vacuously true when it has no neighbours).
+        # terminates (vacuously true when it has no neighbours).  The scan
+        # counts rather than short-circuits so it doubles as the exact
+        # refresh of the wait count (see is_quiescent).
         if status != STATUS_UNDECIDED:
-            if all(q[STATUS_KEY] != STATUS_UNDECIDED
-                   for q in system.neighbors_of(particle)):
-                particle[TERMINATED_KEY] = True
+            undecided = 0
+            for q in system.neighbors_of(particle):
+                if q.memory[STATUS_KEY] == STATUS_UNDECIDED:
+                    undecided += 1
+            if not undecided:
+                memory[TERMINATED_KEY] = True
                 self._terminated_count += 1
-            return False  # the terminated flag is not neighbour-visible
+                # Neither the flag nor the transition is neighbour-visible;
+                # the sentinel also retires the particle (reports_termination).
+                return TERMINATED
+            self._waiting[particle.particle_id] = undecided
+            return QUIESCENT  # waiting on an undecided neighbour
 
         # Lines 12-28: the particle is contracted, undecided, at point v.
-        point = particle.head
-        eligible = particle[ELIGIBLE_KEY]
+        # The actionable mirror answers lines 14-16 in one set probe: it
+        # holds exactly the undecided particles whose flags are empty
+        # (-> leader) or SCE (-> erode), maintained at every write site.
+        if particle.particle_id not in self._actionable:
+            return QUIESCENT  # no-op activation (line 16 fails)
 
-        # eligible[] is indexed by *port*; translate to global directions once
-        # so the geometric tests below are direction based.
-        orientation = particle.orientation
-        eligible_dirs = [d for d in range(NUM_DIRECTIONS)
-                         if eligible[(d - orientation) % NUM_DIRECTIONS]]
+        point = particle.head
+        eligible = memory[ELIGIBLE_KEY]
 
         # Lines 14-15: no eligible neighbour left -> become the leader.
-        if not eligible_dirs:
-            particle[STATUS_KEY] = STATUS_LEADER
+        if True not in eligible:
+            memory[STATUS_KEY] = STATUS_LEADER
             self.leader_point = point
-            return True  # status change: neighbours must re-examine
+            self._actionable.discard(particle.particle_id)
+            # The status change is only *acted on* by decided neighbours
+            # (an undecided particle's next step depends on its own
+            # eligibility flags alone), so only those whose wait count
+            # runs out need waking; parked particles are always
+            # contracted, so head-adjacency suffices.
+            return self._decided_transition_wake(
+                particle.particle_id, system.head_adjacent_particles(point))
 
-        # Line 16: otherwise the point must be SCE w.r.t. S_e to act.
-        if not self._is_sce(eligible_dirs):
-            return False  # no-op activation
+        # eligible[] is indexed by *port*; translate to global directions once
+        # so the geometric steps below are direction based.
+        orientation = particle.orientation
+        ports = _INVERSE[orientation]
+        eligible_dirs = [d for d in range(NUM_DIRECTIONS)
+                         if eligible[ports[d]]]
 
-        # Lines 17-19: remove v from S_e and fix the neighbours' flags.
-        self._mark_ineligible(point, particle, system)
+        # Lines 17-26 share one occupancy-ring walk (the erosion hot
+        # path): remove v from S_e, fix the head-adjacent neighbours'
+        # eligibility flags (line 18-19), update the actionable mirror and
+        # the decided wait counts at the write site, and record which
+        # directions are empty for the expansion step.  ``occupancy_maps``
+        # is the system's sanctioned fast path for exactly this walk.
+        self.eligible_points.discard(point)
+        self.erosions += 1
+        occupancy_get, particles = system.occupancy_maps()
+        ring = packed_neighbors(pack_point(point))
+        actionable = self._actionable
+        waiting = self._waiting
+        written: List[Particle] = []
+        decided: List[Particle] = []
+        occupied_mask = 0
+        for direction in range(NUM_DIRECTIONS):
+            slot = ring[direction]
+            pid = occupancy_get(slot)
+            if pid is None:
+                continue
+            occupied_mask |= 1 << direction
+            q = particles[pid]
+            # Only head ports face v: skip a slot held by a tail.
+            if q.head != q.tail and pack_point(q.head) != slot:
+                continue
+            qmemory = q.memory
+            # The head port facing v is the opposite of ``direction``, in
+            # q's own port numbering (inlined q.port_between).
+            qflags = qmemory[ELIGIBLE_KEY]
+            qflags[(direction + 3 - q.orientation) % NUM_DIRECTIONS] = False
+            if qmemory[STATUS_KEY] == STATUS_UNDECIDED:
+                # Write-site quiescence evaluation: wake the neighbour only
+                # when the new flags make it act — elect itself (no
+                # eligible ports left) or pass the SCE test; left non-SCE
+                # it is exactly as quiescent as before.
+                if True not in qflags or is_sce_flag_arc(qflags):
+                    actionable.add(pid)
+                    written.append(q)
+                else:
+                    # The write may have broken a previously SCE arc.
+                    actionable.discard(pid)
+            else:
+                decided.append(q)
 
-        # Lines 20-26: keep the outer boundary of S_e occupied by expanding
-        # into the unique empty eligible neighbour, if one exists.
-        empty_eligible = [
-            d for d in eligible_dirs
-            if not system.is_occupied(neighbor(point, d))
-        ]
+        empty_eligible = [d for d in eligible_dirs
+                          if not occupied_mask >> d & 1]
         if self.strict_checks and len(empty_eligible) > 1:
             raise LeaderElectionError(
                 "Claim 10 violated: SCE point has more than one empty "
@@ -260,19 +406,39 @@ class DLEAlgorithm(AmoebotAlgorithm, StatusMixin):
         if empty_eligible:
             direction = empty_eligible[0]
             target = neighbor(point, direction)
-            # Line 23: the port of the new head that points back to v.
-            port_back = (particle.port_between(point, target) + 3) % NUM_DIRECTIONS
+            # Line 23: the port of the new head that points back to v —
+            # the opposite of ``direction``, in the particle's numbering.
+            port_back = (direction + 3 - orientation) % NUM_DIRECTIONS
             new_eligible = [True] * NUM_DIRECTIONS
             new_eligible[port_back] = False
-            particle[ELIGIBLE_KEY] = new_eligible
+            memory[ELIGIBLE_KEY] = new_eligible
+            # Five eligible ports is never SCE: the particle leaves the
+            # actionable set until a neighbour's erosion writes it back in.
+            actionable.discard(particle.particle_id)
             system.expand(particle, target)
-            # The eligibility writes of _mark_ineligible touch particles
-            # adjacent to v, which the expansion event (dirty point: the
-            # target only) does not cover — request the neighbour wake.
-            return True
+            # The eligibility writes above touch exactly the particles
+            # whose heads are adjacent to v, which the expansion event
+            # (dirty point: the target only) does not cover — wake
+            # precisely those; nothing else observed a non-movement change.
+            return written
         # Line 28: nowhere to go -> the particle becomes a follower.
-        particle[STATUS_KEY] = STATUS_FOLLOWER
-        return True  # status change: neighbours must re-examine
+        memory[STATUS_KEY] = STATUS_FOLLOWER
+        actionable.discard(particle.particle_id)
+        # Status change plus the flag writes: the decided neighbours whose
+        # wait count runs out re-examine the status (parked ones are
+        # contracted, so head-adjacency covers them), and ``written``
+        # already holds the undecided neighbours that became actionable.
+        undecided_adjacent = len(written)
+        for q in decided:
+            qid = q.particle_id
+            count = waiting.get(qid)
+            if count is not None:
+                waiting[qid] = count = count - 1
+                if count > 0:
+                    continue  # still provably waiting on someone else
+            written.append(q)
+        waiting[particle.particle_id] = undecided_adjacent
+        return written
 
     # -- helpers ----------------------------------------------------------------
 
@@ -298,24 +464,34 @@ class DLEAlgorithm(AmoebotAlgorithm, StatusMixin):
         )
         return starts == 1
 
-    def _mark_ineligible(self, point: Point, particle: Particle,
-                         system: ParticleSystem) -> None:
-        """Remove ``point`` from ``S_e`` (lines 17-19)."""
-        self.eligible_points.discard(point)
-        self.erosions += 1
-        adjacent = self._adjacent_points(point)
-        for q in system.neighbors_of(particle):
-            head = q.head
-            if head in adjacent:
-                # Inlined q.port_between(head, point): q occupies ``head``
-                # by construction, so the validation can be skipped.
-                port = (direction_between(head, point)
-                        - q.orientation) % NUM_DIRECTIONS
-                q[ELIGIBLE_KEY][port] = False
+    def _decided_transition_wake(self, pid: int,
+                                 adjacent: List[Tuple[Particle, int]]
+                                 ) -> List[Particle]:
+        """Bookkeeping for an undecided -> decided transition.
 
-    @staticmethod
-    def _adjacent_points(point: Point) -> Set[Point]:
-        return set(neighbors(point))
+        Initialises the decider's own wait count (a lower bound: the
+        undecided particles head-adjacent to it) and decrements the wait
+        counts of its decided neighbours; returns the decided neighbours
+        whose count ran out — the only ones whose termination check can
+        now succeed, which is exactly the wake list the event engine
+        needs."""
+        waiting = self._waiting
+        wake: List[Particle] = []
+        undecided = 0
+        for q, _ in adjacent:
+            if q.memory[STATUS_KEY] == STATUS_UNDECIDED:
+                undecided += 1
+                continue
+            qid = q.particle_id
+            count = waiting.get(qid)
+            if count is not None:
+                waiting[qid] = count = count - 1
+                if count > 0:
+                    continue  # still provably waiting on someone else
+            wake.append(q)
+        waiting[pid] = undecided
+        return wake
+
 
     # -- instrumentation --------------------------------------------------------
 

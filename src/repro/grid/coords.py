@@ -82,6 +82,33 @@ def neighbors(point: Point) -> List[Point]:
     return [(q + dq, r + dr) for dq, dr in DIRECTIONS]
 
 
+#: point -> the tuple of its six neighbours, clockwise (see
+#: :func:`neighbors_interned`).  Cleared wholesale at the safety cap; real
+#: workloads revisit the same points constantly, so the cache stabilises at
+#: the size of the visited region.
+_RING_CACHE: dict = {}
+_RING_CACHE_MAX = 1 << 20
+
+
+def neighbors_interned(point: Point) -> Tuple[Point, ...]:
+    """The six neighbours of ``point`` in clockwise order, interned.
+
+    Unlike :func:`neighbors` the returned tuple is cached and shared, so
+    repeated neighbourhood scans of the same point (flood fills, BFS, the
+    incremental shape maintenance) allocate nothing after the first visit.
+    Callers must treat the result as immutable.
+    """
+    ring = _RING_CACHE.get(point)
+    if ring is None:
+        if len(_RING_CACHE) >= _RING_CACHE_MAX:
+            _RING_CACHE.clear()
+        q, r = point
+        ring = _RING_CACHE[point] = tuple(
+            (q + dq, r + dr) for dq, dr in DIRECTIONS
+        )
+    return ring
+
+
 _DELTA_TO_DIRECTION = {delta: index for index, delta in enumerate(DIRECTIONS)}
 
 
@@ -94,6 +121,7 @@ def direction_between(src: Point, dst: Point) -> int:
     if direction is None:
         raise ValueError(f"{src} and {dst} are not adjacent grid points")
     return direction
+
 
 
 def are_adjacent(a: Point, b: Point) -> bool:

@@ -22,7 +22,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import AbstractSet, Dict, Iterable, List, Optional, Tuple
 
-from .coords import Point, grid_distance, neighbors
+from .coords import Point, grid_distance, neighbors_interned
 from .shape import Shape
 
 __all__ = [
@@ -52,7 +52,7 @@ def bfs_distances(source: Point, allowed: AbstractSet[Point],
     while queue:
         current = queue.popleft()
         d = distances[current]
-        for nxt in neighbors(current):
+        for nxt in neighbors_interned(current):
             if nxt in allowed and nxt not in distances:
                 distances[nxt] = d + 1
                 queue.append(nxt)

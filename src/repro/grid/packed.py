@@ -1,0 +1,133 @@
+"""Packed axial coordinates: single-int grid points with branch-free
+neighbour arithmetic.
+
+The tuple ``Point = (q, r)`` is the public currency of the whole package,
+but hashing a tuple costs two int hashes plus a combine, and computing a
+neighbour allocates a fresh tuple.  On the hot paths of the simulator
+(occupancy lookups, the neighbor index, flood fills) those costs dominate,
+so this module packs a point into one integer::
+
+    packed = ((q + OFFSET) << SHIFT) | (r + OFFSET)
+
+with ``SHIFT = 32`` and ``OFFSET = 2**31``.  Both fields stay strictly
+inside their 32-bit lanes for every coordinate the package can produce
+(``|q|, |r| < 2**30`` with a wide margin), which makes neighbour arithmetic
+*branch-free*: moving along direction ``d`` is a single integer addition of
+the precomputed delta ``(dq << SHIFT) + dr`` — no unpacking, no carries
+between the lanes, no conditionals.
+
+Two interning layers sit on top:
+
+* :func:`packed_neighbors` returns the six neighbours of a packed point as
+  one cached tuple (the *neighbor ring*), so repeated neighbourhood scans
+  of the same point — the common case for a particle system whose points
+  are revisited every round — allocate nothing.
+* :func:`~repro.grid.coords.neighbors_interned` is the tuple-world
+  equivalent in :mod:`repro.grid.coords`, used by the geometry layer.
+
+The packed representation is **internal**: :class:`repro.amoebot.system.
+ParticleSystem` uses it for its occupancy map, neighbor index and
+neighbourhood-ring walks, while every public API keeps accepting and
+returning tuple ``Point``\\ s (the tuple-world geometry in
+:mod:`repro.grid.shape` keeps its own interned rings via
+:func:`~repro.grid.coords.neighbors_interned`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set, Tuple
+
+from .coords import DIRECTIONS, Point
+
+__all__ = [
+    "SHIFT",
+    "OFFSET",
+    "PACKED_DELTAS",
+    "pack",
+    "pack_point",
+    "pack_points",
+    "unpack",
+    "unpack_points",
+    "packed_neighbor",
+    "packed_neighbors",
+    "clear_ring_cache",
+]
+
+SHIFT = 32
+OFFSET = 1 << 31
+_MASK = (1 << SHIFT) - 1
+
+#: The six neighbour deltas in packed form, clockwise, same order as
+#: :data:`repro.grid.coords.DIRECTIONS`.  ``packed + PACKED_DELTAS[d]`` is
+#: the neighbour in direction ``d``.
+PACKED_DELTAS: Tuple[int, ...] = tuple(
+    (dq << SHIFT) + dr for dq, dr in DIRECTIONS
+)
+
+def pack(q: int, r: int) -> int:
+    """Pack axial coordinates into a single int."""
+    return ((q + OFFSET) << SHIFT) | (r + OFFSET)
+
+
+def pack_point(point: Point) -> int:
+    """Pack a tuple ``(q, r)`` point."""
+    return ((point[0] + OFFSET) << SHIFT) | (point[1] + OFFSET)
+
+
+def unpack(packed: int) -> Point:
+    """Unpack a packed int back into the tuple ``(q, r)``."""
+    return ((packed >> SHIFT) - OFFSET, (packed & _MASK) - OFFSET)
+
+
+def pack_points(points: Iterable[Point]) -> Set[int]:
+    """Pack an iterable of tuple points into a set of packed ints."""
+    return {((q + OFFSET) << SHIFT) | (r + OFFSET) for q, r in points}
+
+
+def unpack_points(packed: Iterable[int]) -> Set[Point]:
+    """Unpack an iterable of packed ints into a set of tuple points."""
+    return {((p >> SHIFT) - OFFSET, (p & _MASK) - OFFSET) for p in packed}
+
+
+def packed_neighbor(packed: int, direction: int) -> int:
+    """The neighbour of a packed point along a global direction."""
+    return packed + PACKED_DELTAS[direction]
+
+
+# ---------------------------------------------------------------------------
+# The interned neighbor-ring cache
+# ---------------------------------------------------------------------------
+
+#: packed point -> the tuple of its six packed neighbours, clockwise.
+_RING_CACHE: Dict[int, Tuple[int, ...]] = {}
+
+#: Safety valve for pathological workloads: the cache is cleared wholesale
+#: once it holds this many rings (~50 MB).  Simulations revisit the same
+#: points constantly, so in practice the cache stabilises at the size of
+#: the visited region and the valve never fires.
+_RING_CACHE_MAX = 1 << 20
+
+_D0, _D1, _D2, _D3, _D4, _D5 = PACKED_DELTAS
+
+
+def packed_neighbors(packed: int) -> Tuple[int, ...]:
+    """The six packed neighbours of a packed point, clockwise, interned.
+
+    The returned tuple is cached and shared between callers: after the
+    first call for a given point, looking up its ring is one dict probe
+    with zero allocation.
+    """
+    ring = _RING_CACHE.get(packed)
+    if ring is None:
+        if len(_RING_CACHE) >= _RING_CACHE_MAX:
+            _RING_CACHE.clear()
+        ring = _RING_CACHE[packed] = (
+            packed + _D0, packed + _D1, packed + _D2,
+            packed + _D3, packed + _D4, packed + _D5,
+        )
+    return ring
+
+
+def clear_ring_cache() -> None:
+    """Drop every interned neighbor ring (mostly useful in benchmarks)."""
+    _RING_CACHE.clear()

@@ -232,6 +232,52 @@ class FileTaskQueue:
         except OSError:
             pass
 
+    # -- maintenance: long-lived queue directories ---------------------------
+
+    def gc(self, ttl: float = 24 * 3600.0, now: Optional[float] = None,
+           reclaim: bool = True) -> Dict[str, int]:
+        """Prune a long-lived queue directory; returns per-category counts.
+
+        * stale **leases** are first recovered through
+          :meth:`reclaim_stale` (re-enqueued, or turned into failed results
+          when out of attempts) so no work is lost;
+        * **results** — completed and failed task files alike — older than
+          ``ttl`` seconds are deleted (a coordinator consumes its results
+          within one sweep, so anything older belongs to a finished
+          campaign);
+        * dead **worker registrations** (no heartbeat for ``ttl`` seconds)
+          are deleted;
+        * a leftover ``STOP`` sentinel older than ``ttl`` is removed so the
+          directory can serve a new campaign.
+
+        Run it between campaigns, or periodically with a ``ttl`` larger
+        than any sweep's duration — deleting a result file a live
+        coordinator still waits for would make it re-enqueue the task.
+        """
+        now = time.time() if now is None else now
+        self.ensure_layout()
+        counts = {"reclaimed": 0, "results": 0, "workers": 0, "stop": 0}
+        if reclaim:
+            counts["reclaimed"] = len(self.reclaim_stale(now))
+        for category, directory in (("results", self.results),
+                                    ("workers", self.workers)):
+            for path in directory.glob("*.json"):
+                try:
+                    if now - path.stat().st_mtime <= ttl:
+                        continue
+                    path.unlink()
+                except OSError:
+                    continue  # raced another janitor / consumer
+                counts[category] += 1
+        stop = self.root / STOP_FILENAME
+        try:
+            if stop.exists() and now - stop.stat().st_mtime > ttl:
+                stop.unlink()
+                counts["stop"] = 1
+        except OSError:
+            pass
+        return counts
+
     # -- shared: stale-lease recovery ---------------------------------------
 
     def reclaim_stale(self, now: Optional[float] = None) -> List[str]:

@@ -132,6 +132,50 @@ class TestConservativeDefault:
         assert event.activations == sweep.activations
         assert event.skipped == 0
 
+    def test_truthy_flag_return_keeps_conservative_wake(self):
+        """A legacy activate() returning a truthy non-list (e.g. 1) must
+        keep the conservative wake, not be mistaken for a wake list."""
+
+        class Flagger(AmoebotAlgorithm):
+            name = "flagger"
+
+            def setup(self, system):
+                for p in system.particles():
+                    p["count"] = 2
+
+            def activate(self, particle, system):
+                if particle["count"] > 0:
+                    particle["count"] -= 1
+                    return 1  # legacy truthy "I acted" flag
+                return False
+
+            def is_terminated(self, particle, system):
+                return particle["count"] == 0
+
+            def is_quiescent(self, particle, system):
+                return particle["count"] == 0
+
+        results = {}
+        for engine in ENGINES:
+            system = ParticleSystem.from_shape(hexagon(2))
+            r = make_scheduler(engine, order="random", seed=0).run(
+                Flagger(), system)
+            results[engine] = (r.rounds, r.terminated)
+        assert results["sweep"] == results["event"]
+        assert results["sweep"][1]
+
+    def test_custom_policy_named_random_uses_plain_path(self):
+        """A user-supplied policy whose __name__ collides with the
+        built-in 'random' must not reach for the bulk key stream."""
+
+        def random(round_index, ids, rng):
+            return sorted(ids, key=lambda pid: rng.random())
+
+        shape = make_shape("hexagon", 2, seed=0)
+        sweep = _run_traced(DLEAlgorithm, shape, "sweep", random, 0)
+        event = _run_traced(DLEAlgorithm, shape, "event", random, 0)
+        assert event == sweep
+
     def test_custom_order_policy_works_on_event_engine(self):
         def rotate(round_index, ids, rng):
             shift = round_index % len(ids)

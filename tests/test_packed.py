@@ -1,0 +1,63 @@
+"""The packed-coordinate core: round-trips, branch-free arithmetic, rings."""
+
+import pytest
+
+from repro.grid import packed
+from repro.grid.coords import DIRECTIONS, neighbor, neighbors, neighbors_interned
+
+
+POINTS = [(0, 0), (1, -1), (-1, 1), (37, -12), (-2048, 4096),
+          (123456, -654321), (-1, -1), (5, 5)]
+
+
+class TestPackRoundTrip:
+    @pytest.mark.parametrize("point", POINTS)
+    def test_unpack_inverts_pack(self, point):
+        assert packed.unpack(packed.pack_point(point)) == point
+        assert packed.unpack(packed.pack(*point)) == point
+
+    def test_pack_is_injective_on_a_region(self):
+        region = [(q, r) for q in range(-40, 41) for r in range(-40, 41)]
+        assert len({packed.pack_point(p) for p in region}) == len(region)
+
+    def test_set_round_trip(self):
+        points = set(POINTS)
+        assert packed.unpack_points(packed.pack_points(points)) == points
+
+
+class TestNeighborArithmetic:
+    @pytest.mark.parametrize("point", POINTS)
+    def test_packed_neighbors_match_tuple_neighbors(self, point):
+        ring = packed.packed_neighbors(packed.pack_point(point))
+        assert [packed.unpack(p) for p in ring] == neighbors(point)
+
+    @pytest.mark.parametrize("direction", range(6))
+    def test_packed_neighbor_single_direction(self, direction):
+        origin = (7, -3)
+        expected = neighbor(origin, direction)
+        got = packed.packed_neighbor(packed.pack_point(origin), direction)
+        assert packed.unpack(got) == expected
+
+    def test_deltas_are_branch_free_sums(self):
+        # Crossing the lane boundary in every direction must never carry.
+        for point in POINTS:
+            base = packed.pack_point(point)
+            for direction, (dq, dr) in enumerate(DIRECTIONS):
+                assert packed.unpack(base + packed.PACKED_DELTAS[direction]) \
+                    == (point[0] + dq, point[1] + dr)
+
+    def test_rings_are_interned(self):
+        p = packed.pack_point((3, 3))
+        assert packed.packed_neighbors(p) is packed.packed_neighbors(p)
+
+    def test_ring_cache_clear(self):
+        packed.packed_neighbors(packed.pack_point((9, 9)))
+        packed.clear_ring_cache()
+        assert packed.packed_neighbors(packed.pack_point((9, 9)))
+
+class TestInternedTupleRings:
+    def test_matches_neighbors_and_is_shared(self):
+        point = (4, -4)
+        ring = neighbors_interned(point)
+        assert list(ring) == neighbors(point)
+        assert neighbors_interned(point) is ring

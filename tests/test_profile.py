@@ -1,0 +1,99 @@
+"""The ``repro profile`` phase profiler and its CLI surface."""
+
+import json
+
+import pytest
+
+from repro.analysis.profile import (
+    PHASES,
+    SMOKE_CONFIG,
+    ProfileReport,
+    classify_path,
+    run_profile,
+)
+from repro.cli import main
+
+
+class TestClassification:
+    @pytest.mark.parametrize("path,phase", [
+        ("/x/src/repro/grid/shape.py", "geometry"),
+        ("/x/src/repro/grid/packed.py", "geometry"),
+        ("/x/src/repro/amoebot/scheduler.py", "activation"),
+        ("/x/src/repro/amoebot/system.py", "activation"),
+        ("/x/src/repro/core/dle.py", "algorithm"),
+        ("/x/src/repro/baselines/erosion.py", "algorithm"),
+        ("/usr/lib/python3.11/random.py", "other"),
+        ("~", "other"),
+    ])
+    def test_phase_buckets(self, path, phase):
+        assert classify_path(path) == phase
+
+    def test_windows_separators(self):
+        assert classify_path(r"C:\x\repro\grid\coords.py") == "geometry"
+
+
+class TestRunProfile:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_profile(algorithm="dle", family="hexagon", size=8,
+                           seed=0, engine="event")
+
+    def test_run_metadata(self, report):
+        assert report.succeeded
+        assert report.rounds > 0
+        assert report.seconds > 0
+
+    def test_every_phase_reported(self, report):
+        expected = {phase for phase, _ in PHASES} | {"other"}
+        assert set(report.phases) == expected
+        # The three repro phases must all have observed real work.
+        assert report.phases["geometry"] > 0
+        assert report.phases["activation"] > 0
+        assert report.phases["algorithm"] > 0
+
+    def test_fractions_sum_to_one(self, report):
+        assert sum(report.phase_fractions().values()) == pytest.approx(1.0)
+
+    def test_top_functions_sorted_by_self_time(self, report):
+        times = [row[3] for row in report.top]
+        assert times == sorted(times, reverse=True)
+        assert len(report.top) <= 15
+
+    def test_json_round_trip(self, report, tmp_path):
+        path = report.save(tmp_path / "profile.json")
+        clone = ProfileReport.from_dict(json.loads(path.read_text()))
+        assert clone.phases == {k: round(v, 6)
+                                for k, v in report.phases.items()}
+        assert clone.rounds == report.rounds
+        assert clone.engine == report.engine
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            run_profile(algorithm="nope")
+
+    def test_rejects_foreign_payload(self):
+        with pytest.raises(ValueError):
+            ProfileReport.from_dict({"kind": "something-else"})
+
+
+class TestProfileCli:
+    def test_profile_command_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "p.json"
+        code = main(["profile", "--algorithm", "dle", "--family", "hexagon",
+                     "--size", "6", "--engine", "sweep",
+                     "--json", str(out)])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["kind"] == "repro-profile"
+        assert payload["engine"] == "sweep"
+        captured = capsys.readouterr().out
+        assert "geometry" in captured and "activation" in captured
+
+    def test_smoke_mode_uses_fixed_config(self, tmp_path, capsys):
+        out = tmp_path / "smoke.json"
+        code = main(["profile", "--smoke", "--json", str(out)])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["algorithm"] == SMOKE_CONFIG["algorithm"]
+        assert payload["size"] == SMOKE_CONFIG["size"]
+        assert payload["succeeded"] is True

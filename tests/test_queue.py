@@ -183,6 +183,76 @@ class TestFileTaskQueue:
 
 
 # ---------------------------------------------------------------------------
+# Queue-directory garbage collection
+# ---------------------------------------------------------------------------
+
+class TestQueueGc:
+    def test_reclaim_then_gc_sequence(self, tmp_path):
+        """A dead worker's lease is first *reclaimed* (the task survives,
+        attempt bumped), and only queue byproducts are pruned by gc."""
+        queue = FileTaskQueue(tmp_path / "q", lease_ttl=0.05)
+        task_id, _ = _enqueue(queue, CONFIG)
+        claimed = queue.claim()
+        assert claimed is not None and claimed[0] == task_id
+        # The claiming worker "dies": no heartbeat, lease goes stale.
+        time.sleep(0.08)
+        counts = queue.gc(ttl=3600.0)
+        assert counts["reclaimed"] == 1
+        # The reclaim re-enqueued the task with its attempt bumped.
+        payload = json.loads(queue.task_path(task_id).read_text())
+        assert payload["attempt"] == 1
+        assert not queue.lease_path(task_id).exists()
+        # Nothing else was pruned: the pending task file must survive gc.
+        assert queue.task_path(task_id).exists()
+
+    def test_gc_prunes_old_results_workers_and_stop(self, tmp_path):
+        queue = FileTaskQueue(tmp_path / "q")
+        queue.ensure_layout()
+        queue.complete("000001-old", {"record": {"x": 1}})
+        queue.complete("000002-failed", {"error": "boom", "attempt": 3})
+        queue.complete("000003-new", {"record": {"x": 2}})
+        (queue.workers / "dead.json").write_text("{}")
+        (queue.root / "STOP").write_text("")
+        fresh = queue.result_path("000003-new")
+        old = time.time() - 7200
+        for path in (queue.result_path("000001-old"),
+                     queue.result_path("000002-failed"),
+                     queue.workers / "dead.json",
+                     queue.root / "STOP"):
+            os.utime(path, (old, old))
+        counts = queue.gc(ttl=3600.0)
+        assert counts == {"reclaimed": 0, "results": 2, "workers": 1,
+                          "stop": 1}
+        assert not queue.result_path("000001-old").exists()
+        assert not queue.result_path("000002-failed").exists()
+        assert fresh.exists()  # younger than the ttl
+        assert not (queue.root / "STOP").exists()
+
+    def test_gc_respects_no_reclaim(self, tmp_path):
+        queue = FileTaskQueue(tmp_path / "q", lease_ttl=0.05)
+        task_id, _ = _enqueue(queue, CONFIG)
+        queue.claim()
+        time.sleep(0.08)
+        counts = queue.gc(ttl=3600.0, reclaim=False)
+        assert counts["reclaimed"] == 0
+        assert queue.lease_path(task_id).exists()
+
+    def test_cli_queue_gc(self, tmp_path, capsys):
+        queue = FileTaskQueue(tmp_path / "q")
+        queue.ensure_layout()
+        queue.complete("000001-x", {"record": {}})
+        old = time.time() - 7200
+        os.utime(queue.result_path("000001-x"), (old, old))
+        out = tmp_path / "gc.json"
+        code = main(["queue-gc", str(tmp_path / "q"), "--ttl", "3600",
+                     "--json", str(out)])
+        assert code == 0
+        assert "1 result(s) pruned" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["counts"]["results"] == 1
+
+
+# ---------------------------------------------------------------------------
 # The worker daemon loop
 # ---------------------------------------------------------------------------
 

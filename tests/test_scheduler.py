@@ -140,3 +140,29 @@ class TestOrders:
             round_hook=lambda r, s: seen.append(r),
         )
         assert seen == [1, 2, 3]
+
+
+class TestUniformKeyStream:
+    """The bulk key stream must be float-identical to the stdlib draws —
+    this is what makes traces independent of whether numpy is installed."""
+
+    def test_matches_stdlib_stream(self):
+        import random as _random
+
+        from repro.amoebot.scheduler import _UniformKeyStream
+
+        for seed in (0, 1, 7, 12345):
+            reference = _random.Random(seed)
+            expected = [reference.random() for _ in range(700)]
+            stream = _UniformKeyStream(_random.Random(seed))
+            got = list(stream.draw(250)) + list(stream.draw(450))
+            assert got == expected
+
+    def test_raw_draw_matches_converted_draw(self):
+        import random as _random
+
+        from repro.amoebot.scheduler import _UniformKeyStream
+
+        a = _UniformKeyStream(_random.Random(3))
+        b = _UniformKeyStream(_random.Random(3))
+        assert list(a.draw(100)) == [float(x) for x in b.draw_raw(100)]

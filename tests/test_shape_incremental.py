@@ -1,0 +1,215 @@
+"""Incremental shape maintenance must be indistinguishable from rebuilds.
+
+The core property of this layer: a :class:`~repro.grid.shape.Shape`
+derived through single-point deltas (``with_point`` / ``without`` /
+``moved``, or the batched delta replay behind
+``ParticleSystem.shape()``) carries exactly the connectivity, holes,
+boundary and area a from-scratch ``Shape`` of the same points computes.
+The fuzzers below drive both layers through long random
+expand/contract/handover/teleport sequences — including hole creation,
+splits, merges and temporary disconnection — comparing against a fresh
+rebuild after every step.
+"""
+
+import random
+
+import pytest
+
+from repro.amoebot.system import ParticleSystem
+from repro.grid.coords import neighbors
+from repro.grid.generators import make_shape
+from repro.grid.shape import Shape
+
+HEX = [(q, r) for q in range(-3, 4) for r in range(-3, 4)
+       if abs(q + r) <= 3]
+
+
+def assert_same_global_state(candidate: Shape, reference_points) -> None:
+    """Compare every piece of derived global state against a rebuild."""
+    fresh = Shape(reference_points)
+    assert candidate.points == fresh.points
+    assert candidate.is_connected() == fresh.is_connected()
+    assert sorted(tuple(sorted(h)) for h in candidate.holes) == \
+        sorted(tuple(sorted(h)) for h in fresh.holes)
+    assert candidate.hole_points == fresh.hole_points
+    assert candidate.area_points == fresh.area_points
+    assert candidate.boundary_points == fresh.boundary_points
+    # outer_boundary exercises point_in_outer_face over the patched
+    # outer-face set and the hole list together.
+    assert candidate.outer_boundary == fresh.outer_boundary
+
+
+class TestShapeDeltaConstructors:
+    def test_without_patches_computed_state(self):
+        shape = Shape(HEX)
+        shape.holes, shape.is_connected()  # force the memos
+        smaller = shape.without((0, 0))
+        assert smaller._faces_computed  # patched, not discarded
+        assert_same_global_state(smaller, set(HEX) - {(0, 0)})
+        # Removing an interior point opens a hole.
+        assert smaller.holes == [frozenset({(0, 0)})]
+
+    def test_with_point_fills_hole(self):
+        shape = Shape(HEX).without((0, 0))
+        shape.holes
+        refilled = shape.with_point((0, 0))
+        assert refilled.holes == []
+        assert_same_global_state(refilled, set(HEX))
+
+    def test_moved_combines_remove_and_add(self):
+        shape = Shape(HEX)
+        shape.holes, shape.is_connected()
+        moved = shape.moved((0, 0), (5, 5))
+        expected = (set(HEX) - {(0, 0)}) | {(5, 5)}
+        assert not moved.is_connected()  # the target is far away
+        assert_same_global_state(moved, expected)
+
+    def test_moved_validates_arguments(self):
+        shape = Shape(HEX)
+        with pytest.raises(ValueError):
+            shape.moved((0, 0), (0, 0))
+        with pytest.raises(ValueError):
+            shape.moved((99, 99), (98, 98))
+        with pytest.raises(ValueError):
+            shape.moved((0, 0), (0, 1))  # target occupied
+
+    def test_unrelated_points_keep_behaviour(self):
+        shape = Shape(HEX)
+        assert shape.without((50, 50)).points == shape.points
+        assert shape.with_point((0, 0)).points == shape.points
+
+    def test_hole_split_by_addition(self):
+        # A 5x1 cavity; occupying its middle point splits it in two.
+        outer = {(q, r) for q in range(-1, 7) for r in range(-1, 3)}
+        cavity = {(1, 1), (2, 1), (3, 1), (4, 1), (5, 1)}
+        shape = Shape(outer - cavity)
+        assert [len(h) for h in shape.holes] == [5]
+        split = shape.with_point((3, 1))
+        assert sorted(len(h) for h in split.holes) == [2, 2]
+        assert_same_global_state(split, (outer - cavity) | {(3, 1)})
+
+    def test_hole_merge_by_removal(self):
+        outer = {(q, r) for q in range(-1, 7) for r in range(-1, 3)}
+        cavity = {(1, 1), (2, 1), (4, 1), (5, 1)}  # two 2-point holes
+        shape = Shape(outer - cavity)
+        assert sorted(len(h) for h in shape.holes) == [2, 2]
+        merged = shape.without((3, 1))
+        assert [len(h) for h in merged.holes] == [5]
+        assert_same_global_state(merged, outer - cavity - {(3, 1)})
+
+    def test_breach_and_reseal_ring(self):
+        # Breach an annulus: remove a wall point adjacent to the hole so
+        # the hole drains into the outer face, then re-add it — the
+        # re-addition is an outer-face split that must recreate the hole.
+        points = set(make_shape("annulus", 3, seed=0).points)
+        hole = set(Shape(points).hole_points)
+        assert hole
+        wall = next(p for p in sorted(points)
+                    if any(u in hole for u in neighbors(p)))
+        breached = Shape(points)
+        breached.holes, breached.is_connected()
+        breached = breached.without(wall)
+        assert_same_global_state(breached, points - {wall})
+        reclosed = breached.with_point(wall)
+        assert_same_global_state(reclosed, points)
+        assert reclosed.hole_points == frozenset(hole)
+
+    def test_connectivity_survives_disconnection_and_repair(self):
+        line = [(i, 0) for i in range(5)]
+        shape = Shape(line)
+        assert shape.is_connected()
+        cut = shape.without((2, 0))
+        assert cut.is_connected() is False
+        repaired = cut.with_point((2, 0))
+        assert repaired.is_connected()
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_fuzz_shape_deltas_match_rebuild(seed):
+    """Random add/remove/move sequences on a raw Shape."""
+    rng = random.Random(seed)
+    points = set(make_shape("blob", 4, seed=seed).points)
+    shape = Shape(points)
+    shape.holes, shape.is_connected()
+    for _ in range(120):
+        op = rng.random()
+        if op < 0.45 and len(points) > 2:
+            victim = rng.choice(sorted(points))
+            shape = shape.without(victim)
+            points.discard(victim)
+        elif op < 0.8:
+            base = rng.choice(sorted(points))
+            candidates = [u for u in neighbors(base) if u not in points]
+            if not candidates:
+                continue
+            target = rng.choice(candidates)
+            shape = shape.with_point(target)
+            points.add(target)
+        else:
+            sources = sorted(points)
+            src = rng.choice(sources)
+            candidates = [u for u in neighbors(src) if u not in points]
+            if not candidates or len(points) < 2:
+                continue
+            dst = rng.choice(candidates)
+            shape = shape.moved(src, dst)
+            points.discard(src)
+            points.add(dst)
+        assert_same_global_state(shape, points)
+        # Keep the memos warm so the next delta patches them.
+        shape.holes, shape.is_connected()
+
+
+@pytest.mark.parametrize("seed", range(5))
+@pytest.mark.parametrize("family", ["hexagon", "holey"])
+def test_fuzz_system_shape_tracker_matches_rebuild(family, seed):
+    """The acceptance property: random expand / contract / handover /
+    teleport sequences keep the incremental ``ParticleSystem.shape()``
+    state (connectivity, holes, boundary, area) identical to a
+    from-scratch rebuild."""
+    rng = random.Random(seed)
+    system = ParticleSystem.from_shape(
+        make_shape(family, 3, seed=seed), orientation_seed=seed)
+    # Force the cached snapshot to carry faces + connectivity so the
+    # tracker patches real state, not empty memos.
+    system.shape().holes
+    system.shape().is_connected()
+    for step in range(160):
+        particles = system.particles()
+        particle = rng.choice(particles)
+        op = rng.random()
+        if particle.is_expanded:
+            # Sometimes hand over instead of contracting.
+            contracted_neighbors = [
+                q for q in system.neighbors_of(particle) if q.is_contracted
+            ]
+            if op < 0.3 and contracted_neighbors:
+                partner = rng.choice(contracted_neighbors)
+                try:
+                    system.handover(partner, particle)
+                except Exception:
+                    system.contract_to_head(particle)
+            elif op < 0.65:
+                system.contract_to_head(particle)
+            else:
+                system.contract_to_tail(particle)
+        elif op < 0.6:
+            free = [u for u in neighbors(particle.head)
+                    if not system.is_occupied(u)]
+            if free:
+                system.expand(particle, rng.choice(free))
+        else:
+            # Teleport within a small halo to keep the point set dense
+            # enough for holes to open and close.
+            q, r = particle.head
+            target = (q + rng.randint(-2, 2), r + rng.randint(-2, 2))
+            if not system.is_occupied(target):
+                system.teleport(particle, target)
+        if step % 2 == 0:
+            snapshot = system.shape()
+            assert_same_global_state(snapshot, system.occupied_points())
+            # Touch the memos so the next poll patches computed state.
+            snapshot.holes
+            snapshot.is_connected()
+    snapshot = system.shape()
+    assert_same_global_state(snapshot, system.occupied_points())

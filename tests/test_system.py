@@ -63,15 +63,16 @@ class TestInspection:
     def test_neighbors_of(self):
         system, a, b = small_system()
         c = system.add_particle((5, 5))
-        assert system.neighbors_of(a) == [b]
-        assert system.neighbors_of(c) == []
+        assert system.neighbors_of(a) == (b,)
+        assert system.neighbors_of(c) == ()
+        assert system.neighbor_ids(a) == (b.particle_id,)
 
     def test_neighbors_of_expanded_particle(self):
         system, a, b = small_system()
         system.expand(b, (2, 0))
         c = system.add_particle((3, 0))
         # c is adjacent to b's head only; a is adjacent to b's tail only.
-        assert system.neighbors_of(b) == [a, c] or system.neighbors_of(b) == [c, a]
+        assert set(system.neighbors_of(b)) == {a, c}
         assert b in system.neighbors_of(c)
 
     def test_neighbor_particle(self):
@@ -376,3 +377,28 @@ class TestChangeEvents:
         second = system.shape()
         assert second is not first
         assert (0, 1) in second.points
+
+
+class TestOrientationStream:
+    """from_shape's bulk orientation draws must match the stdlib stream."""
+
+    def test_matches_stdlib_randrange(self):
+        import random as _random
+
+        from repro.amoebot.system import _draw_orientations
+
+        for seed in (0, 1, 7, 4242):
+            reference = _random.Random(seed)
+            expected = [reference.randrange(6) for _ in range(1500)]
+            assert _draw_orientations(seed, 1500) == expected
+
+    def test_orientations_applied_in_id_order(self):
+        import random as _random
+
+        from repro.grid.generators import hexagon
+
+        shape = hexagon(2)
+        system = ParticleSystem.from_shape(shape, orientation_seed=9)
+        reference = _random.Random(9)
+        expected = [reference.randrange(6) for _ in range(len(system))]
+        assert [p.orientation for p in system.particles()] == expected
