@@ -598,6 +598,17 @@ class ParticleSystem:
         no two particles may end on the same point and no relocated particle
         may land on a particle that did not move.
         """
+        self.bulk_relocate_packed(
+            {pid: pack_point(point) for pid, point in targets.items()})
+
+    def bulk_relocate_packed(self, targets: Dict[int, int]) -> None:
+        """:meth:`bulk_relocate` with packed-int targets.
+
+        The native entry point: planners that already work in the packed
+        domain (Algorithm Collect's stem/parking layout) validate and
+        commit without ever materialising tuple points, except for the
+        particle ``head``/``tail`` fields the public particle API exposes.
+        """
         for pid in targets:
             particle = self._particles[pid]
             if particle.is_expanded:
@@ -608,12 +619,12 @@ class ParticleSystem:
         if len(set(new_points)) != len(new_points):
             raise IllegalMoveError("bulk_relocate targets collide with each other")
         moving = set(targets)
-        for point in new_points:
-            occupant = self._occupancy.get(pack_point(point))
+        for packed in new_points:
+            occupant = self._occupancy.get(packed)
             if occupant is not None and occupant not in moving:
                 raise IllegalMoveError(
-                    f"bulk_relocate target {point} is occupied by a particle "
-                    "that is not being moved"
+                    f"bulk_relocate target {unpack(packed)} is occupied by "
+                    "a particle that is not being moved"
                 )
         dirty: List[int] = []
         for pid in targets:
@@ -621,11 +632,9 @@ class ParticleSystem:
             packed_head = pack_point(particle.head)
             dirty.append(packed_head)
             del self._occupancy[packed_head]
-        for pid, point in targets.items():
+        for pid, packed in targets.items():
             particle = self._particles[pid]
-            particle.head = point
-            particle.tail = point
-            packed = pack_point(point)
+            particle.head = particle.tail = unpack(packed)
             self._occupancy[packed] = pid
             dirty.append(packed)
         self._notify_change(dirty)

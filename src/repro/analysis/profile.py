@@ -13,6 +13,13 @@ The report also carries the top functions by self-time (for drilling in)
 and the usual run metadata (rounds, success, wall seconds), and can be
 written as JSON (``--json``) so CI uploads machine-readable profiles as
 workflow artifacts.
+
+Phase times are additionally recorded **normalized** — divided by the same
+fixed pure-Python calibration workload :mod:`repro.analysis.bench` uses —
+so a committed baseline (``PROFILE_baseline.json``) is comparable across
+machines, and :func:`compare_profile_to_baseline` can *gate* CI: a phase
+whose normalized self-time regresses more than ``--max-regression``
+(default 35%) against the committed baseline fails the build.
 """
 
 from __future__ import annotations
@@ -31,8 +38,14 @@ from .experiments import ALGORITHMS
 __all__ = [
     "PROFILE_KIND",
     "PHASES",
+    "GATED_PHASES",
+    "DEFAULT_MAX_REGRESSION",
+    "MIN_GATED_NORMALIZED",
+    "ProfileComparison",
     "ProfileReport",
     "classify_path",
+    "compare_profile_to_baseline",
+    "load_profile",
     "run_profile",
     "SMOKE_CONFIG",
 ]
@@ -52,6 +65,19 @@ PHASES: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
 #: enough that every phase shows up with non-trivial self-time.
 SMOKE_CONFIG = {"algorithm": "dle", "family": "hexagon", "size": 16,
                 "seed": 0, "engine": "event"}
+
+#: Phases the CI gate compares against the committed baseline.  ``other``
+#: (stdlib + glue) is deliberately exempt: it is dominated by interpreter
+#: noise rather than by this package's code.
+GATED_PHASES: Tuple[str, ...] = ("geometry", "activation", "algorithm")
+
+#: Allowed normalized-phase-time regression vs the baseline (0.35 = +35%).
+DEFAULT_MAX_REGRESSION = 0.35
+
+#: Phases whose *baseline* normalized time is below this are never gated:
+#: at that scale the cProfile numbers are scheduler noise, and a ratio of
+#: two tiny numbers gates nothing meaningful.
+MIN_GATED_NORMALIZED = 0.05
 
 
 def classify_path(filename: str) -> str:
@@ -81,10 +107,27 @@ class ProfileReport:
     phases: Dict[str, float] = field(default_factory=dict)
     #: Top functions by self-time: (phase, location, calls, tottime, cumtime).
     top: List[Tuple[str, str, int, float, float]] = field(default_factory=list)
+    #: Seconds of the fixed calibration workload on this interpreter (the
+    #: :func:`repro.analysis.bench.calibrate` denominator); 0 in reports
+    #: predating the baseline gate.
+    calibration_seconds: float = 0.0
 
     @property
     def total_self_time(self) -> float:
         return sum(self.phases.values())
+
+    def normalized_phases(self) -> Dict[str, float]:
+        """Phase self-times divided by the calibration time.
+
+        Machine-independent (slow machines scale both numerator and
+        denominator), which is what makes the committed baseline gate
+        meaningful on arbitrary CI runners.  Empty when the report carries
+        no calibration (older reports).
+        """
+        if self.calibration_seconds <= 0:
+            return {}
+        return {phase: t / self.calibration_seconds
+                for phase, t in self.phases.items()}
 
     def phase_fractions(self) -> Dict[str, float]:
         """Each phase's share of the total profiled self-time."""
@@ -108,6 +151,9 @@ class ProfileReport:
             "phases": {k: round(v, 6) for k, v in self.phases.items()},
             "phase_fractions": {k: round(v, 4)
                                 for k, v in self.phase_fractions().items()},
+            "calibration_seconds": round(self.calibration_seconds, 6),
+            "normalized_phases": {k: round(v, 4)
+                                  for k, v in self.normalized_phases().items()},
             "top": [
                 {"phase": phase, "function": location, "calls": calls,
                  "tottime": round(tottime, 6), "cumtime": round(cumtime, 6)}
@@ -131,6 +177,7 @@ class ProfileReport:
             succeeded=bool(data.get("succeeded", False)),
             phases={str(k): float(v)
                     for k, v in dict(data.get("phases", {})).items()},
+            calibration_seconds=float(data.get("calibration_seconds", 0.0)),
         )
         report.top = [
             (str(entry["phase"]), str(entry["function"]),
@@ -146,6 +193,64 @@ class ProfileReport:
         return path
 
 
+def load_profile(path) -> ProfileReport:
+    """Load a saved ``ProfileReport`` JSON file."""
+    return ProfileReport.from_dict(json.loads(Path(path).read_text()))
+
+
+@dataclass
+class ProfileComparison:
+    """Outcome of gating a profile against a committed baseline.
+
+    ``regressions`` rows are ``(phase, current, baseline, ratio)`` in
+    normalized units; ``skipped`` names phases too small (or missing) to
+    gate.  ``ok`` is what CI checks.
+    """
+
+    max_regression: float
+    regressions: List[Tuple[str, float, float, float]] = field(
+        default_factory=list)
+    improvements: List[Tuple[str, float, float, float]] = field(
+        default_factory=list)
+    skipped: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def compare_profile_to_baseline(report: ProfileReport,
+                                baseline: ProfileReport,
+                                max_regression: float = DEFAULT_MAX_REGRESSION,
+                                ) -> ProfileComparison:
+    """Gate a profile's per-phase normalized times against a baseline.
+
+    Only the :data:`GATED_PHASES` are compared, and a phase is skipped
+    when either report lacks calibration data or the baseline's normalized
+    time is under :data:`MIN_GATED_NORMALIZED` (gating noise against noise
+    would make the check flaky, not strict).  A phase *regresses* when its
+    normalized time exceeds the baseline's by more than ``max_regression``;
+    improvements beyond the same margin are reported informationally.
+    """
+    current = report.normalized_phases()
+    base = baseline.normalized_phases()
+    comparison = ProfileComparison(max_regression=float(max_regression))
+    for phase in GATED_PHASES:
+        base_time = base.get(phase)
+        cur_time = current.get(phase)
+        if (base_time is None or cur_time is None
+                or base_time < MIN_GATED_NORMALIZED):
+            comparison.skipped.append(phase)
+            continue
+        ratio = cur_time / base_time
+        row = (phase, cur_time, base_time, ratio)
+        if ratio > 1.0 + comparison.max_regression:
+            comparison.regressions.append(row)
+        elif ratio < 1.0 - comparison.max_regression:
+            comparison.improvements.append(row)
+    return comparison
+
+
 def run_profile(algorithm: str = "dle", family: str = "hexagon",
                 size: int = 16, seed: int = 0, order: str = "random",
                 engine: str = "event", top: int = 15) -> ProfileReport:
@@ -154,6 +259,8 @@ def run_profile(algorithm: str = "dle", family: str = "hexagon",
     The profiled region is exactly what ``repro bench`` times: the
     algorithm driver, excluding shape construction.
     """
+    from .bench import calibrate
+
     try:
         driver = ALGORITHMS[algorithm]
     except KeyError:
@@ -195,4 +302,5 @@ def run_profile(algorithm: str = "dle", family: str = "hexagon",
         succeeded=bool(details.get("succeeded", False)),
         phases=phases,
         top=rows[:max(0, top)],
+        calibration_seconds=calibrate(),
     )

@@ -5,11 +5,13 @@ The CLI exposes the experiment harness without writing any Python:
 * ``python -m repro sweep --algorithms dle obd --sizes 2 4 6 --jobs 4``
   — run an arbitrary experiment grid through the orchestrator
   (parallel workers, ``--cache-dir`` result reuse, ``--resume``,
-  ``--engine`` activation-engine selection, ``--transport queue`` to
-  distribute over worker daemons)
+  ``--engine`` activation-engine selection, ``--transport queue`` /
+  ``--transport tcp`` to distribute over worker daemons)
+* ``python -m repro serve --port 7643``        — TCP sweep coordinator for
+  ``--transport tcp`` sweeps across machines with no shared filesystem
 * ``python -m repro worker runs/queue``        — pull-based worker daemon
   serving ``--transport queue`` sweeps from any machine sharing the
-  filesystem
+  filesystem; ``--connect HOST:PORT`` serves a TCP coordinator instead
 * ``python -m repro queue-gc runs/queue --ttl 86400`` — prune finished
   results, dead worker registrations and stale leases from a long-lived
   queue directory
@@ -58,12 +60,14 @@ from .orchestrator import (
     DEFAULT_MAX_ATTEMPTS,
     ENGINES,
     SCHEDULER_ORDERS,
+    TRANSPORT_HELP,
     TRANSPORTS,
     SweepSpec,
     format_sweep_scaling,
     format_sweep_summary,
     run_sweep,
 )
+from .orchestrator.net import DEFAULT_PORT
 from .viz.ascii_art import render_system
 
 __all__ = ["main", "build_parser"]
@@ -108,20 +112,28 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--jobs", type=int, default=DEFAULT_JOBS,
                        help="worker processes (1 = in-process)")
     sweep.add_argument("--transport", default=None, choices=list(TRANSPORTS),
-                       help="where configs execute: 'inline' (this process),"
-                            " 'process' (local pool, the --jobs default), or"
-                            " 'queue' (worker daemons watching --queue-dir)")
+                       help="where configs execute: " + "; ".join(
+                           f"'{name}' = {TRANSPORT_HELP[name]}"
+                           for name in TRANSPORTS))
     sweep.add_argument("--queue-dir", metavar="PATH", default=None,
                        help="shared task-queue directory "
                             "(required by --transport queue)")
+    sweep.add_argument("--coordinator", metavar="HOST:PORT", default=None,
+                       help="TCP coordinator address "
+                            "(required by --transport tcp)")
+    sweep.add_argument("--secret", default=None,
+                       help="shared secret for the coordinator handshake "
+                            "(default: the REPRO_SECRET environment "
+                            "variable; tcp transport)")
     sweep.add_argument("--workers-expected", type=int, default=0,
                        help="wait until this many live workers are "
-                            "registered before enqueueing (queue transport)")
+                            "registered before enqueueing "
+                            "(queue/tcp transports)")
     sweep.add_argument("--worker-timeout", type=float, default=60.0,
                        help="seconds to wait for --workers-expected workers")
     sweep.add_argument("--queue-timeout", type=float, default=None,
-                       help="overall seconds to wait for queue results "
-                            "(default: wait forever)")
+                       help="overall seconds to wait for distributed "
+                            "results (default: wait forever)")
     sweep.add_argument("--lease-ttl", type=float, default=60.0,
                        help="seconds without a heartbeat before a queue "
                             "task lease is reclaimed from a dead worker")
@@ -181,24 +193,61 @@ def build_parser() -> argparse.ArgumentParser:
 
     worker = sub.add_parser(
         "worker",
-        help="run a pull-based sweep worker against a shared queue directory")
-    worker.add_argument("queue_dir", metavar="QUEUE_DIR",
+        help="run a pull-based sweep worker against a shared queue "
+             "directory or a TCP coordinator")
+    worker.add_argument("queue_dir", metavar="QUEUE_DIR", nargs="?",
+                        default=None,
                         help="the directory '--transport queue' sweeps "
-                             "enqueue into (created if missing)")
+                             "enqueue into (created if missing); omit when "
+                             "using --connect")
+    worker.add_argument("--connect", metavar="HOST:PORT", default=None,
+                        help="serve a TCP coordinator ('python -m repro "
+                             "serve') instead of a queue directory")
+    worker.add_argument("--secret", default=None,
+                        help="shared secret for the coordinator handshake "
+                             "(default: the REPRO_SECRET environment "
+                             "variable; with --connect)")
     worker.add_argument("--id", default=None,
                         help="worker id (default: <hostname>-<pid>)")
     worker.add_argument("--lease-ttl", type=float, default=60.0,
                         help="seconds without a heartbeat before other "
-                             "workers may reclaim this worker's task")
+                             "workers may reclaim this worker's task "
+                             "(queue mode; the coordinator owns this "
+                             "setting in tcp mode)")
     worker.add_argument("--poll", type=float, default=0.2,
                         help="seconds between polls when the queue is empty")
     worker.add_argument("--max-idle", type=float, default=None,
                         help="exit after this many seconds without work "
-                             "(default: run until a STOP file appears)")
+                             "(default: run until a STOP file appears / "
+                             "Ctrl-C)")
     worker.add_argument("--max-tasks", type=int, default=None,
                         help="exit after processing this many tasks")
     worker.add_argument("--quiet", action="store_true",
                         help="suppress per-task progress lines on stderr")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the TCP sweep coordinator behind '--transport tcp'")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (default 127.0.0.1; use "
+                            "0.0.0.0 to serve other machines)")
+    serve.add_argument("--port", type=int, default=DEFAULT_PORT,
+                       help=f"port to listen on (default {DEFAULT_PORT}; "
+                            f"0 picks a free port)")
+    serve.add_argument("--secret", default=None,
+                       help="shared secret workers and sweeps must present "
+                            "(default: the REPRO_SECRET environment "
+                            "variable; unset = unauthenticated)")
+    serve.add_argument("--lease-ttl", type=float, default=60.0,
+                       help="seconds without a heartbeat before a dead "
+                            "worker's task is reclaimed")
+    serve.add_argument("--result-ttl", type=float, default=24 * 3600.0,
+                       help="seconds an uncollected result stays on the "
+                            "board before it is pruned (default 86400 = "
+                            "1 day); use a ttl larger than any sweep's "
+                            "duration")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress the startup line on stderr")
 
     queue_gc = sub.add_parser(
         "queue-gc",
@@ -258,6 +307,14 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--smoke", action="store_true",
                          help="profile the fixed small CI configuration "
                               "and fail unless the run succeeded")
+    profile.add_argument("--baseline", metavar="PATH", default=None,
+                         help="gate the geometry/activation/algorithm "
+                              "phases against this committed profile "
+                              "report (e.g. PROFILE_baseline.json)")
+    profile.add_argument("--max-regression", type=float, default=0.35,
+                         help="allowed normalized per-phase regression "
+                              "fraction against --baseline "
+                              "(default 0.35 = +35%%)")
     profile.add_argument("--json", metavar="PATH", default=None,
                          help="also write the report to a JSON file")
 
@@ -280,6 +337,14 @@ def _sweep_parameters() -> List[str]:
     return sorted(list(metric_keys) + ["rounds", "size"])
 
 
+def _secret_or_env(secret: Optional[str]) -> Optional[str]:
+    """CLI --secret value, falling back to the REPRO_SECRET env var (the
+    env var keeps the secret out of shell history and ``ps`` output)."""
+    import os
+
+    return secret if secret is not None else os.environ.get("REPRO_SECRET")
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.resume and not args.ledger:
         print("error: --resume requires --ledger", file=sys.stderr)
@@ -290,6 +355,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 2
     if args.queue_dir and args.transport != "queue":
         print("error: --queue-dir requires --transport queue",
+              file=sys.stderr)
+        return 2
+    if args.transport == "tcp" and not args.coordinator:
+        print("error: --transport tcp requires --coordinator",
+              file=sys.stderr)
+        return 2
+    if args.coordinator and args.transport != "tcp":
+        print("error: --coordinator requires --transport tcp",
               file=sys.stderr)
         return 2
     if args.parameter and args.parameter not in _sweep_parameters():
@@ -311,6 +384,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                                    workers_expected=args.workers_expected,
                                    worker_timeout=args.worker_timeout,
                                    timeout=args.queue_timeout)
+    elif transport == "tcp":
+        from .orchestrator import TcpTransport
+
+        transport = TcpTransport(args.coordinator,
+                                 secret=_secret_or_env(args.secret),
+                                 max_attempts=args.max_attempts,
+                                 workers_expected=args.workers_expected,
+                                 worker_timeout=args.worker_timeout,
+                                 timeout=args.queue_timeout)
 
     def progress(done: int, total: int, result) -> None:
         status = "ok" if result.ok else "FAILED"
@@ -355,10 +437,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
-    from .orchestrator import run_worker
+    from .orchestrator import run_tcp_worker, run_worker
+    from .orchestrator.net import HandshakeError
+
+    if (args.queue_dir is None) == (args.connect is None):
+        print("error: pass exactly one of QUEUE_DIR or --connect HOST:PORT",
+              file=sys.stderr)
+        return 2
 
     def progress(task_id: str, result) -> None:
-        if result.get("retrying"):
+        if result.get("retrying") or result.get("status") == "retry":
             status = f"retrying (attempt {result.get('attempt')})"
         elif "record" in result:
             status = "ok"
@@ -366,22 +454,56 @@ def _cmd_worker(args: argparse.Namespace) -> int:
             status = "FAILED"
         print(f"worker: {task_id}: {status}", file=sys.stderr)
 
-    if not args.quiet:
-        print(f"worker: serving queue {args.queue_dir} "
-              f"(lease ttl {args.lease_ttl:.0f}s; stop with a STOP file "
-              f"or Ctrl-C)", file=sys.stderr)
     try:
-        processed = run_worker(args.queue_dir, worker_id=args.id,
-                               lease_ttl=args.lease_ttl, poll=args.poll,
-                               max_idle=args.max_idle,
-                               max_tasks=args.max_tasks,
-                               progress=None if args.quiet else progress)
+        if args.connect is not None:
+            if not args.quiet:
+                print(f"worker: serving coordinator {args.connect} "
+                      f"(stop with Ctrl-C)", file=sys.stderr)
+            processed = run_tcp_worker(
+                args.connect, secret=_secret_or_env(args.secret),
+                worker_id=args.id, poll=args.poll, max_idle=args.max_idle,
+                max_tasks=args.max_tasks,
+                progress=None if args.quiet else progress)
+        else:
+            if not args.quiet:
+                print(f"worker: serving queue {args.queue_dir} "
+                      f"(lease ttl {args.lease_ttl:.0f}s; stop with a STOP "
+                      f"file or Ctrl-C)", file=sys.stderr)
+            processed = run_worker(args.queue_dir, worker_id=args.id,
+                                   lease_ttl=args.lease_ttl, poll=args.poll,
+                                   max_idle=args.max_idle,
+                                   max_tasks=args.max_tasks,
+                                   progress=None if args.quiet else progress)
+    except HandshakeError as exc:
+        print(f"worker: {exc}", file=sys.stderr)
+        return 1
     except KeyboardInterrupt:
         print("worker: interrupted", file=sys.stderr)
         return 130
     if not args.quiet:
         print(f"worker: exiting after {processed} task(s)", file=sys.stderr)
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .orchestrator import run_server
+
+    def ready(endpoint: str) -> None:
+        if not args.quiet:
+            secured = "shared-secret" if _secret_or_env(args.secret) \
+                else "UNAUTHENTICATED"
+            print(f"coordinator: listening on {endpoint} ({secured}; "
+                  f"lease ttl {args.lease_ttl:.0f}s; stop with Ctrl-C)",
+                  file=sys.stderr)
+
+    try:
+        return run_server(host=args.host, port=args.port,
+                          secret=_secret_or_env(args.secret),
+                          lease_ttl=args.lease_ttl,
+                          result_ttl=args.result_ttl, ready=ready)
+    except KeyboardInterrupt:
+        print("coordinator: interrupted", file=sys.stderr)
+        return 130
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -513,7 +635,12 @@ def _cmd_queue_gc(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
-    from .analysis.profile import SMOKE_CONFIG, run_profile
+    from .analysis.profile import (
+        SMOKE_CONFIG,
+        compare_profile_to_baseline,
+        load_profile,
+        run_profile,
+    )
 
     if args.smoke:
         config = dict(SMOKE_CONFIG)
@@ -543,6 +670,25 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     if args.smoke and not report.succeeded:
         print("error: smoke profile run did not succeed", file=sys.stderr)
         return 1
+    if args.baseline:
+        comparison = compare_profile_to_baseline(
+            report, load_profile(args.baseline),
+            max_regression=args.max_regression)
+        for phase, cur, base, ratio in comparison.improvements:
+            print(f"improved: {phase} normalized {base:.2f} -> {cur:.2f} "
+                  f"({ratio:.2f}x)")
+        for phase in comparison.skipped:
+            print(f"not gated (missing or below the noise floor): {phase}")
+        if not comparison.ok:
+            print(f"\nFAILED: {len(comparison.regressions)} phase(s) "
+                  f"regressed more than {args.max_regression:.0%} vs "
+                  f"{args.baseline}:", file=sys.stderr)
+            for phase, cur, base, ratio in comparison.regressions:
+                print(f"  {phase}: normalized {base:.2f} -> {cur:.2f} "
+                      f"({ratio:.2f}x)", file=sys.stderr)
+            return 1
+        print(f"profile baseline check ok ({args.baseline}, "
+              f"max regression {args.max_regression:.0%})")
     return 0
 
 
@@ -570,6 +716,7 @@ def _cmd_families(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "sweep": _cmd_sweep,
     "worker": _cmd_worker,
+    "serve": _cmd_serve,
     "queue-gc": _cmd_queue_gc,
     "bench": _cmd_bench,
     "profile": _cmd_profile,

@@ -36,7 +36,13 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..amoebot.particle import Particle
 from ..amoebot.system import ParticleSystem
-from ..grid.coords import Point, grid_distance, ring, translate
+from ..grid.coords import Point
+from ..grid.packed import (
+    pack_point,
+    packed_grid_distance,
+    packed_ring,
+    packed_translate,
+)
 from ..grid.shape import is_connected
 
 __all__ = [
@@ -114,6 +120,10 @@ class CollectSimulator:
         self.leader = leader
         self.leader_point: Point = leader.head
         self.outward_direction = outward_direction
+        #: Packed-int mirror of ``leader_point``: all planning geometry
+        #: (rays, rings, distances, relocation targets) runs in the packed
+        #: domain and only particle-facing APIs see tuple points.
+        self._leader_packed: int = pack_point(leader.head)
         self.collected: Set[int] = {leader.particle_id}
         self.phases: List[CollectPhase] = []
         self.rounds = 0
@@ -133,22 +143,24 @@ class CollectSimulator:
 
     # -- geometry helpers -----------------------------------------------------
 
-    def _ray_point(self, distance: int) -> Point:
-        """The stem point at the given grid distance from the leader."""
-        return translate(self.leader_point, self.outward_direction, distance)
+    def _ray_point(self, distance: int) -> int:
+        """The packed stem point at the given grid distance from the leader."""
+        return packed_translate(self._leader_packed, self.outward_direction,
+                                distance)
 
-    def _parking_positions(self, max_distance: int) -> List[Point]:
-        """Off-ray positions within ``max_distance`` of the leader, listed so
-        that filling them in order keeps the collected set connected.
+    def _parking_positions(self, max_distance: int) -> List[int]:
+        """Off-ray packed positions within ``max_distance`` of the leader,
+        listed so that filling them in order keeps the collected set
+        connected.
 
         Ring ``j`` is filled counter-clockwise starting from the neighbour of
         the ray point at distance ``j``; consecutive ring points are adjacent
         and the first one is adjacent to the stem, so every prefix of the
         returned list together with the stem is connected.
         """
-        positions: List[Point] = []
+        positions: List[int] = []
         for j in range(1, max_distance + 1):
-            ring_points = ring(self.leader_point, j)
+            ring_points = packed_ring(self._leader_packed, j)
             # ring_points[0] is the ray point (the ring starts at
             # center + j * direction); walking the list backwards goes
             # counter-clockwise from it.
@@ -156,7 +168,7 @@ class CollectSimulator:
             positions.extend(reversed(rotated[1:]))
         return positions
 
-    def _align_ring_to_ray(self, ring_points: List[Point], j: int) -> List[Point]:
+    def _align_ring_to_ray(self, ring_points: List[int], j: int) -> List[int]:
         """Rotate the ring list so it starts at the ray point at distance j."""
         ray = self._ray_point(j)
         index = ring_points.index(ray)
@@ -167,10 +179,11 @@ class CollectSimulator:
     def _uncollected_at_distances(self, low: int, high: int) -> List[int]:
         """Ids of uncollected particles at grid distance in ``[low, high]``."""
         found: List[int] = []
+        leader_packed = self._leader_packed
         for particle in self.system.particles():
             if particle.particle_id in self.collected:
                 continue
-            d = grid_distance(particle.head, self.leader_point)
+            d = packed_grid_distance(pack_point(particle.head), leader_packed)
             if low <= d <= high:
                 found.append(particle.particle_id)
         return found
@@ -192,8 +205,9 @@ class CollectSimulator:
         targets = stem_targets + parking[:extras]
         # Keep particles that are already on a target in place, assign the
         # rest greedily; particles are anonymous so any assignment is valid.
-        current: Dict[int, Point] = {
-            pid: self.system.get_particle(pid).head for pid in collected_ids
+        current: Dict[int, int] = {
+            pid: pack_point(self.system.get_particle(pid).head)
+            for pid in collected_ids
         }
         target_set = set(targets)
         stay = {pid for pid, pt in current.items() if pt in target_set}
@@ -204,7 +218,7 @@ class CollectSimulator:
         movers = [pid for pid in collected_ids if pid not in stay]
         assignment = {pid: point for pid, point in zip(movers, free_targets)}
         if assignment:
-            self.system.bulk_relocate(assignment)
+            self.system.bulk_relocate_packed(assignment)
 
     def _phase_rounds(self, stem_size: int) -> int:
         """Rounds charged for one phase with the given starting stem size."""
@@ -243,7 +257,8 @@ class CollectSimulator:
         charged below.
         """
         distances = [
-            grid_distance(self.system.get_particle(pid).head, self.leader_point)
+            packed_grid_distance(pack_point(self.system.get_particle(pid).head),
+                                 self._leader_packed)
             for pid in self.collected
         ]
         max_distance = max(distances) if distances else 0

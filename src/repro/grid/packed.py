@@ -35,9 +35,9 @@ returning tuple ``Point``\\ s (the tuple-world geometry in
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Set, Tuple
+from typing import Dict, Iterable, List, Set, Tuple
 
-from .coords import DIRECTIONS, Point
+from .coords import DIRECTIONS, Point, direction_index
 
 __all__ = [
     "SHIFT",
@@ -50,6 +50,9 @@ __all__ = [
     "unpack_points",
     "packed_neighbor",
     "packed_neighbors",
+    "packed_translate",
+    "packed_grid_distance",
+    "packed_ring",
     "clear_ring_cache",
 ]
 
@@ -92,6 +95,51 @@ def unpack_points(packed: Iterable[int]) -> Set[Point]:
 def packed_neighbor(packed: int, direction: int) -> int:
     """The neighbour of a packed point along a global direction."""
     return packed + PACKED_DELTAS[direction]
+
+
+def packed_translate(packed: int, direction: int, steps: int = 1) -> int:
+    """The point ``steps`` moves along ``direction`` from a packed point.
+
+    Packed mirror of :func:`repro.grid.coords.translate`: one multiply-add,
+    and the lanes cannot interfere because every reachable coordinate stays
+    far inside its 32-bit field.  ``direction`` goes through the same
+    :func:`~repro.grid.coords.direction_index` normalisation (names
+    accepted, out-of-range indices rejected) as the tuple version.
+    """
+    return packed + PACKED_DELTAS[direction_index(direction)] * steps
+
+
+def packed_grid_distance(a: int, b: int) -> int:
+    """Triangular-grid distance between two packed points.
+
+    Packed mirror of :func:`repro.grid.coords.grid_distance` — the axial
+    deltas are read straight out of the two lanes, no tuple round trip.
+    """
+    dq = (a >> SHIFT) - (b >> SHIFT)
+    dr = (a & _MASK) - (b & _MASK)
+    return (abs(dq) + abs(dr) + abs(dq + dr)) // 2
+
+
+def packed_ring(center: int, radius: int) -> List[int]:
+    """The hexagonal ring at grid distance ``radius`` from a packed center.
+
+    Packed mirror of :func:`repro.grid.coords.ring`, in the **same order**
+    (clockwise from ``center + radius * E``) — callers that index into the
+    ring, like Algorithm Collect's parking planner, rely on the two
+    agreeing point for point.
+    """
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    if radius == 0:
+        return [center]
+    points: List[int] = []
+    current = center + PACKED_DELTAS[0] * radius
+    for direction in (2, 3, 4, 5, 0, 1):
+        delta = PACKED_DELTAS[direction]
+        for _ in range(radius):
+            points.append(current)
+            current += delta
+    return points
 
 
 # ---------------------------------------------------------------------------

@@ -8,9 +8,13 @@ Everything that turns a declarative experiment grid into records:
 * :mod:`~repro.orchestrator.pool` — :func:`run_sweep`, the cache-aware
   execution engine,
 * :mod:`~repro.orchestrator.transport` — pluggable executors: in-process,
-  local ``multiprocessing`` pool, or a distributed filesystem queue,
+  local ``multiprocessing`` pool, a distributed filesystem queue, or a
+  TCP coordinator for machines without any shared filesystem,
 * :mod:`~repro.orchestrator.queue` — the filesystem task queue behind
   ``--transport queue`` and the ``python -m repro worker`` daemon,
+* :mod:`~repro.orchestrator.net` — the TCP coordinator/worker layer behind
+  ``--transport tcp``, ``python -m repro serve`` and
+  ``python -m repro worker --connect``,
 * :mod:`~repro.orchestrator.store` — the append-only JSONL
   :class:`RunLedger` that makes interrupted sweeps resumable (and safe for
   concurrent writers on a shared filesystem),
@@ -38,6 +42,13 @@ from .pool import (
     execute_config,
     run_sweep,
 )
+from .net import (
+    CoordinatorClient,
+    CoordinatorServer,
+    TcpTransport,
+    run_server,
+    run_tcp_worker,
+)
 from .queue import FileTaskQueue, QueueTransport, run_worker
 from .report import (
     format_sweep_scaling,
@@ -55,6 +66,7 @@ from .spec import (
 )
 from .store import RunLedger
 from .transport import (
+    TRANSPORT_HELP,
     TRANSPORTS,
     InlineTransport,
     ProcessTransport,
@@ -67,6 +79,9 @@ __all__ = [
     "ENGINES",
     "SCHEDULER_ORDERS",
     "TRANSPORTS",
+    "TRANSPORT_HELP",
+    "CoordinatorClient",
+    "CoordinatorServer",
     "FileTaskQueue",
     "InlineTransport",
     "ProcessTransport",
@@ -77,6 +92,7 @@ __all__ = [
     "RunResult",
     "SweepResult",
     "SweepSpec",
+    "TcpTransport",
     "config_digest",
     "default_code_version",
     "execute_config",
@@ -84,7 +100,9 @@ __all__ = [
     "format_sweep_summary",
     "group_records",
     "resolve_transport",
+    "run_server",
     "run_sweep",
+    "run_tcp_worker",
     "run_worker",
     "scaling_spec",
     "scaling_summaries",

@@ -1,0 +1,1003 @@
+"""TCP coordinator/worker transport: distribute a sweep with no shared state.
+
+The :mod:`~repro.orchestrator.queue` transport needs a shared filesystem;
+this module needs only a network.  A **coordinator** process
+(``python -m repro serve``) owns the task set in memory — pending tasks,
+leases with heartbeat deadlines, stale-lease reclamation and per-task retry
+budgets, the exact semantics of :class:`~repro.orchestrator.queue.
+FileTaskQueue` — and speaks a JSON-lines protocol over TCP to two kinds of
+clients:
+
+* **workers** (``python -m repro worker --connect HOST:PORT``) claim tasks,
+  heartbeat their leases while the simulation runs, stream back the
+  :func:`~repro.orchestrator.transport.execute_payload` outcome, and
+  reconnect with exponential backoff after coordinator or link failures;
+* **submitters** (:class:`TcpTransport`, behind ``repro sweep --transport
+  tcp --coordinator HOST:PORT``) enqueue the sweep's pending configs and
+  poll for their results.  The transport survives a coordinator restart:
+  on reconnect it re-submits every still-pending task (submission is
+  idempotent — a result the restarted coordinator already holds is served
+  immediately, anything lost is simply re-run).
+
+Because task payloads and result payloads use the **same dialect as the
+filesystem queue** (``kind``/``id``/``digest``/``config``/``attempt``/
+``record``-or-``error``), :func:`~repro.orchestrator.pool.run_sweep` treats
+both distributed backends identically: results are re-ordered into spec
+order, cache and ledger writes are unchanged, and a TCP sweep's ledger is
+byte-comparable with a ``--jobs 1`` run of the same spec.
+
+Wire protocol (one JSON object per line, UTF-8):
+
+* the server greets each connection with ``{"server": ..., "proto": 1,
+  "nonce": ...}``;
+* the client answers ``{"op": "hello", "role": "worker"|"submitter", ...}``
+  carrying ``auth = HMAC-SHA256(secret, nonce)`` when the coordinator was
+  started with a shared secret (the secret itself never crosses the wire);
+* every subsequent line is one request → one ``{"ok": ...}`` response:
+  ``submit`` / ``collect`` / ``workers`` for submitters, ``claim`` /
+  ``heartbeat`` / ``result`` for workers, ``ping`` for everyone.
+"""
+
+from __future__ import annotations
+
+import hmac
+import json
+import os
+import socket
+import socketserver
+import threading
+import time
+import uuid
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from .queue import (
+    DEFAULT_LEASE_TTL,
+    DEFAULT_POLL,
+    DEFAULT_TASK_ATTEMPTS,
+    RESULT_KIND,
+    TASK_KIND,
+    _budget,
+)
+from .transport import TransportItem, execute_payload
+
+__all__ = [
+    "DEFAULT_PORT",
+    "PROTOCOL_VERSION",
+    "CoordinatorClient",
+    "CoordinatorServer",
+    "HandshakeError",
+    "TaskBoard",
+    "TcpTransport",
+    "parse_address",
+    "run_server",
+    "run_tcp_worker",
+]
+
+#: Default port ``python -m repro serve`` listens on.
+DEFAULT_PORT = 7643
+#: Bumped when the wire protocol changes incompatibly.
+PROTOCOL_VERSION = 1
+#: How many tasks/result-ids travel in one protocol line (bounds line size).
+_BATCH = 256
+#: Reconnect backoff: first delay and cap, seconds.
+_BACKOFF_FIRST = 0.2
+_BACKOFF_MAX = 5.0
+
+#: Seconds an uncollected result stays on the board before it is pruned —
+#: the in-memory analog of ``repro queue-gc --ttl``.  Must be comfortably
+#: larger than any sweep's duration: a submitter whose result is pruned
+#: under it simply re-enqueues the task (wasteful, never incorrect).
+DEFAULT_RESULT_TTL = 24 * 3600.0
+
+SERVER_NAME = "repro-coordinator"
+
+
+class HandshakeError(ConnectionError):
+    """The coordinator rejected the handshake (bad secret, bad protocol).
+
+    Deliberately **not** retried by workers or transports: reconnecting
+    with the same credentials can never succeed, so surfacing the
+    rejection immediately beats a silent backoff loop.
+    """
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """Parse ``HOST:PORT`` (or bare ``:PORT`` / ``PORT``) into a pair."""
+    text = str(address).strip()
+    host, sep, port = text.rpartition(":")
+    if not sep:
+        host, port = "", text
+    host = host or "127.0.0.1"
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ValueError(
+            f"invalid coordinator address {address!r}; expected HOST:PORT"
+        ) from None
+
+
+def _auth_token(secret: str, nonce: str) -> str:
+    return hmac.new(secret.encode("utf-8"), nonce.encode("utf-8"),
+                    "sha256").hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# The coordinator-side task set
+# ---------------------------------------------------------------------------
+
+class TaskBoard:
+    """In-memory task set with the filesystem queue's lease/retry semantics.
+
+    Thread-safe: every protocol handler thread goes through one lock.  The
+    state machine per task id mirrors the queue directory layout — a task
+    is *pending* (claimable), *leased* (owned by a worker, with a heartbeat
+    deadline), or *done* (a result payload exists).  Reclamation, budget
+    accounting and the "a failure never overwrites a successful result"
+    rule are copied from :class:`~repro.orchestrator.queue.FileTaskQueue`
+    so the two distributed backends stay behaviorally interchangeable.
+    """
+
+    def __init__(self, lease_ttl: float = DEFAULT_LEASE_TTL,
+                 result_ttl: float = DEFAULT_RESULT_TTL) -> None:
+        self.lease_ttl = float(lease_ttl)
+        self.result_ttl = float(result_ttl)
+        self._lock = threading.Lock()
+        #: task id -> task payload (kind/id/digest/config/attempt/...).
+        self._tasks: Dict[str, Dict[str, Any]] = {}
+        #: claimable task ids (subset of ``_tasks``).
+        self._pending: set = set()
+        #: task id -> (worker id, heartbeat deadline).
+        self._leases: Dict[str, Tuple[str, float]] = {}
+        #: task id -> finished result payload (record or terminal error).
+        self._results: Dict[str, Dict[str, Any]] = {}
+        #: task id -> when its result was published / last collected, on
+        #: the same monotonic clock as the lease deadlines.  Results older
+        #: than ``result_ttl`` are pruned so a long-lived coordinator's
+        #: memory is bounded by its active campaigns, not its history.
+        self._result_times: Dict[str, float] = {}
+
+    # -- submitter side -----------------------------------------------------
+
+    def enqueue(self, task_id: str, config_dict: Dict[str, Any], digest: str,
+                max_attempts: Optional[int] = DEFAULT_TASK_ATTEMPTS) -> str:
+        """Make ``task_id`` runnable; same contract as the queue's enqueue:
+        ``"result-exists"`` / ``"pending"`` / ``"enqueued"``.  A lingering
+        failed result is discarded and retried from a zeroed attempt count.
+        """
+        with self._lock:
+            result = self._results.get(task_id)
+            if result is not None and "record" in result:
+                return "result-exists"
+            if result is not None:
+                del self._results[task_id]
+                self._result_times.pop(task_id, None)
+            if task_id in self._tasks:
+                return "pending"
+            self._tasks[task_id] = {
+                "kind": TASK_KIND,
+                "id": task_id,
+                "digest": digest,
+                "config": config_dict,
+                "attempt": 0,
+                "max_attempts": _budget(max_attempts),
+                "enqueued_at": time.time(),
+            }
+            self._pending.add(task_id)
+            return "enqueued"
+
+    def collect(self, task_ids: Sequence[str]) -> List[Dict[str, Any]]:
+        """Finished result payloads among ``task_ids`` (stateless: results
+        stay on the board, so a reconnecting submitter can ask again)."""
+        now = time.monotonic()
+        with self._lock:
+            found = [task_id for task_id in task_ids
+                     if task_id in self._results]
+            for task_id in found:
+                self._result_times[task_id] = now
+            return [dict(self._results[task_id]) for task_id in found]
+
+    # -- worker side --------------------------------------------------------
+
+    def claim(self, worker_id: str,
+              now: Optional[float] = None) -> Optional[Dict[str, Any]]:
+        """Lease the lowest-id pending task to ``worker_id``, or ``None``."""
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            if not self._pending:
+                return None
+            task_id = min(self._pending)
+            self._pending.discard(task_id)
+            self._leases[task_id] = (worker_id, now + self.lease_ttl)
+            return dict(self._tasks[task_id])
+
+    def heartbeat(self, worker_id: str, task_id: str,
+                  now: Optional[float] = None) -> bool:
+        """Extend the lease deadline; ``False`` if the lease is no longer
+        this worker's (reclaimed, completed, or never claimed)."""
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            lease = self._leases.get(task_id)
+            if lease is None or lease[0] != worker_id:
+                return False
+            self._leases[task_id] = (worker_id, now + self.lease_ttl)
+            return True
+
+    def complete(self, worker_id: str, task_id: str,
+                 outcome: Dict[str, Any]) -> str:
+        """Consume a worker's ``execute_payload`` outcome.
+
+        Returns the fate of the task: ``"done"`` (result published — a
+        record, or an error that exhausted the retry budget), ``"retry"``
+        (failure re-enqueued with the attempt counter bumped) or
+        ``"ignored"`` (stale: the lease was reclaimed and someone else owns
+        the task now, or a successful result already exists).
+        """
+        with self._lock:
+            existing = self._results.get(task_id)
+            if existing is not None and "record" in existing:
+                return "ignored"
+            task = self._tasks.get(task_id)
+            lease = self._leases.get(task_id)
+            owns = lease is not None and lease[0] == worker_id
+            if task is None:
+                # Unknown task (board restarted): accept a success so the
+                # work is not wasted, drop anything else.
+                if "record" in outcome:
+                    self._publish(task_id, self._result_payload(
+                        task_id, {}, worker_id, 1, outcome))
+                    return "done"
+                return "ignored"
+            if "record" in outcome:
+                attempt = int(task.get("attempt", 0)) + 1
+                self._publish(task_id, self._result_payload(
+                    task_id, task, worker_id, attempt, outcome))
+                self._drop_task(task_id)
+                return "done"
+            if not owns:
+                # A reclaimed lease already consumed this attempt; a late
+                # failure from the presumed-dead worker must not burn more
+                # budget (mirrors the queue's duplicate-run rule).
+                return "ignored"
+            attempt = int(task.get("attempt", 0)) + 1
+            task["attempt"] = attempt
+            budget = _budget(task.get("max_attempts"))
+            if budget is not None and attempt >= budget:
+                self._publish(task_id, self._result_payload(
+                    task_id, task, worker_id, attempt, outcome))
+                self._drop_task(task_id)
+                return "done"
+            del self._leases[task_id]
+            self._pending.add(task_id)
+            return "retry"
+
+    # -- shared: stale-lease recovery ---------------------------------------
+
+    def reclaim_stale(self, now: Optional[float] = None) -> List[str]:
+        """Recover leases whose heartbeat deadline passed.
+
+        Each reclaim consumes one attempt; a task out of attempts becomes
+        a terminal failed result, otherwise it returns to the pending set
+        for any live worker to claim.
+        """
+        now = time.monotonic() if now is None else now
+        reclaimed: List[str] = []
+        with self._lock:
+            for task_id, (_worker, deadline) in list(self._leases.items()):
+                if deadline > now:
+                    continue
+                task = self._tasks[task_id]
+                attempt = int(task.get("attempt", 0)) + 1
+                task["attempt"] = attempt
+                budget = _budget(task.get("max_attempts"))
+                del self._leases[task_id]
+                if budget is not None and attempt >= budget:
+                    self._publish(task_id, {
+                        "kind": RESULT_KIND,
+                        "id": task_id,
+                        "digest": task.get("digest", ""),
+                        "config": task.get("config", {}),
+                        "error": (f"worker lease expired and the task is out "
+                                  f"of attempts ({attempt}/{budget})"),
+                        "attempt": attempt,
+                    }, now=now)
+                    self._tasks.pop(task_id, None)
+                else:
+                    self._pending.add(task_id)
+                reclaimed.append(task_id)
+            # Bounded memory for long-lived coordinators: results nobody
+            # published or collected within result_ttl are dropped (the
+            # in-memory analog of ``repro queue-gc``).
+            for task_id, stamp in list(self._result_times.items()):
+                if now - stamp > self.result_ttl:
+                    self._results.pop(task_id, None)
+                    del self._result_times[task_id]
+        return reclaimed
+
+    # -- introspection ------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "pending": len(self._pending),
+                "leased": len(self._leases),
+                "done": len(self._results),
+            }
+
+    # -- internals (call with the lock held) --------------------------------
+
+    def _publish(self, task_id: str, payload: Dict[str, Any],
+                 now: Optional[float] = None) -> None:
+        self._results[task_id] = payload
+        self._result_times[task_id] = (time.monotonic()
+                                       if now is None else now)
+
+    def _drop_task(self, task_id: str) -> None:
+        self._tasks.pop(task_id, None)
+        self._pending.discard(task_id)
+        self._leases.pop(task_id, None)
+
+    @staticmethod
+    def _result_payload(task_id: str, task: Dict[str, Any], worker_id: str,
+                        attempt: int, outcome: Dict[str, Any]
+                        ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "kind": RESULT_KIND,
+            "id": task_id,
+            "digest": task.get("digest", ""),
+            "config": task.get("config", outcome.get("config", {})),
+            "elapsed": outcome.get("elapsed", 0.0),
+            "worker": worker_id,
+            "attempt": attempt,
+        }
+        if "record" in outcome:
+            payload["record"] = outcome["record"]
+        else:
+            payload["error"] = outcome.get("error", "unknown error")
+        return payload
+
+
+# ---------------------------------------------------------------------------
+# The coordinator server
+# ---------------------------------------------------------------------------
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One connection: greeting, handshake, then request/response lines."""
+
+    server: "_TcpServer"
+
+    def handle(self) -> None:  # pragma: no cover - exercised via sockets
+        board = self.server.board
+        nonce = uuid.uuid4().hex
+        self._send({"server": SERVER_NAME, "proto": PROTOCOL_VERSION,
+                    "nonce": nonce, "lease_ttl": board.lease_ttl})
+        hello = self._recv()
+        if hello is None or hello.get("op") != "hello":
+            self._send({"ok": False, "error": "expected a hello"})
+            return
+        if int(hello.get("proto", 0)) != PROTOCOL_VERSION:
+            self._send({"ok": False,
+                        "error": f"protocol mismatch: coordinator speaks "
+                                 f"{PROTOCOL_VERSION}"})
+            return
+        secret = self.server.secret
+        if secret is not None:
+            auth = str(hello.get("auth", ""))
+            if not hmac.compare_digest(auth, _auth_token(secret, nonce)):
+                self._send({"ok": False, "error": "handshake rejected: "
+                                                  "bad shared secret"})
+                return
+        role = hello.get("role", "worker")
+        worker_id = str(hello.get("worker") or f"tcp-{nonce[:8]}")
+        self._send({"ok": True, "server": SERVER_NAME,
+                    "proto": PROTOCOL_VERSION, "lease_ttl": board.lease_ttl})
+        if role == "worker":
+            self.server.worker_connected(worker_id)
+        try:
+            while True:
+                request = self._recv()
+                if request is None:
+                    return
+                try:
+                    response = self._dispatch(role, worker_id, request)
+                except Exception as exc:  # defensive: never kill the server
+                    response = {"ok": False, "error": repr(exc)}
+                self._send(response)
+        finally:
+            if role == "worker":
+                self.server.worker_gone(worker_id)
+
+    # -- framing ------------------------------------------------------------
+
+    def _send(self, payload: Dict[str, Any]) -> None:
+        self.wfile.write(json.dumps(payload).encode("utf-8") + b"\n")
+
+    def _recv(self) -> Optional[Dict[str, Any]]:
+        try:
+            line = self.rfile.readline()
+        except OSError:
+            return None
+        if not line:
+            return None
+        try:
+            data = json.loads(line)
+        except ValueError:
+            return None
+        return data if isinstance(data, dict) else None
+
+    # -- request dispatch ---------------------------------------------------
+
+    def _dispatch(self, role: str, worker_id: str,
+                  request: Dict[str, Any]) -> Dict[str, Any]:
+        board = self.server.board
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "stats": board.stats()}
+        if op == "workers":
+            return {"ok": True, "workers": self.server.live_workers()}
+        if op == "submit":
+            board.reclaim_stale()
+            statuses = {}
+            for task in request.get("tasks", []):
+                task_id = str(task["id"])
+                statuses[task_id] = board.enqueue(
+                    task_id, task.get("config", {}),
+                    str(task.get("digest", "")),
+                    max_attempts=task.get("max_attempts",
+                                          DEFAULT_TASK_ATTEMPTS))
+            return {"ok": True, "statuses": statuses}
+        if op == "collect":
+            board.reclaim_stale()
+            results = board.collect([str(i) for i in request.get("ids", [])])
+            return {"ok": True, "results": results}
+        if op == "claim":
+            if self.server.stop_workers_flag.is_set():
+                # The TCP analog of the queue directory's STOP file:
+                # workers exit at their next claim instead of idling out.
+                return {"ok": True, "task": None, "stop": True}
+            board.reclaim_stale()
+            task = board.claim(worker_id)
+            return {"ok": True, "task": task}
+        if op == "heartbeat":
+            known = board.heartbeat(worker_id, str(request.get("id", "")))
+            return {"ok": True, "known": known}
+        if op == "result":
+            status = board.complete(worker_id, str(request.get("id", "")),
+                                    request.get("outcome", {}))
+            return {"ok": True, "status": status}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+
+class _TcpServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], board: TaskBoard,
+                 secret: Optional[str]) -> None:
+        super().__init__(address, _Handler)
+        self.board = board
+        self.secret = secret
+        self.stop_workers_flag = threading.Event()
+        self._workers_lock = threading.Lock()
+        #: worker id -> number of open connections (connection liveness).
+        self._worker_connections: Dict[str, int] = {}
+        #: every open connection socket, so a stopping server can sever
+        #: them — ``shutdown()`` alone only stops *accepting*; established
+        #: connections would keep talking to a ghost coordinator.
+        self._connections: set = set()
+
+    def process_request(self, request, client_address) -> None:
+        with self._workers_lock:
+            self._connections.add(request)
+        super().process_request(request, client_address)
+
+    def shutdown_request(self, request) -> None:
+        with self._workers_lock:
+            self._connections.discard(request)
+        super().shutdown_request(request)
+
+    def close_connections(self) -> None:
+        with self._workers_lock:
+            connections = list(self._connections)
+        for sock in connections:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+
+    def worker_connected(self, worker_id: str) -> None:
+        with self._workers_lock:
+            self._worker_connections[worker_id] = (
+                self._worker_connections.get(worker_id, 0) + 1)
+
+    def worker_gone(self, worker_id: str) -> None:
+        with self._workers_lock:
+            count = self._worker_connections.get(worker_id, 0) - 1
+            if count <= 0:
+                self._worker_connections.pop(worker_id, None)
+            else:
+                self._worker_connections[worker_id] = count
+
+    def live_workers(self) -> List[str]:
+        with self._workers_lock:
+            return sorted(self._worker_connections)
+
+
+class CoordinatorServer:
+    """The coordinator behind ``python -m repro serve``.
+
+    Owns a :class:`TaskBoard` and serves it over TCP from a background
+    thread; ``start()`` binds (``port=0`` picks a free port — read the
+    actual one back from :attr:`address`), ``stop()`` shuts down.  Usable
+    as a context manager, which is how the tests drive restart scenarios.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+                 secret: Optional[str] = None,
+                 lease_ttl: float = DEFAULT_LEASE_TTL,
+                 result_ttl: float = DEFAULT_RESULT_TTL) -> None:
+        self.host = host
+        self.port = int(port)
+        self.secret = secret
+        self.board = TaskBoard(lease_ttl=lease_ttl, result_ttl=result_ttl)
+        self._server: Optional[_TcpServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._server is None:
+            return (self.host, self.port)
+        return self._server.server_address[:2]
+
+    @property
+    def endpoint(self) -> str:
+        host, port = self.address
+        return f"{host}:{port}"
+
+    def start(self) -> "CoordinatorServer":
+        if self._server is not None:
+            raise RuntimeError("coordinator already started")
+        self._server = _TcpServer((self.host, self.port), self.board,
+                                  self.secret)
+        self._thread = threading.Thread(target=self._server.serve_forever,
+                                        kwargs={"poll_interval": 0.05},
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        # Sever live worker/submitter connections too: their reconnect
+        # logic must kick in, exactly as after a coordinator crash.
+        self._server.close_connections()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+        self._server = None
+        self._thread = None
+
+    def live_workers(self) -> List[str]:
+        return self._server.live_workers() if self._server else []
+
+    def stop_workers(self) -> None:
+        """Tell every connected worker to exit at its next claim (the TCP
+        analog of touching ``STOP`` in a queue directory)."""
+        if self._server is not None:
+            self._server.stop_workers_flag.set()
+
+    def __enter__(self) -> "CoordinatorServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+def run_server(host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+               secret: Optional[str] = None,
+               lease_ttl: float = DEFAULT_LEASE_TTL,
+               result_ttl: float = DEFAULT_RESULT_TTL,
+               ready: Optional[Callable[[str], None]] = None) -> int:
+    """Blocking entry point for ``python -m repro serve``.
+
+    Serves until interrupted (Ctrl-C / SIGTERM); ``ready`` is called once
+    with the bound ``host:port`` endpoint.
+    """
+    server = CoordinatorServer(host=host, port=port, secret=secret,
+                               lease_ttl=lease_ttl, result_ttl=result_ttl)
+    server.start()
+    if ready is not None:
+        ready(server.endpoint)
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        return 130
+    finally:
+        server.stop()
+
+
+# ---------------------------------------------------------------------------
+# The protocol client
+# ---------------------------------------------------------------------------
+
+class CoordinatorClient:
+    """One authenticated JSON-lines connection to a coordinator.
+
+    ``request()`` is serialised by a lock, so a heartbeat thread can share
+    the connection with the main loop — requests never interleave on the
+    wire.  Connection-level failures surface as ``OSError`` for callers to
+    retry; a rejected handshake raises :class:`HandshakeError` (terminal).
+    """
+
+    def __init__(self, address: Any, secret: Optional[str] = None,
+                 role: str = "submitter", worker_id: Optional[str] = None,
+                 timeout: float = 30.0) -> None:
+        self.address = (parse_address(address)
+                        if isinstance(address, str) else tuple(address))
+        self.secret = secret
+        self.role = role
+        self.worker_id = worker_id
+        self.timeout = float(timeout)
+        self.lease_ttl = DEFAULT_LEASE_TTL
+        self._lock = threading.Lock()
+        self._sock: Optional[socket.socket] = None
+        self._file: Any = None
+
+    def connect(self) -> "CoordinatorClient":
+        sock = socket.create_connection(self.address, timeout=self.timeout)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            handle = sock.makefile("rwb")
+            greeting = json.loads(handle.readline() or b"null")
+            if (not isinstance(greeting, dict)
+                    or greeting.get("server") != SERVER_NAME):
+                raise HandshakeError(
+                    f"{self.address[0]}:{self.address[1]} is not a repro "
+                    f"coordinator")
+            hello: Dict[str, Any] = {"op": "hello", "proto": PROTOCOL_VERSION,
+                                     "role": self.role}
+            if self.worker_id:
+                hello["worker"] = self.worker_id
+            if self.secret is not None:
+                hello["auth"] = _auth_token(self.secret,
+                                            str(greeting.get("nonce", "")))
+            handle.write(json.dumps(hello).encode("utf-8") + b"\n")
+            handle.flush()
+            reply = json.loads(handle.readline() or b"null")
+            if not isinstance(reply, dict) or not reply.get("ok"):
+                error = (reply or {}).get("error", "connection closed")
+                raise HandshakeError(f"coordinator refused the handshake: "
+                                     f"{error}")
+            self.lease_ttl = float(reply.get("lease_ttl", DEFAULT_LEASE_TTL))
+        except Exception:
+            sock.close()
+            raise
+        self._sock, self._file = sock, handle
+        return self
+
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """One request → one response; raises ``OSError`` on link failure."""
+        with self._lock:
+            if self._file is None:
+                raise OSError("not connected")
+            self._file.write(json.dumps(payload).encode("utf-8") + b"\n")
+            self._file.flush()
+            line = self._file.readline()
+            if not line:
+                raise OSError("coordinator closed the connection")
+            response = json.loads(line)
+        if not isinstance(response, dict):
+            raise OSError("malformed coordinator response")
+        if not response.get("ok"):
+            raise RuntimeError(f"coordinator error: "
+                               f"{response.get('error', 'unknown')}")
+        return response
+
+    def close(self) -> None:
+        with self._lock:
+            for closer in (self._file, self._sock):
+                try:
+                    if closer is not None:
+                        closer.close()
+                except OSError:
+                    pass
+            self._file = self._sock = None
+
+    def __enter__(self) -> "CoordinatorClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# The network worker — ``python -m repro worker --connect HOST:PORT``
+# ---------------------------------------------------------------------------
+
+def run_tcp_worker(address: Any,
+                   secret: Optional[str] = None,
+                   worker_id: Optional[str] = None,
+                   poll: float = DEFAULT_POLL,
+                   max_idle: Optional[float] = None,
+                   max_tasks: Optional[int] = None,
+                   progress: Optional[Callable[[str, Dict[str, Any]], None]]
+                   = None) -> int:
+    """Pull-and-execute loop against a TCP coordinator; returns tasks run.
+
+    The body mirrors :func:`~repro.orchestrator.queue.run_worker`: claim,
+    execute through the shared :func:`execute_payload`, heartbeat from a
+    background thread while the simulation runs, publish the outcome.  Two
+    differences are inherent to the transport: retry/budget decisions live
+    on the coordinator (it owns the task set), and any link failure —
+    coordinator restart included — is answered by reconnecting with
+    exponential backoff, re-sending an unpublished result first.  A
+    rejected handshake (:class:`HandshakeError`) is terminal, never
+    retried.
+
+    Exit conditions: a stop broadcast from the coordinator
+    (:meth:`CoordinatorServer.stop_workers`), ``max_idle`` seconds without
+    work (time spent disconnected counts as idle) or ``max_tasks``
+    processed.
+    """
+    worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+    processed = 0
+    idle_since = time.monotonic()
+    backoff = _BACKOFF_FIRST
+    client: Optional[CoordinatorClient] = None
+    #: (task_id, outcome) that could not be delivered before a disconnect.
+    unsent: Optional[Tuple[str, Dict[str, Any]]] = None
+
+    def drop_connection() -> None:
+        nonlocal client
+        if client is not None:
+            client.close()
+            client = None
+
+    try:
+        while True:
+            if max_idle is not None and \
+                    time.monotonic() - idle_since >= max_idle:
+                break
+            if client is None:
+                try:
+                    client = CoordinatorClient(
+                        address, secret=secret, role="worker",
+                        worker_id=worker_id).connect()
+                    backoff = _BACKOFF_FIRST
+                except HandshakeError:
+                    raise
+                except OSError:
+                    time.sleep(backoff)
+                    backoff = min(backoff * 2, _BACKOFF_MAX)
+                    continue
+            try:
+                if unsent is not None:
+                    task_id, outcome = unsent
+                    client.request({"op": "result", "id": task_id,
+                                    "outcome": outcome})
+                    unsent = None
+                    if max_tasks is not None and processed >= max_tasks:
+                        break
+                    continue
+                response = client.request({"op": "claim"})
+            except OSError:
+                drop_connection()
+                continue
+            if response.get("stop"):
+                break
+            task = response.get("task")
+            if task is None:
+                time.sleep(poll)
+                continue
+            task_id = str(task["id"])
+
+            heartbeat_every = max(min(client.lease_ttl / 4.0, 5.0), 0.05)
+            stop_beat = threading.Event()
+            beat_client = client
+
+            def beat() -> None:
+                while not stop_beat.wait(heartbeat_every):
+                    try:
+                        beat_client.request({"op": "heartbeat",
+                                             "id": task_id})
+                    except (OSError, RuntimeError):
+                        return  # main loop will notice on publish
+
+            beater = threading.Thread(target=beat, daemon=True)
+            beater.start()
+            try:
+                outcome = execute_payload(task.get("config", {}))
+            finally:
+                stop_beat.set()
+                beater.join()
+
+            result: Dict[str, Any] = {
+                "id": task_id,
+                "digest": task.get("digest", ""),
+                "worker": worker_id,
+                "elapsed": outcome.get("elapsed", 0.0),
+                "attempt": int(task.get("attempt", 0)) + 1,
+            }
+            try:
+                reply = client.request({"op": "result", "id": task_id,
+                                        "outcome": outcome})
+                result["status"] = reply.get("status", "done")
+            except OSError:
+                unsent = (task_id, outcome)
+                drop_connection()
+                result["status"] = "undelivered"
+            if "record" in outcome:
+                result["record"] = outcome["record"]
+            else:
+                result["error"] = outcome.get("error", "unknown error")
+            processed += 1
+            # The idle clock restarts when a task *finishes*: a long task
+            # must never count toward --max-idle.
+            idle_since = time.monotonic()
+            if progress is not None:
+                progress(task_id, result)
+            # Honouring --max-tasks waits for an undelivered result: the
+            # reconnect loop above must get a chance to re-send it, or the
+            # completed work would be thrown away (``--max-idle`` still
+            # bounds how long that redelivery is attempted).
+            if max_tasks is not None and processed >= max_tasks \
+                    and unsent is None:
+                break
+    finally:
+        drop_connection()
+    return processed
+
+
+# ---------------------------------------------------------------------------
+# The coordinator-side transport
+# ---------------------------------------------------------------------------
+
+class TcpTransport:
+    """Execute pending configs through a TCP coordinator.
+
+    Construct with the coordinator's ``HOST:PORT`` and pass to
+    :func:`~repro.orchestrator.pool.run_sweep` (or use ``repro sweep
+    --transport tcp --coordinator HOST:PORT``).  ``workers_expected`` makes
+    the sweep wait until that many workers hold live connections before
+    enqueueing, so a sweep against an idle coordinator fails fast instead
+    of hanging; ``timeout`` bounds the whole wait for results.  A dropped
+    connection — a coordinator restart included — is retried with backoff,
+    and every still-pending task is re-submitted after the reconnect.
+    """
+
+    name = "tcp"
+
+    def __init__(self, coordinator: Any,
+                 secret: Optional[str] = None,
+                 poll: float = DEFAULT_POLL,
+                 max_attempts: Optional[int] = DEFAULT_TASK_ATTEMPTS,
+                 workers_expected: int = 0,
+                 worker_timeout: float = 60.0,
+                 timeout: Optional[float] = None) -> None:
+        self.coordinator = coordinator
+        self.secret = secret
+        self.poll = float(poll)
+        self.max_attempts = _budget(max_attempts)
+        self.workers_expected = int(workers_expected)
+        self.worker_timeout = float(worker_timeout)
+        self.timeout = timeout
+
+    def run(self, items: Sequence[TransportItem]
+            ) -> Iterator[Tuple[int, Dict[str, Any]]]:
+        from .queue import FileTaskQueue
+
+        deadline = (time.monotonic() + self.timeout
+                    if self.timeout is not None else None)
+        client = self._connect(deadline, first=True)
+        try:
+            if self.workers_expected > 0:
+                self._await_workers(client)
+            pending: Dict[str, int] = {
+                FileTaskQueue.task_id(index, digest): index
+                for index, _config, digest in items}
+            tasks = [{
+                "id": FileTaskQueue.task_id(index, digest),
+                "digest": digest,
+                "config": config.to_dict(),
+                "max_attempts": self.max_attempts,
+            } for index, config, digest in items]
+            self._submit(client, tasks)
+            while pending:
+                try:
+                    ready = self._collect(client, sorted(pending))
+                except OSError:
+                    client.close()
+                    client = self._connect(deadline)
+                    # The coordinator may have restarted and lost the
+                    # board: re-submitting is idempotent and revives
+                    # anything that was pending or in flight.
+                    self._submit(client, [t for t in tasks
+                                          if t["id"] in pending])
+                    continue
+                for payload in ready:
+                    index = pending.pop(str(payload["id"]), None)
+                    if index is not None:
+                        yield index, payload
+                if not pending:
+                    break
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"tcp sweep timed out after {self.timeout}s with "
+                        f"{len(pending)} task(s) unfinished (live workers: "
+                        f"{self._workers(client) or 'none'})")
+                if not ready:
+                    time.sleep(self.poll)
+        finally:
+            client.close()
+
+    # -- protocol helpers ---------------------------------------------------
+
+    def _connect(self, deadline: Optional[float],
+                 first: bool = False) -> CoordinatorClient:
+        backoff = _BACKOFF_FIRST
+        while True:
+            try:
+                return CoordinatorClient(self.coordinator, secret=self.secret,
+                                         role="submitter").connect()
+            except HandshakeError:
+                raise
+            except OSError as exc:
+                if first:
+                    host, port = (parse_address(self.coordinator)
+                                  if isinstance(self.coordinator, str)
+                                  else self.coordinator)
+                    raise ConnectionError(
+                        f"cannot reach the coordinator at {host}:{port} "
+                        f"({exc}); start it with 'python -m repro serve "
+                        f"--port {port}'") from exc
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"tcp sweep timed out after {self.timeout}s while "
+                        f"reconnecting to the coordinator") from exc
+                time.sleep(backoff)
+                backoff = min(backoff * 2, _BACKOFF_MAX)
+
+    def _submit(self, client: CoordinatorClient,
+                tasks: Sequence[Dict[str, Any]]) -> None:
+        for start in range(0, len(tasks), _BATCH):
+            client.request({"op": "submit",
+                            "tasks": list(tasks[start:start + _BATCH])})
+
+    def _collect(self, client: CoordinatorClient,
+                 task_ids: Sequence[str]) -> List[Dict[str, Any]]:
+        results: List[Dict[str, Any]] = []
+        for start in range(0, len(task_ids), _BATCH):
+            response = client.request(
+                {"op": "collect", "ids": list(task_ids[start:start + _BATCH])})
+            results.extend(response.get("results", []))
+        return results
+
+    def _workers(self, client: CoordinatorClient) -> List[str]:
+        try:
+            return list(client.request({"op": "workers"}).get("workers", []))
+        except (OSError, RuntimeError):
+            return []
+
+    def _await_workers(self, client: CoordinatorClient) -> None:
+        deadline = time.monotonic() + self.worker_timeout
+        while True:
+            alive = self._workers(client)
+            if len(alive) >= self.workers_expected:
+                return
+            if time.monotonic() >= deadline:
+                raise RuntimeError(
+                    f"only {len(alive)} of {self.workers_expected} expected "
+                    f"worker(s) connected to the coordinator within "
+                    f"{self.worker_timeout:.0f}s — start them with "
+                    f"'python -m repro worker --connect HOST:PORT'")
+            time.sleep(min(self.poll, 0.5))

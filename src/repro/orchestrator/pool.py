@@ -12,8 +12,11 @@ available source:
 3. actual execution through a pluggable
    :mod:`~repro.orchestrator.transport`: in-process for ``jobs=1`` (zero
    overhead, easiest to debug and to monkeypatch in tests), a
-   ``multiprocessing`` pool for ``jobs>1``, or a filesystem task queue
-   served by ``python -m repro worker`` daemons on other machines.
+   ``multiprocessing`` pool for ``jobs>1``, a filesystem task queue
+   served by ``python -m repro worker`` daemons on machines sharing the
+   filesystem, or a TCP coordinator (``python -m repro serve``) serving
+   ``python -m repro worker --connect`` daemons that share nothing but a
+   network.
 
 A run that raises is captured as a failed :class:`RunResult` instead of
 killing the sweep; failures are appended to the ledger with a cumulative
@@ -216,12 +219,13 @@ def run_sweep(spec: Union[SweepSpec, Sequence[RunConfig]],
 
     ``transport`` selects where pending configs execute: ``None`` keeps the
     historical behaviour (in-process for ``jobs<=1``, a local
-    ``multiprocessing`` pool otherwise), ``"inline"`` / ``"process"`` force
-    a backend, and a :class:`~repro.orchestrator.queue.QueueTransport`
-    instance distributes the work to ``python -m repro worker`` daemons.
-    Whatever the transport and completion order, ledger lines are flushed
-    in spec order, so distributed sweeps and ``jobs=1`` sweeps write
-    identical ledgers.
+    ``multiprocessing`` pool otherwise), a name from
+    :data:`~repro.orchestrator.transport.TRANSPORTS` forces a backend, and
+    a :class:`~repro.orchestrator.queue.QueueTransport` or
+    :class:`~repro.orchestrator.net.TcpTransport` instance distributes the
+    work to ``python -m repro worker`` daemons.  Whatever the transport and
+    completion order, ledger lines are flushed in spec order, so
+    distributed sweeps and ``jobs=1`` sweeps write identical ledgers.
     """
     configs = spec.expand() if isinstance(spec, SweepSpec) else list(spec)
     for config in configs:

@@ -9,7 +9,8 @@ values.  Every layer of the execution subsystem speaks ``RunConfig``:
   the config plus the code version,
 * the :mod:`~repro.orchestrator.transport` backends ship configs to worker
   processes — and, through the :mod:`~repro.orchestrator.queue` filesystem
-  task queue, to worker daemons on other machines — as plain dictionaries,
+  task queue or the :mod:`~repro.orchestrator.net` TCP coordinator, to
+  worker daemons on other machines — as plain dictionaries,
 * the :mod:`~repro.orchestrator.store` ledger records which configs an
   interrupted sweep already finished.
 

@@ -14,7 +14,7 @@ outcome dictionary produced by :func:`execute_payload` (either a
 what queue workers write to result files and what pool workers return over
 the process boundary.
 
-Three backends ship with the orchestrator:
+Four backends ship with the orchestrator:
 
 * :class:`InlineTransport` — in the calling process, zero overhead, keeps
   the original exception object (the historical ``jobs=1`` path),
@@ -22,7 +22,16 @@ Three backends ship with the orchestrator:
   (the historical ``jobs>1`` path),
 * :class:`~repro.orchestrator.queue.QueueTransport` — a filesystem task
   queue served by ``python -m repro worker`` daemons on any machines that
-  share the filesystem.
+  share the filesystem,
+* :class:`~repro.orchestrator.net.TcpTransport` — a TCP coordinator
+  (``python -m repro serve``) serving ``python -m repro worker --connect``
+  daemons on machines that share nothing but a network.
+
+:data:`TRANSPORTS` is the single registry behind all of this: its keys are
+the names ``run_sweep(transport=...)`` and the CLI's ``--transport`` accept,
+its values build the backend.  Registering a new transport here is all it
+takes for the CLI choices, the error messages and :func:`resolve_transport`
+to pick it up.
 """
 
 from __future__ import annotations
@@ -30,10 +39,11 @@ from __future__ import annotations
 import multiprocessing
 import time
 import traceback
-from typing import Any, Dict, Iterator, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, Sequence, Tuple
 
 __all__ = [
     "TRANSPORTS",
+    "TRANSPORT_HELP",
     "InlineTransport",
     "ProcessTransport",
     "TransportItem",
@@ -43,9 +53,6 @@ __all__ = [
 
 #: ``(spec index, config, digest)`` — the unit of work a transport executes.
 TransportItem = Tuple[int, Any, str]
-
-#: Names accepted by ``run_sweep(transport=...)`` and ``--transport``.
-TRANSPORTS: Tuple[str, ...] = ("inline", "process", "queue")
 
 
 def execute_payload(config_dict: Dict[str, Any]) -> Dict[str, Any]:
@@ -140,31 +147,80 @@ class ProcessTransport:
                 raise
 
 
+# ---------------------------------------------------------------------------
+# The transport registry
+# ---------------------------------------------------------------------------
+
+def _make_inline(jobs: int, **_options: Any) -> InlineTransport:
+    return InlineTransport()
+
+
+def _make_process(jobs: int, **_options: Any) -> ProcessTransport:
+    return ProcessTransport(jobs=jobs)
+
+
+def _make_queue(jobs: int, queue_dir: Any = None, **queue_options: Any):
+    if queue_dir is None:
+        raise ValueError(
+            "transport='queue' needs a queue directory: pass queue_dir= "
+            "or construct repro.orchestrator.queue.QueueTransport directly")
+    from .queue import QueueTransport
+
+    return QueueTransport(queue_dir, **queue_options)
+
+
+def _make_tcp(jobs: int, coordinator: Any = None, **tcp_options: Any):
+    if coordinator is None:
+        raise ValueError(
+            "transport='tcp' needs a coordinator address: pass "
+            "coordinator='HOST:PORT' or construct "
+            "repro.orchestrator.net.TcpTransport directly")
+    from .net import TcpTransport
+
+    return TcpTransport(coordinator, **tcp_options)
+
+
+#: Name -> factory: the single source of truth for every transport the
+#: orchestrator knows.  ``list(TRANSPORTS)`` (iteration yields the names)
+#: is what the CLI exposes as ``--transport`` choices.
+TRANSPORTS: Dict[str, Callable[..., Any]] = {
+    "inline": _make_inline,
+    "process": _make_process,
+    "queue": _make_queue,
+    "tcp": _make_tcp,
+}
+
+#: One-line description per transport, used to build the CLI help text.
+TRANSPORT_HELP: Dict[str, str] = {
+    "inline": "this process (the --jobs 1 default)",
+    "process": "local multiprocessing pool (the --jobs N default)",
+    "queue": "worker daemons watching a shared --queue-dir",
+    "tcp": "worker daemons connected to a --coordinator HOST:PORT",
+}
+
+
 def resolve_transport(transport: Any = None, jobs: int = 1,
-                      queue_dir: Any = None, **queue_options: Any):
+                      **options: Any):
     """Turn a transport name (or ``None``) into a transport object.
 
     ``None`` preserves the historical behaviour: in-process for
     ``jobs <= 1``, a local worker pool otherwise.  Objects that already
     look like transports (anything with a ``run`` method) pass through, so
     callers can hand :func:`~repro.orchestrator.pool.run_sweep` a
-    pre-configured :class:`~repro.orchestrator.queue.QueueTransport`.
+    pre-configured :class:`~repro.orchestrator.queue.QueueTransport` or
+    :class:`~repro.orchestrator.net.TcpTransport`.
+
+    Unknown names raise ``ValueError`` up front, before any backend is
+    constructed — a typo can never leave a half-built pool or an opened
+    socket behind.  Backend-specific keywords (``queue_dir=``,
+    ``coordinator=``, ``lease_ttl=`` …) are forwarded to the factory.
     """
     if transport is not None and not isinstance(transport, str):
         if hasattr(transport, "run"):
             return transport
         raise TypeError(f"not a transport: {transport!r}")
     name = transport or ("inline" if jobs <= 1 else "process")
-    if name == "inline":
-        return InlineTransport()
-    if name == "process":
-        return ProcessTransport(jobs=jobs)
-    if name == "queue":
-        if queue_dir is None:
-            raise ValueError(
-                "transport='queue' needs a queue directory: pass queue_dir= "
-                "or construct repro.orchestrator.queue.QueueTransport directly")
-        from .queue import QueueTransport
-
-        return QueueTransport(queue_dir, **queue_options)
-    raise ValueError(f"unknown transport {name!r}; known: {list(TRANSPORTS)}")
+    if name not in TRANSPORTS:
+        raise ValueError(
+            f"unknown transport {name!r}; known: {list(TRANSPORTS)}")
+    return TRANSPORTS[name](jobs=jobs, **options)

@@ -185,3 +185,72 @@ class TestValidation:
         eps = max(grid_distance(leader.head, p) for p in simulator_points)
         for point in simulator_points:
             assert grid_distance(leader.head, point) <= eps
+
+
+class _TupleReferenceSimulator(CollectSimulator):
+    """Reference planner in the tuple-point domain.
+
+    Re-implements the planning geometry exactly as it was before the
+    packed-coordinate routing (PR 5) using the public tuple-world helpers,
+    so the packed planner can be checked against it step for step.
+    """
+
+    def _ray_point(self, distance):
+        from repro.grid.coords import translate
+        from repro.grid.packed import pack_point
+        return pack_point(
+            translate(self.leader_point, self.outward_direction, distance))
+
+    def _parking_positions(self, max_distance):
+        from repro.grid.coords import ring
+        from repro.grid.packed import pack_point
+        positions = []
+        for j in range(1, max_distance + 1):
+            ring_points = [pack_point(p)
+                           for p in ring(self.leader_point, j)]
+            rotated = self._align_ring_to_ray(ring_points, j)
+            positions.extend(reversed(rotated[1:]))
+        return positions
+
+    def _uncollected_at_distances(self, low, high):
+        found = []
+        for particle in self.system.particles():
+            if particle.particle_id in self.collected:
+                continue
+            d = grid_distance(particle.head, self.leader_point)
+            if low <= d <= high:
+                found.append(particle.particle_id)
+        return found
+
+
+class TestPackedPlanningEquivalence:
+    """Routing the planner through packed coordinates must not change a
+    single placement, phase statistic or round count (the perf follow-up's
+    engine-equivalence guarantee)."""
+
+    @pytest.mark.parametrize("name", sorted(SHAPES))
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_identical_outcome_and_placements(self, name, seed):
+        def run(simulator_cls):
+            shape = SHAPES[name]
+            system = ParticleSystem.from_shape(shape, orientation_seed=seed)
+            algorithm = DLEAlgorithm()
+            Scheduler(order="random", seed=seed).run(algorithm, system)
+            leader = verify_unique_leader(system)
+            simulator = simulator_cls(system, leader)
+            result = simulator.run()
+            return result, system.snapshot()
+
+        packed_result, packed_snapshot = run(CollectSimulator)
+        ref_result, ref_snapshot = run(_TupleReferenceSimulator)
+        assert packed_snapshot == ref_snapshot
+        assert packed_result.rounds == ref_result.rounds
+        assert packed_result.connected == ref_result.connected
+        assert packed_result.leader_point == ref_result.leader_point
+        assert ([
+            (p.index, p.stem_size, p.newly_collected, p.stem_size_after,
+             p.rounds) for p in packed_result.phases
+        ] == [
+            (p.index, p.stem_size, p.newly_collected, p.stem_size_after,
+             p.rounds) for p in ref_result.phases
+        ])

@@ -16,6 +16,7 @@ from repro.orchestrator import (
     SweepSpec,
     config_digest,
     execute_config,
+    resolve_transport,
     run_sweep,
     scaling_spec,
     table1_spec,
@@ -450,8 +451,51 @@ class TestRunSweep:
         assert records_to_dicts(inline) == records_to_dicts(process)
         with pytest.raises(ValueError, match="queue directory"):
             run_sweep(spec, transport="queue")
+        with pytest.raises(ValueError, match="coordinator address"):
+            run_sweep(spec, transport="tcp")
         with pytest.raises(ValueError, match="unknown transport"):
             run_sweep(spec, transport="carrier-pigeon")
+
+    def test_transport_registry_is_the_single_source_of_truth(self):
+        from repro.orchestrator import TRANSPORT_HELP, TRANSPORTS
+        from repro.cli import build_parser
+
+        assert list(TRANSPORTS) == ["inline", "process", "queue", "tcp"]
+        assert set(TRANSPORT_HELP) == set(TRANSPORTS)
+        # The CLI's --transport choices are derived from the registry, not
+        # from a duplicated literal list.
+        parser = build_parser()
+        sweep = next(a for a in parser._subparsers._group_actions[0]
+                     .choices["sweep"]._actions
+                     if "--transport" in getattr(a, "option_strings", ()))
+        assert sweep.choices == list(TRANSPORTS)
+
+    def test_unknown_transport_raises_before_any_backend_is_built(self,
+                                                                  monkeypatch):
+        # A typo plus backend options must fail on the name alone — no
+        # pool is spawned, no socket opened, no directory created.
+        from repro.orchestrator import transport as transport_module
+
+        def exploding_factory(**_kwargs):
+            raise AssertionError("a backend was constructed")
+
+        for name in transport_module.TRANSPORTS:
+            monkeypatch.setitem(transport_module.TRANSPORTS, name,
+                                exploding_factory)
+        with pytest.raises(ValueError, match="unknown transport"):
+            resolve_transport("quue", queue_dir="/tmp/somewhere")
+        with pytest.raises(ValueError, match="unknown transport"):
+            resolve_transport("tpc", coordinator="localhost:1")
+
+    def test_non_string_transport_objects_pass_through(self):
+        class FakeTransport:
+            def run(self, items):
+                return iter(())
+
+        fake = FakeTransport()
+        assert resolve_transport(fake) is fake
+        with pytest.raises(TypeError, match="not a transport"):
+            resolve_transport(object())
 
     def test_progress_callback_streams_every_config(self):
         seen = []

@@ -61,3 +61,55 @@ class TestInternedTupleRings:
         ring = neighbors_interned(point)
         assert list(ring) == neighbors(point)
         assert neighbors_interned(point) is ring
+
+
+class TestPackedGeometryMirrors:
+    """The packed planning helpers must agree point for point with their
+    tuple-world counterparts in repro.grid.coords."""
+
+    POINTS = [(0, 0), (3, -2), (-7, 11), (25, -40)]
+
+    def test_packed_translate_matches_translate(self):
+        from repro.grid.coords import translate
+
+        for point in self.POINTS:
+            for direction in range(6):
+                for steps in (0, 1, 2, 9):
+                    expected = translate(point, direction, steps)
+                    got = packed.unpack(packed.packed_translate(
+                        packed.pack_point(point), direction, steps))
+                    assert got == expected
+
+    def test_packed_translate_normalises_directions_like_coords(self):
+        # Direction names work and out-of-range indices are rejected —
+        # the same contract as coords.translate, not a silent modulo.
+        from repro.grid.coords import translate
+
+        origin = packed.pack_point((0, 0))
+        assert (packed.unpack(packed.packed_translate(origin, "E", 2))
+                == translate((0, 0), "E", 2))
+        with pytest.raises(ValueError, match="out of range"):
+            packed.packed_translate(origin, 6, 1)
+        with pytest.raises(ValueError, match="unknown direction"):
+            packed.packed_translate(origin, "UP", 1)
+
+    def test_packed_grid_distance_matches_grid_distance(self):
+        from repro.grid.coords import grid_distance
+
+        for a in self.POINTS:
+            for b in self.POINTS:
+                assert (packed.packed_grid_distance(packed.pack_point(a),
+                                                    packed.pack_point(b))
+                        == grid_distance(a, b))
+
+    def test_packed_ring_matches_ring_order_exactly(self):
+        from repro.grid.coords import ring
+
+        for center in [(0, 0), (4, -9)]:
+            for radius in range(0, 5):
+                expected = ring(center, radius)
+                got = [packed.unpack(p) for p in packed.packed_ring(
+                    packed.pack_point(center), radius)]
+                assert got == expected
+        with pytest.raises(ValueError):
+            packed.packed_ring(packed.pack_point((0, 0)), -1)

@@ -1,14 +1,19 @@
 """The ``repro profile`` phase profiler and its CLI surface."""
 
 import json
+from pathlib import Path
 
 import pytest
 
 from repro.analysis.profile import (
+    GATED_PHASES,
+    MIN_GATED_NORMALIZED,
     PHASES,
     SMOKE_CONFIG,
     ProfileReport,
     classify_path,
+    compare_profile_to_baseline,
+    load_profile,
     run_profile,
 )
 from repro.cli import main
@@ -97,3 +102,109 @@ class TestProfileCli:
         assert payload["algorithm"] == SMOKE_CONFIG["algorithm"]
         assert payload["size"] == SMOKE_CONFIG["size"]
         assert payload["succeeded"] is True
+
+
+class TestBaselineGate:
+    def _report(self, geometry=0.10, activation=0.20, algorithm=0.30,
+                other=0.05, calibration=0.01):
+        return ProfileReport(
+            algorithm="dle", family="hexagon", size=16, seed=0,
+            engine="event", order="random", seconds=1.0, rounds=10,
+            succeeded=True,
+            phases={"geometry": geometry, "activation": activation,
+                    "algorithm": algorithm, "other": other},
+            calibration_seconds=calibration)
+
+    def test_normalized_phases_are_machine_independent(self):
+        fast = self._report(calibration=0.01)
+        # The same workload on a machine twice as slow: every raw time
+        # doubles, and so does the calibration denominator.
+        slow = self._report(geometry=0.20, activation=0.40, algorithm=0.60,
+                            other=0.10, calibration=0.02)
+        assert fast.normalized_phases() == pytest.approx(
+            slow.normalized_phases())
+
+    def test_uncalibrated_report_has_no_normalized_phases(self):
+        assert self._report(calibration=0.0).normalized_phases() == {}
+
+    def test_within_margin_passes(self):
+        baseline = self._report()
+        current = self._report(algorithm=0.30 * 1.30)  # +30% < 35%
+        comparison = compare_profile_to_baseline(current, baseline)
+        assert comparison.ok and not comparison.regressions
+
+    def test_regression_fails_and_names_the_phase(self):
+        baseline = self._report()
+        current = self._report(activation=0.20 * 1.5)  # +50% > 35%
+        comparison = compare_profile_to_baseline(current, baseline)
+        assert not comparison.ok
+        (phase, cur, base, ratio), = comparison.regressions
+        assert phase == "activation"
+        assert ratio == pytest.approx(1.5)
+
+    def test_other_phase_is_never_gated(self):
+        baseline = self._report()
+        current = self._report(other=5.0)
+        assert compare_profile_to_baseline(current, baseline).ok
+
+    def test_tiny_baseline_phases_are_skipped_not_gated(self):
+        # geometry baseline normalized = 0.0004/0.01 = 0.04 < the 0.05
+        # noise floor: a huge ratio on a tiny time must not fail CI.
+        baseline = self._report(geometry=0.0004)
+        current = self._report(geometry=0.004)
+        comparison = compare_profile_to_baseline(current, baseline)
+        assert comparison.ok
+        assert "geometry" in comparison.skipped
+
+    def test_improvements_are_reported_not_failed(self):
+        baseline = self._report()
+        current = self._report(algorithm=0.30 * 0.5)
+        comparison = compare_profile_to_baseline(current, baseline)
+        assert comparison.ok
+        assert [row[0] for row in comparison.improvements] == ["algorithm"]
+
+    def test_round_trip_keeps_the_calibration(self, tmp_path):
+        path = self._report().save(tmp_path / "p.json")
+        clone = load_profile(path)
+        assert clone.calibration_seconds == pytest.approx(0.01)
+        assert clone.normalized_phases() == pytest.approx(
+            self._report().normalized_phases())
+
+    def test_cli_gate_passes_against_identical_baseline(self, tmp_path,
+                                                        capsys):
+        baseline = tmp_path / "baseline.json"
+        self._report().save(baseline)
+        # A fresh run compared against its own saved report: identical.
+        out = tmp_path / "out.json"
+        code = main(["profile", "--algorithm", "dle", "--family", "hexagon",
+                     "--size", "8", "--json", str(out)])
+        assert code == 0
+        code = main(["profile", "--algorithm", "dle", "--family", "hexagon",
+                     "--size", "8", "--baseline", str(out),
+                     "--max-regression", "10.0"])
+        assert code == 0
+        assert "profile baseline check ok" in capsys.readouterr().out
+
+    def test_cli_gate_fails_on_regression(self, tmp_path, capsys):
+        # A baseline claiming the phases used to be ~free: any real run
+        # regresses far beyond the margin and the command must fail.
+        baseline = self._report(geometry=0.001, activation=0.001,
+                                algorithm=0.001, calibration=0.01)
+        # Keep the phases above the noise floor so they are really gated.
+        baseline.phases = {k: v if k == "other" else 0.002
+                           for k, v in baseline.phases.items()}
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        code = main(["profile", "--algorithm", "dle", "--family", "hexagon",
+                     "--size", "8", "--baseline", str(path)])
+        assert code == 1
+        assert "regressed more than" in capsys.readouterr().err
+
+    def test_committed_baseline_is_loadable_and_gateable(self):
+        repo_root = Path(__file__).resolve().parents[1]
+        report = load_profile(repo_root / "PROFILE_baseline.json")
+        assert report.algorithm == SMOKE_CONFIG["algorithm"]
+        assert report.calibration_seconds > 0
+        normalized = report.normalized_phases()
+        for phase in GATED_PHASES:
+            assert normalized[phase] >= MIN_GATED_NORMALIZED
