@@ -57,6 +57,7 @@ from heapq import heapify, heappop, heappush
 from itertools import islice
 from typing import Callable, Dict, List, Optional, Sequence, Set
 
+from ..telemetry import get_registry as _get_registry
 from .algorithm import QUIESCENT, TERMINATED, AmoebotAlgorithm
 from .system import ParticleSystem
 
@@ -264,15 +265,35 @@ class SequentialScheduler:
         finally:
             self._finish(system, state)
         terminated = algorithm.has_terminated(system)
+        moves = system.move_count - moves_before
+        self._record_metrics(rounds, activations, skipped, moves, state)
         return SchedulerResult(
             rounds=rounds,
             activations=activations,
             terminated=terminated,
-            moves=system.move_count - moves_before,
+            moves=moves,
             history=history,
             skipped=skipped,
             engine=self.engine,
         )
+
+    def _record_metrics(self, rounds: int, activations: int, skipped: int,
+                        moves: int, state: Optional[object]) -> None:
+        """Publish run totals to the telemetry registry.
+
+        Called once per run, never per round or activation, so the hot
+        loops carry no instrumentation; with the default no-op registry
+        the whole call is one early return.
+        """
+        registry = _get_registry()
+        if not registry.enabled:
+            return
+        prefix = f"engine.{self.engine}."
+        registry.counter(prefix + "runs").inc()
+        registry.counter(prefix + "rounds").inc(rounds)
+        registry.counter(prefix + "activations").inc(activations)
+        registry.counter(prefix + "skipped").inc(skipped)
+        registry.counter(prefix + "moves").inc(moves)
 
     # -- engine-specific hooks ------------------------------------------------
 
@@ -361,7 +382,7 @@ class _EventState:
     """Per-run bookkeeping of the event-driven engine."""
 
     __slots__ = ("active", "parked", "done", "listener", "heap", "keyfn",
-                 "round_limit")
+                 "round_limit", "parks", "wakes")
 
     def __init__(self) -> None:
         #: Particles that are awake: neither parked nor observed terminated.
@@ -382,6 +403,11 @@ class _EventState:
         #: order covers (ids are allocated monotonically); particles created
         #: mid-round compare >= and are deferred to the next round.
         self.round_limit = 0
+        #: Quiescence transitions this run: times a particle was parked as
+        #: quiescent, and times a parked particle was re-woken.  Counted at
+        #: the (rare) transition sites and published once per run.
+        self.parks = 0
+        self.wakes = 0
 
 
 class EventDrivenScheduler(SequentialScheduler):
@@ -428,6 +454,7 @@ class EventDrivenScheduler(SequentialScheduler):
             # examined (and re-parked) during round one.
             state.active = set(initial)
             state.parked = set(all_ids) - state.active
+            state.parks = len(state.parked)
         active = state.active
         parked = state.parked
         done = state.done
@@ -477,6 +504,7 @@ class EventDrivenScheduler(SequentialScheduler):
                     continue
                 parked.discard(w)
                 active.add(w)
+                state.wakes += 1
                 if keyfn is not None and w < limit:
                     heappush(heap, (keyfn(w), w))
 
@@ -486,6 +514,14 @@ class EventDrivenScheduler(SequentialScheduler):
     def _finish(self, system: ParticleSystem, state: _EventState) -> None:
         if state.listener is not None:
             system.remove_change_listener(state.listener)
+
+    def _record_metrics(self, rounds: int, activations: int, skipped: int,
+                        moves: int, state: _EventState) -> None:
+        super()._record_metrics(rounds, activations, skipped, moves, state)
+        registry = _get_registry()
+        if registry.enabled:
+            registry.counter("engine.event.parks").inc(state.parks)
+            registry.counter("engine.event.wakes").inc(state.wakes)
 
     def _round_keyfn(self, system: ParticleSystem, round_index: int,
                      rng: random.Random):
@@ -552,6 +588,7 @@ class EventDrivenScheduler(SequentialScheduler):
                 if poll_quiescent and is_quiescent(particle, system):
                     parked.add(particle_id)
                     active.discard(particle_id)
+                    state.parks += 1
                     continue
                 acted = activate(particle, system)
                 activations += 1
@@ -560,6 +597,7 @@ class EventDrivenScheduler(SequentialScheduler):
                 if acted is QUIESCENT:
                     parked.add(particle_id)
                     active.discard(particle_id)
+                    state.parks += 1
                     continue
                 if acted is TERMINATED:
                     done.add(particle_id)
@@ -578,6 +616,7 @@ class EventDrivenScheduler(SequentialScheduler):
                     if qid in parked:
                         parked.discard(qid)
                         active.add(qid)
+                        state.wakes += 1
             return activations, population - examined
 
         # Built-in policy: schedule only the awake particles, in the exact
@@ -611,6 +650,7 @@ class EventDrivenScheduler(SequentialScheduler):
                 if poll_quiescent and is_quiescent(particle, system):
                     parked.add(particle_id)
                     active.discard(particle_id)
+                    state.parks += 1
                     continue
                 # The particle acts: anything it writes lives in its own or
                 # a neighbour's memory, so waking its neighbourhood (plus
@@ -631,6 +671,7 @@ class EventDrivenScheduler(SequentialScheduler):
                 if acted is QUIESCENT:
                     parked.add(particle_id)
                     active.discard(particle_id)
+                    state.parks += 1
                     continue
                 if acted is TERMINATED:
                     done.add(particle_id)
@@ -646,6 +687,7 @@ class EventDrivenScheduler(SequentialScheduler):
                     if qid in parked:
                         parked.discard(qid)
                         active.add(qid)
+                        state.wakes += 1
                         heappush(heap, (keyfn(qid), qid))
         finally:
             state.heap = None

@@ -68,6 +68,7 @@ from ..grid.packed import (
 
 _MASK = (1 << _SHIFT) - 1
 from ..grid.shape import Shape
+from ..telemetry import counter as _metric
 from .particle import Particle
 
 __all__ = ["ParticleSystem", "IllegalMoveError", "ChangeListener"]
@@ -368,6 +369,7 @@ class ParticleSystem:
         if base is not None and deltas is not None:
             shape = base._apply_deltas(deltas)
         else:
+            _metric("shape.rebuilds").inc()
             shape = Shape(self._points)
         self._shape_cache = shape
         self._shape_version = self._version

@@ -12,6 +12,10 @@ The CLI exposes the experiment harness without writing any Python:
 * ``python -m repro worker runs/queue``        — pull-based worker daemon
   serving ``--transport queue`` sweeps from any machine sharing the
   filesystem; ``--connect HOST:PORT`` serves a TCP coordinator instead
+* ``python -m repro status --coordinator HOST:PORT``  — live board depth,
+  per-worker lease ages and rolling throughput for a running distributed
+  sweep (``--queue-dir DIR`` inspects a filesystem queue instead;
+  ``--watch N`` re-polls, ``--json`` emits the raw snapshot)
 * ``python -m repro queue-gc runs/queue --ttl 86400`` — prune finished
   results, dead worker registrations and stale leases from a long-lived
   queue directory
@@ -36,6 +40,8 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 from .amoebot.system import ParticleSystem
@@ -68,6 +74,7 @@ from .orchestrator import (
     run_sweep,
 )
 from .orchestrator.net import DEFAULT_PORT
+from .telemetry import LOG_LEVELS, configure_logging, get_logger
 from .viz.ascii_art import render_system
 
 __all__ = ["main", "build_parser"]
@@ -91,6 +98,11 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduction harness for 'Efficient Deterministic "
                     "Leader Election for Programmable Matter' (PODC 2021).",
     )
+    parser.add_argument("--log-level", default="info",
+                        choices=list(LOG_LEVELS),
+                        help="verbosity of the repro.* loggers every "
+                             "command reports through (before the "
+                             "subcommand; default info)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sweep = sub.add_parser(
@@ -155,7 +167,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also write the raw records to a JSON file")
     sweep.add_argument("--summary-json", metavar="PATH", default=None,
                        help="write a machine-readable sweep summary "
-                            "(result-source counts, failures) to a JSON file")
+                            "(result-source counts, failures, metrics) to "
+                            "a JSON file")
+    sweep.add_argument("--telemetry", metavar="DIR", default=None,
+                       help="write a structured event log (events.jsonl) "
+                            "and a final metrics snapshot (metrics.json) "
+                            "into DIR")
 
     table1 = sub.add_parser("table1", help="reproduce the Table 1 comparison")
     table1.add_argument("--sizes", type=int, nargs="+", default=[2, 3, 4])
@@ -248,6 +265,25 @@ def build_parser() -> argparse.ArgumentParser:
                             "duration")
     serve.add_argument("--quiet", action="store_true",
                        help="suppress the startup line on stderr")
+
+    status = sub.add_parser(
+        "status",
+        help="report live board depth, lease ages, throughput and workers "
+             "for a running distributed sweep")
+    status.add_argument("--coordinator", metavar="HOST:PORT", default=None,
+                        help="query a live TCP coordinator "
+                             "('python -m repro serve')")
+    status.add_argument("--queue-dir", metavar="PATH", default=None,
+                        help="inspect a filesystem queue directory instead")
+    status.add_argument("--secret", default=None,
+                        help="shared secret for the coordinator handshake "
+                             "(default: the REPRO_SECRET environment "
+                             "variable; with --coordinator)")
+    status.add_argument("--watch", type=float, metavar="SECONDS",
+                        default=None,
+                        help="re-poll every SECONDS until Ctrl-C")
+    status.add_argument("--json", action="store_true",
+                        help="print the snapshot as JSON on stdout")
 
     queue_gc = sub.add_parser(
         "queue-gc",
@@ -394,20 +430,42 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                                  worker_timeout=args.worker_timeout,
                                  timeout=args.queue_timeout)
 
+    log = get_logger("sweep")
+
     def progress(done: int, total: int, result) -> None:
         status = "ok" if result.ok else "FAILED"
         if result.ok and result.source != "executed":
             status += f" ({result.source})"
         elif not result.ok and result.gave_up:
             status += " (gave up, retry budget spent)"
-        print(f"[{done}/{total}] {result.config.describe()}: {status}",
-              file=sys.stderr)
+        log.info(f"[{done}/{total}] {result.config.describe()}: {status}")
 
-    result = run_sweep(spec, jobs=args.jobs, cache=args.cache_dir,
-                       ledger=args.ledger, resume=args.resume,
-                       transport=transport,
-                       max_attempts=args.max_attempts or None,
-                       progress=None if args.quiet else progress)
+    # A real registry is always installed around the sweep (the summary's
+    # metrics block needs it); the event log only with --telemetry.  Both
+    # are scoped, so library callers of run_sweep are unaffected.
+    from .telemetry import EventLog, MetricsRegistry, use_event_log, \
+        use_registry
+
+    registry = MetricsRegistry()
+    telemetry_dir = Path(args.telemetry) if args.telemetry else None
+    event_log = None
+    if telemetry_dir is not None:
+        telemetry_dir.mkdir(parents=True, exist_ok=True)
+        event_log = EventLog(telemetry_dir / "events.jsonl",
+                             context={"engine": args.engine,
+                                      "transport": args.transport
+                                      or ("process" if args.jobs > 1
+                                          else "inline")})
+    try:
+        with use_registry(registry), use_event_log(event_log):
+            result = run_sweep(spec, jobs=args.jobs, cache=args.cache_dir,
+                               ledger=args.ledger, resume=args.resume,
+                               transport=transport,
+                               max_attempts=args.max_attempts or None,
+                               progress=None if args.quiet else progress)
+    finally:
+        if event_log is not None:
+            event_log.close()
     records = result.records
     print(format_records(records, title="sweep results"))
     if args.parameter:
@@ -416,11 +474,24 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print()
     print(format_sweep_summary(result))
     for failure in result.failures:
-        print(f"\nFAILED {failure.config.describe()}:\n{failure.error}",
-              file=sys.stderr)
+        log.error(f"\nFAILED {failure.config.describe()}:\n{failure.error}")
     if args.json:
         save_records(records, args.json)
         print(f"raw records written to {args.json}")
+
+    snapshot = registry.snapshot()
+    metrics_block = _sweep_metrics_block(snapshot, result)
+    if telemetry_dir is not None:
+        from .orchestrator.fsutil import write_json_atomic
+
+        write_json_atomic(telemetry_dir / "metrics.json", {
+            "kind": "sweep-metrics",
+            "spec": spec.to_dict(),
+            "metrics": metrics_block,
+            "snapshot": snapshot,
+        })
+        print(f"telemetry written to {telemetry_dir} "
+              f"(events.jsonl: {event_log.lines} line(s), metrics.json)")
     if args.summary_json:
         summary = {
             "kind": "sweep-summary",
@@ -429,6 +500,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "elapsed": result.elapsed,
             "ok": not result.failures and bool(records),
             "failures": [f.config.describe() for f in result.failures],
+            "metrics": metrics_block,
         }
         with open(args.summary_json, "w") as handle:
             json.dump(summary, handle, indent=2)
@@ -436,10 +508,34 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if (result.failures or not records) else 0
 
 
+def _sweep_metrics_block(snapshot, result) -> dict:
+    """The ``metrics`` block of ``--summary-json``: the handful of numbers
+    an operator actually checks, distilled from the full registry dump."""
+    counters = snapshot.get("counters", {})
+    hits = counters.get("cache.hits", 0)
+    misses = counters.get("cache.misses", 0)
+    lookups = hits + misses
+    rounds = {name.split(".")[1]: value
+              for name, value in sorted(counters.items())
+              if name.startswith("engine.") and name.endswith(".rounds")}
+    return {
+        "cache": {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": round(hits / lookups, 4) if lookups else 0.0,
+        },
+        "retries": sum(max(0, r.attempts - 1) for r in result.results),
+        "reclaims": counters.get("queue.reclaims", 0),
+        "rounds": rounds,
+        "counters": counters,
+    }
+
+
 def _cmd_worker(args: argparse.Namespace) -> int:
     from .orchestrator import run_tcp_worker, run_worker
     from .orchestrator.net import HandshakeError
 
+    log = get_logger("worker")
     if (args.queue_dir is None) == (args.connect is None):
         print("error: pass exactly one of QUEUE_DIR or --connect HOST:PORT",
               file=sys.stderr)
@@ -452,49 +548,53 @@ def _cmd_worker(args: argparse.Namespace) -> int:
             status = "ok"
         else:
             status = "FAILED"
-        print(f"worker: {task_id}: {status}", file=sys.stderr)
+        log.info(f"worker: {task_id}: {status}")
 
     try:
         if args.connect is not None:
             if not args.quiet:
-                print(f"worker: serving coordinator {args.connect} "
-                      f"(stop with Ctrl-C)", file=sys.stderr)
-            processed = run_tcp_worker(
+                log.info(f"worker: serving coordinator {args.connect} "
+                         f"(stop with Ctrl-C)")
+            summary = run_tcp_worker(
                 args.connect, secret=_secret_or_env(args.secret),
                 worker_id=args.id, poll=args.poll, max_idle=args.max_idle,
                 max_tasks=args.max_tasks,
                 progress=None if args.quiet else progress)
         else:
             if not args.quiet:
-                print(f"worker: serving queue {args.queue_dir} "
-                      f"(lease ttl {args.lease_ttl:.0f}s; stop with a STOP "
-                      f"file or Ctrl-C)", file=sys.stderr)
-            processed = run_worker(args.queue_dir, worker_id=args.id,
-                                   lease_ttl=args.lease_ttl, poll=args.poll,
-                                   max_idle=args.max_idle,
-                                   max_tasks=args.max_tasks,
-                                   progress=None if args.quiet else progress)
+                log.info(f"worker: serving queue {args.queue_dir} "
+                         f"(lease ttl {args.lease_ttl:.0f}s; stop with a "
+                         f"STOP file or Ctrl-C)")
+            summary = run_worker(args.queue_dir, worker_id=args.id,
+                                 lease_ttl=args.lease_ttl, poll=args.poll,
+                                 max_idle=args.max_idle,
+                                 max_tasks=args.max_tasks,
+                                 progress=None if args.quiet else progress)
     except HandshakeError as exc:
-        print(f"worker: {exc}", file=sys.stderr)
+        log.error(f"worker: {exc}")
         return 1
     except KeyboardInterrupt:
-        print("worker: interrupted", file=sys.stderr)
+        log.warning("worker: interrupted")
         return 130
     if not args.quiet:
-        print(f"worker: exiting after {processed} task(s)", file=sys.stderr)
-    return 0
+        log.info(f"worker: exiting after {int(summary)} task(s)")
+        log.info(summary.describe())
+    # A worker whose final task failed terminally exits nonzero, so
+    # supervisors (CI scripts, systemd units) notice without log-scraping.
+    return 1 if summary.last_task_failed else 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .orchestrator import run_server
 
+    log = get_logger("serve")
+
     def ready(endpoint: str) -> None:
         if not args.quiet:
             secured = "shared-secret" if _secret_or_env(args.secret) \
                 else "UNAUTHENTICATED"
-            print(f"coordinator: listening on {endpoint} ({secured}; "
-                  f"lease ttl {args.lease_ttl:.0f}s; stop with Ctrl-C)",
-                  file=sys.stderr)
+            log.info(f"coordinator: listening on {endpoint} ({secured}; "
+                     f"lease ttl {args.lease_ttl:.0f}s; stop with Ctrl-C)")
 
     try:
         return run_server(host=args.host, port=args.port,
@@ -502,8 +602,115 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                           lease_ttl=args.lease_ttl,
                           result_ttl=args.result_ttl, ready=ready)
     except KeyboardInterrupt:
-        print("coordinator: interrupted", file=sys.stderr)
+        log.warning("coordinator: interrupted")
         return 130
+
+
+def _status_snapshot(args: argparse.Namespace) -> dict:
+    """One unified status document for both backends.
+
+    Schema: ``kind`` / ``source`` (``"tcp"`` or ``"queue"``) / ``target`` /
+    ``lease_ttl`` / ``board`` (pending, leased, done, lease_ages, leases,
+    throughput, counters where available) / ``workers`` (list of dicts with
+    at least ``id``) / ``stop``.
+    """
+    if args.coordinator:
+        from .orchestrator.net import fetch_status
+
+        status = fetch_status(args.coordinator,
+                              secret=_secret_or_env(args.secret))
+        return {
+            "kind": "repro-status",
+            "source": "tcp",
+            "target": args.coordinator,
+            "lease_ttl": status.get("lease_ttl"),
+            "board": status.get("board", {}),
+            "workers": [{"id": worker}
+                        for worker in status.get("workers", [])],
+            "stop": bool(status.get("stop")),
+        }
+    from .orchestrator.fsutil import read_json
+    from .orchestrator.queue import STATUS_FILENAME, FileTaskQueue
+
+    snapshot = FileTaskQueue(args.queue_dir).status_snapshot()
+    document = {
+        "kind": "repro-status",
+        "source": "queue",
+        "target": str(args.queue_dir),
+        "lease_ttl": snapshot["lease_ttl"],
+        "board": snapshot["board"],
+        "workers": snapshot["workers"],
+        "stop": snapshot["stop"],
+    }
+    # The coordinator's published snapshot adds what directory listings
+    # cannot know: how much of the sweep it has collected so far.
+    published = read_json(Path(args.queue_dir) / STATUS_FILENAME)
+    if published is not None and "coordinator" in published:
+        document["coordinator"] = published["coordinator"]
+    return document
+
+
+def _render_status(document: dict, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(document, indent=2))
+        return
+    board = document.get("board", {})
+    line = (f"{document['source']} {document['target']}: "
+            f"{board.get('pending', 0)} pending, "
+            f"{board.get('leased', 0)} leased, "
+            f"{board.get('done', 0)} done")
+    if document.get("stop"):
+        line += " [STOP requested]"
+    print(line)
+    ages = board.get("lease_ages", {})
+    if ages.get("count"):
+        print(f"  lease ages: p50 {ages['p50']}s, p90 {ages['p90']}s, "
+              f"max {ages['max']}s")
+    for lease in board.get("leases", []):
+        print(f"  lease {lease['id']}: worker "
+              f"{lease.get('worker') or '?'}, {lease['age']}s old")
+    throughput = board.get("throughput")
+    if throughput:
+        print(f"  throughput: {throughput.get('completed', 0)} result(s) "
+              f"in the last {throughput.get('window', 0):.0f}s "
+              f"({throughput.get('per_second', 0.0)}/s)")
+    counters = board.get("counters")
+    if counters:
+        print("  counters: " + ", ".join(
+            f"{name}={value}" for name, value in sorted(counters.items())))
+    workers = document.get("workers", [])
+    if workers:
+        for worker in workers:
+            extra = ""
+            if worker.get("heartbeat_age") is not None:
+                extra = f" (heartbeat {worker['heartbeat_age']}s ago)"
+            print(f"  worker {worker['id']}{extra}")
+    else:
+        print("  no workers")
+    coordinator = document.get("coordinator")
+    if coordinator:
+        print(f"  coordinator: {coordinator.get('collected', 0)}/"
+              f"{coordinator.get('enqueued', 0)} collected, "
+              f"{coordinator.get('outstanding', 0)} outstanding")
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    if (args.coordinator is None) == (args.queue_dir is None):
+        print("error: pass exactly one of --coordinator HOST:PORT or "
+              "--queue-dir PATH", file=sys.stderr)
+        return 2
+    try:
+        if args.watch:
+            while True:
+                _render_status(_status_snapshot(args), args.json)
+                time.sleep(args.watch)
+        _render_status(_status_snapshot(args), args.json)
+    except KeyboardInterrupt:
+        return 130
+    except (OSError, ConnectionError, RuntimeError) as exc:
+        print(f"status: {exc}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -717,6 +924,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "worker": _cmd_worker,
     "serve": _cmd_serve,
+    "status": _cmd_status,
     "queue-gc": _cmd_queue_gc,
     "bench": _cmd_bench,
     "profile": _cmd_profile,
@@ -732,6 +940,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(args.log_level)
     return _COMMANDS[args.command](args)
 
 

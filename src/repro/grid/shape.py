@@ -28,6 +28,7 @@ from typing import (
     Tuple,
 )
 
+from ..telemetry import counter as _metric
 from .coords import (
     NUM_DIRECTIONS,
     Point,
@@ -287,6 +288,7 @@ def _split_outer(state: _ShapeState, groups: List[List[Point]]) -> None:
     soon as a single live region remains (the outer remnant), so the cost
     is bounded by the faces actually created, not by the outer face.
     """
+    _metric("shape.refloods").inc()
     points = state.points
     parent = list(range(len(groups)))
 
@@ -363,6 +365,7 @@ def _face_add(state: _ShapeState, point: Point, ring: Sequence[Point],
             if not hole:
                 del holes[index]
             elif _empty_arc_count(occ_mask) >= 2:
+                _metric("shape.refloods").inc()
                 parts = connected_components(hole)
                 if len(parts) > 1:
                     del holes[index]
@@ -658,6 +661,8 @@ class Shape:
                 _state_add(state, point)
             else:
                 _state_remove(state, point)
+        _metric("shape.delta_replays").inc()
+        _metric("shape.deltas_applied").inc(len(deltas))
         return Shape._from_state(state)
 
     # -- connectivity -------------------------------------------------------
@@ -679,6 +684,7 @@ class Shape:
         if self._faces_computed:
             return
         self._faces_computed = True
+        _metric("shape.face_floods").inc()
         if not self._points:
             self._outer_empty = set()
             self._holes = []

@@ -46,10 +46,11 @@ from .net import (
     CoordinatorClient,
     CoordinatorServer,
     TcpTransport,
+    fetch_status,
     run_server,
     run_tcp_worker,
 )
-from .queue import FileTaskQueue, QueueTransport, run_worker
+from .queue import FileTaskQueue, QueueTransport, WorkerSummary, run_worker
 from .report import (
     format_sweep_scaling,
     format_sweep_summary,
@@ -93,9 +94,11 @@ __all__ = [
     "SweepResult",
     "SweepSpec",
     "TcpTransport",
+    "WorkerSummary",
     "config_digest",
     "default_code_version",
     "execute_config",
+    "fetch_status",
     "format_sweep_scaling",
     "format_sweep_summary",
     "group_records",

@@ -22,6 +22,7 @@ import json
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
+from ..telemetry import counter as _metric
 from .fsutil import write_json_atomic
 from .spec import RunConfig
 
@@ -85,8 +86,10 @@ class ResultCache:
             record = records_from_dicts([envelope["record"]])[0]
         except (OSError, ValueError, KeyError, TypeError):
             self.misses += 1
+            _metric("cache.misses").inc()
             return None
         self.hits += 1
+        _metric("cache.hits").inc()
         return record
 
     def put(self, config: RunConfig, record) -> Path:
@@ -104,6 +107,11 @@ class ResultCache:
         # Atomic and durable (temp file + fsync + os.replace): on a shared
         # filesystem another machine may read the entry the moment it
         # appears.
+        if path.is_file():
+            # A concurrent writer beat us to this digest; the replace below
+            # is still safe (both wrote the same pure-function result).
+            _metric("cache.races").inc()
+        _metric("cache.puts").inc()
         write_json_atomic(path, envelope)
         return path
 

@@ -48,6 +48,7 @@ import socketserver
 import threading
 import time
 import uuid
+from collections import deque
 from typing import (
     Any,
     Callable,
@@ -59,12 +60,14 @@ from typing import (
     Tuple,
 )
 
+from ..telemetry import summarize_ages
 from .queue import (
     DEFAULT_LEASE_TTL,
     DEFAULT_POLL,
     DEFAULT_TASK_ATTEMPTS,
     RESULT_KIND,
     TASK_KIND,
+    WorkerSummary,
     _budget,
 )
 from .transport import TransportItem, execute_payload
@@ -77,6 +80,7 @@ __all__ = [
     "HandshakeError",
     "TaskBoard",
     "TcpTransport",
+    "fetch_status",
     "parse_address",
     "run_server",
     "run_tcp_worker",
@@ -155,8 +159,9 @@ class TaskBoard:
         self._tasks: Dict[str, Dict[str, Any]] = {}
         #: claimable task ids (subset of ``_tasks``).
         self._pending: set = set()
-        #: task id -> (worker id, heartbeat deadline).
-        self._leases: Dict[str, Tuple[str, float]] = {}
+        #: task id -> (worker id, heartbeat deadline, leased-at stamp) —
+        #: the last entry feeds the lease-age percentiles in ``stats()``.
+        self._leases: Dict[str, Tuple[str, float, float]] = {}
         #: task id -> finished result payload (record or terminal error).
         self._results: Dict[str, Dict[str, Any]] = {}
         #: task id -> when its result was published / last collected, on
@@ -164,6 +169,16 @@ class TaskBoard:
         #: than ``result_ttl`` are pruned so a long-lived coordinator's
         #: memory is bounded by its active campaigns, not its history.
         self._result_times: Dict[str, float] = {}
+        #: Lifetime op counters for ``stats()`` / the ``status`` op.
+        self._counters: Dict[str, int] = {}
+        self._counter_lock = threading.Lock()
+        #: Monotonic stamps of recent completions (rolling throughput).
+        self._completions: deque = deque(maxlen=4096)
+
+    def note(self, name: str, amount: int = 1) -> None:
+        """Bump a lifetime counter (safe with or without the board lock)."""
+        with self._counter_lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
 
     # -- submitter side -----------------------------------------------------
 
@@ -192,7 +207,8 @@ class TaskBoard:
                 "enqueued_at": time.time(),
             }
             self._pending.add(task_id)
-            return "enqueued"
+        self.note("enqueued")
+        return "enqueued"
 
     def collect(self, task_ids: Sequence[str]) -> List[Dict[str, Any]]:
         """Finished result payloads among ``task_ids`` (stateless: results
@@ -216,8 +232,10 @@ class TaskBoard:
                 return None
             task_id = min(self._pending)
             self._pending.discard(task_id)
-            self._leases[task_id] = (worker_id, now + self.lease_ttl)
-            return dict(self._tasks[task_id])
+            self._leases[task_id] = (worker_id, now + self.lease_ttl, now)
+            task = dict(self._tasks[task_id])
+        self.note("claims")
+        return task
 
     def heartbeat(self, worker_id: str, task_id: str,
                   now: Optional[float] = None) -> bool:
@@ -228,8 +246,12 @@ class TaskBoard:
             lease = self._leases.get(task_id)
             if lease is None or lease[0] != worker_id:
                 return False
-            self._leases[task_id] = (worker_id, now + self.lease_ttl)
-            return True
+            # The leased-at stamp survives heartbeats: a lease's age is
+            # measured from its claim, not its last proof of life.
+            self._leases[task_id] = (worker_id, now + self.lease_ttl,
+                                     lease[2])
+        self.note("heartbeats")
+        return True
 
     def complete(self, worker_id: str, task_id: str,
                  outcome: Dict[str, Any]) -> str:
@@ -254,6 +276,7 @@ class TaskBoard:
                 if "record" in outcome:
                     self._publish(task_id, self._result_payload(
                         task_id, {}, worker_id, 1, outcome))
+                    self.note("completed")
                     return "done"
                 return "ignored"
             if "record" in outcome:
@@ -261,6 +284,7 @@ class TaskBoard:
                 self._publish(task_id, self._result_payload(
                     task_id, task, worker_id, attempt, outcome))
                 self._drop_task(task_id)
+                self.note("completed")
                 return "done"
             if not owns:
                 # A reclaimed lease already consumed this attempt; a late
@@ -274,9 +298,12 @@ class TaskBoard:
                 self._publish(task_id, self._result_payload(
                     task_id, task, worker_id, attempt, outcome))
                 self._drop_task(task_id)
+                self.note("completed")
+                self.note("exhausted")
                 return "done"
             del self._leases[task_id]
             self._pending.add(task_id)
+            self.note("retries")
             return "retry"
 
     # -- shared: stale-lease recovery ---------------------------------------
@@ -291,7 +318,8 @@ class TaskBoard:
         now = time.monotonic() if now is None else now
         reclaimed: List[str] = []
         with self._lock:
-            for task_id, (_worker, deadline) in list(self._leases.items()):
+            for task_id, (_worker, deadline, _leased_at) in \
+                    list(self._leases.items()):
                 if deadline > now:
                     continue
                 task = self._tasks[task_id]
@@ -310,9 +338,11 @@ class TaskBoard:
                         "attempt": attempt,
                     }, now=now)
                     self._tasks.pop(task_id, None)
+                    self.note("exhausted")
                 else:
                     self._pending.add(task_id)
                 reclaimed.append(task_id)
+                self.note("reclaims")
             # Bounded memory for long-lived coordinators: results nobody
             # published or collected within result_ttl are dropped (the
             # in-memory analog of ``repro queue-gc``).
@@ -324,21 +354,49 @@ class TaskBoard:
 
     # -- introspection ------------------------------------------------------
 
-    def stats(self) -> Dict[str, int]:
+    def stats(self, now: Optional[float] = None,
+              window: float = 60.0) -> Dict[str, Any]:
+        """Board depth plus lease ages, lifetime counters and throughput.
+
+        The historical ``pending`` / ``leased`` / ``done`` tallies stay
+        top-level (callers index them directly); everything added for
+        ``repro status`` nests beside them.  ``now`` is on the monotonic
+        clock and injectable for tests.
+        """
+        now = time.monotonic() if now is None else now
         with self._lock:
-            return {
+            leases = [{"id": task_id, "worker": worker,
+                       "age": round(max(0.0, now - leased_at), 3)}
+                      for task_id, (worker, _deadline, leased_at)
+                      in sorted(self._leases.items())]
+            completed_in_window = sum(1 for stamp in self._completions
+                                      if now - stamp <= window)
+            depth = {
                 "pending": len(self._pending),
                 "leased": len(self._leases),
                 "done": len(self._results),
             }
+        with self._counter_lock:
+            counters = dict(self._counters)
+        depth["counters"] = counters
+        depth["lease_ages"] = summarize_ages([l["age"] for l in leases])
+        depth["leases"] = leases
+        depth["throughput"] = {
+            "window": window,
+            "completed": completed_in_window,
+            "per_second": round(completed_in_window / window, 4)
+                          if window > 0 else 0.0,
+        }
+        return depth
 
     # -- internals (call with the lock held) --------------------------------
 
     def _publish(self, task_id: str, payload: Dict[str, Any],
                  now: Optional[float] = None) -> None:
+        now = time.monotonic() if now is None else now
         self._results[task_id] = payload
-        self._result_times[task_id] = (time.monotonic()
-                                       if now is None else now)
+        self._result_times[task_id] = now
+        self._completions.append(now)
 
     def _drop_task(self, task_id: str) -> None:
         self._tasks.pop(task_id, None)
@@ -443,6 +501,19 @@ class _Handler(socketserver.StreamRequestHandler):
             return {"ok": True, "stats": board.stats()}
         if op == "workers":
             return {"ok": True, "workers": self.server.live_workers()}
+        if op == "status":
+            # One self-describing snapshot for ``repro status``: board
+            # depth + lease ages + counters + throughput, plus the
+            # connection-level worker view the board cannot see.
+            board.reclaim_stale()
+            return {"ok": True, "status": {
+                "server": SERVER_NAME,
+                "proto": PROTOCOL_VERSION,
+                "lease_ttl": board.lease_ttl,
+                "board": board.stats(),
+                "workers": self.server.live_workers(),
+                "stop": self.server.stop_workers_flag.is_set(),
+            }}
         if op == "submit":
             board.reclaim_stale()
             statuses = {}
@@ -462,6 +533,7 @@ class _Handler(socketserver.StreamRequestHandler):
             if self.server.stop_workers_flag.is_set():
                 # The TCP analog of the queue directory's STOP file:
                 # workers exit at their next claim instead of idling out.
+                board.note("stops_served")
                 return {"ok": True, "task": None, "stop": True}
             board.reclaim_stale()
             task = board.claim(worker_id)
@@ -720,6 +792,23 @@ class CoordinatorClient:
         self.close()
 
 
+def fetch_status(address: Any, secret: Optional[str] = None,
+                 timeout: float = 10.0) -> Dict[str, Any]:
+    """One-shot ``status`` query against a live coordinator.
+
+    Returns the coordinator's status document (board depth, lease ages,
+    counters, throughput, connected workers); raises ``OSError`` /
+    :class:`HandshakeError` like any other client operation.
+    """
+    client = CoordinatorClient(address, secret=secret, role="status",
+                               timeout=timeout)
+    client.connect()
+    try:
+        return client.request({"op": "status"})["status"]
+    finally:
+        client.close()
+
+
 # ---------------------------------------------------------------------------
 # The network worker — ``python -m repro worker --connect HOST:PORT``
 # ---------------------------------------------------------------------------
@@ -731,8 +820,10 @@ def run_tcp_worker(address: Any,
                    max_idle: Optional[float] = None,
                    max_tasks: Optional[int] = None,
                    progress: Optional[Callable[[str, Dict[str, Any]], None]]
-                   = None) -> int:
-    """Pull-and-execute loop against a TCP coordinator; returns tasks run.
+                   = None) -> WorkerSummary:
+    """Pull-and-execute loop against a TCP coordinator; returns a
+    :class:`~repro.orchestrator.queue.WorkerSummary` (which compares equal
+    to the number of tasks processed).
 
     The body mirrors :func:`~repro.orchestrator.queue.run_worker`: claim,
     execute through the shared :func:`execute_payload`, heartbeat from a
@@ -750,9 +841,10 @@ def run_tcp_worker(address: Any,
     processed.
     """
     worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
-    processed = 0
+    summary = WorkerSummary(worker_id)
     idle_since = time.monotonic()
     backoff = _BACKOFF_FIRST
+    connected_before = False
     client: Optional[CoordinatorClient] = None
     #: (task_id, outcome) that could not be delivered before a disconnect.
     unsent: Optional[Tuple[str, Dict[str, Any]]] = None
@@ -774,6 +866,9 @@ def run_tcp_worker(address: Any,
                         address, secret=secret, role="worker",
                         worker_id=worker_id).connect()
                     backoff = _BACKOFF_FIRST
+                    if connected_before:
+                        summary.reconnects += 1
+                    connected_before = True
                 except HandshakeError:
                     raise
                 except OSError:
@@ -786,7 +881,9 @@ def run_tcp_worker(address: Any,
                     client.request({"op": "result", "id": task_id,
                                     "outcome": outcome})
                     unsent = None
-                    if max_tasks is not None and processed >= max_tasks:
+                    summary.replayed += 1
+                    if max_tasks is not None \
+                            and summary.processed >= max_tasks:
                         break
                     continue
                 response = client.request({"op": "claim"})
@@ -810,6 +907,7 @@ def run_tcp_worker(address: Any,
                     try:
                         beat_client.request({"op": "heartbeat",
                                              "id": task_id})
+                        summary.heartbeats += 1
                     except (OSError, RuntimeError):
                         return  # main loop will notice on publish
 
@@ -838,9 +936,19 @@ def run_tcp_worker(address: Any,
                 result["status"] = "undelivered"
             if "record" in outcome:
                 result["record"] = outcome["record"]
+                summary.done += 1
+                summary.last_task_failed = False
             else:
                 result["error"] = outcome.get("error", "unknown error")
-            processed += 1
+                if result["status"] == "retry":
+                    summary.retried += 1
+                    summary.last_task_failed = False
+                else:
+                    # Terminal: the coordinator published the failure (or
+                    # the link dropped with a failure outcome in hand).
+                    summary.failed += 1
+                    summary.last_task_failed = True
+            summary.processed += 1
             # The idle clock restarts when a task *finishes*: a long task
             # must never count toward --max-idle.
             idle_since = time.monotonic()
@@ -850,12 +958,12 @@ def run_tcp_worker(address: Any,
             # reconnect loop above must get a chance to re-send it, or the
             # completed work would be thrown away (``--max-idle`` still
             # bounds how long that redelivery is attempted).
-            if max_tasks is not None and processed >= max_tasks \
+            if max_tasks is not None and summary.processed >= max_tasks \
                     and unsent is None:
                 break
     finally:
         drop_connection()
-    return processed
+    return summary
 
 
 # ---------------------------------------------------------------------------

@@ -38,6 +38,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 from ..analysis.experiments import ExperimentRecord, run_experiment
 from ..grid.generators import make_shape
 from ..grid.metrics import compute_metrics
+from ..telemetry import counter as _metric, get_event_log
 from .cache import ResultCache
 from .spec import RunConfig, SweepSpec
 from .store import RunLedger
@@ -249,6 +250,8 @@ def run_sweep(spec: Union[SweepSpec, Sequence[RunConfig]],
 
     started = time.perf_counter()
     total = len(configs)
+    events = get_event_log()
+    events.emit("sweep.begin", total=total, resume=bool(resume), jobs=jobs)
     slots: List[Optional[RunResult]] = [None] * total
     #: Per-slot (result, write_to_ledger) staging for the in-order flush.
     ledger_slots: List[Optional[bool]] = [None] * total
@@ -294,6 +297,19 @@ def run_sweep(spec: Union[SweepSpec, Sequence[RunConfig]],
             cache.put(result.config, result.record)
         ledger_slots[index] = write_ledger and ledger is not None
         flush_ledger()
+        if result.ok:
+            _metric("sweep." + result.source.replace("-", "_")).inc()
+        else:
+            _metric("sweep.failed").inc()
+            if result.gave_up:
+                _metric("sweep.gave_up").inc()
+                _metric("ledger.gave_ups").inc()
+        if result.source == SOURCE_RESUMED:
+            _metric("ledger.resume_skips").inc()
+        events.emit("sweep.config", id=digests[result.config][:12],
+                    config=result.config.describe(), source=result.source,
+                    ok=result.ok, elapsed=round(result.elapsed, 6),
+                    attempts=result.attempts)
         if progress is not None:
             progress(done_count, total, result)
 
@@ -335,5 +351,8 @@ def run_sweep(spec: Union[SweepSpec, Sequence[RunConfig]],
         for index, payload in transport.run(items):
             finish(index, _result_from_payload(configs[index], payload))
 
-    return SweepResult(results=list(slots),
-                       elapsed=time.perf_counter() - started)
+    sweep_result = SweepResult(results=list(slots),
+                               elapsed=time.perf_counter() - started)
+    events.emit("sweep.end", elapsed=round(sweep_result.elapsed, 6),
+                **sweep_result.counts())
+    return sweep_result

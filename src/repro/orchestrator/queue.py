@@ -43,6 +43,7 @@ import uuid
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from ..telemetry import counter as _metric, summarize_ages
 from .fsutil import read_json as _read_json
 from .fsutil import write_json_atomic as _write_json_atomic
 from .transport import TransportItem, execute_payload
@@ -50,8 +51,10 @@ from .transport import TransportItem, execute_payload
 __all__ = [
     "DEFAULT_LEASE_TTL",
     "DEFAULT_POLL",
+    "STATUS_FILENAME",
     "FileTaskQueue",
     "QueueTransport",
+    "WorkerSummary",
     "run_worker",
 ]
 
@@ -61,6 +64,8 @@ TASK_KIND = "sweep-task"
 RESULT_KIND = "sweep-task-result"
 WORKER_KIND = "sweep-worker"
 STOP_FILENAME = "STOP"
+#: Coordinator-published live status snapshot (atomic write, JSON).
+STATUS_FILENAME = "status.json"
 
 #: Seconds without a heartbeat after which a lease is presumed dead.
 DEFAULT_LEASE_TTL = 60.0
@@ -87,6 +92,67 @@ def _budget(value: Any) -> Optional[int]:
 
 def _payload_budget(payload: Dict[str, Any]) -> Optional[int]:
     return _budget(payload.get("max_attempts", DEFAULT_TASK_ATTEMPTS))
+
+
+class WorkerSummary:
+    """What one worker did over its lifetime, for the shutdown summary.
+
+    Returned by :func:`run_worker` and
+    :func:`~repro.orchestrator.net.run_tcp_worker`.  Compares equal to an
+    ``int`` as the number of tasks processed, so the historical
+    ``run_worker(...) == N`` contract (and every caller written against
+    it) keeps working.
+    """
+
+    __slots__ = ("worker_id", "processed", "done", "failed", "retried",
+                 "heartbeats", "reconnects", "replayed", "last_task_failed")
+
+    def __init__(self, worker_id: str = "") -> None:
+        self.worker_id = worker_id
+        self.processed = 0
+        self.done = 0
+        self.failed = 0
+        self.retried = 0
+        self.heartbeats = 0
+        self.reconnects = 0
+        self.replayed = 0
+        #: Whether the most recent task ended in a *terminal* failure (a
+        #: retry that stays on the queue does not count) — the CLI exits
+        #: nonzero on it.
+        self.last_task_failed = False
+
+    def __int__(self) -> int:
+        return self.processed
+
+    def __index__(self) -> int:
+        return self.processed
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, bool):
+            return NotImplemented
+        if isinstance(other, int):
+            return self.processed == other
+        if isinstance(other, WorkerSummary):
+            return all(getattr(self, slot) == getattr(other, slot)
+                       for slot in self.__slots__)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return (f"WorkerSummary(worker_id={self.worker_id!r}, "
+                f"processed={self.processed}, done={self.done}, "
+                f"failed={self.failed}, retried={self.retried})")
+
+    def describe(self) -> str:
+        """The one-line shutdown summary the worker CLI logs."""
+        line = (f"worker {self.worker_id or '?'} done: "
+                f"{self.processed} task(s) "
+                f"({self.done} ok, {self.failed} failed, "
+                f"{self.retried} retried), "
+                f"{self.heartbeats} heartbeat(s) sent")
+        if self.reconnects or self.replayed:
+            line += (f", {self.reconnects} reconnect(s), "
+                     f"{self.replayed} result(s) replayed")
+        return line
 
 
 class FileTaskQueue:
@@ -157,6 +223,7 @@ class FileTaskQueue:
             "max_attempts": _budget(max_attempts),
             "enqueued_at": time.time(),
         })
+        _metric("queue.enqueued").inc()
         return "enqueued"
 
     def live_workers(self, ttl: Optional[float] = None) -> List[str]:
@@ -172,10 +239,80 @@ class FileTaskQueue:
                 continue
         return sorted(alive)
 
+    def status_snapshot(self, window: float = 60.0,
+                        now: Optional[float] = None) -> Dict[str, Any]:
+        """A JSON-ready snapshot of the board for ``repro status``.
+
+        Computed purely from directory listings and mtimes, so any process
+        that can see the queue directory — coordinator, worker, or an
+        operator's shell — gets the same answer without coordination.
+        ``window`` bounds the rolling-throughput estimate (results whose
+        mtime falls inside the last ``window`` seconds).
+        """
+        now = time.time() if now is None else now
+        self.ensure_layout()
+        pending = sum(1 for _ in self.tasks.glob("*.json"))
+        leases: List[Dict[str, Any]] = []
+        for path in sorted(self.leases.glob("*.json")):
+            try:
+                age = max(0.0, now - path.stat().st_mtime)
+            except OSError:
+                continue  # completed or reclaimed while we looked
+            payload = _read_json(path) or {}
+            leases.append({"id": path.stem,
+                           "worker": payload.get("worker"),
+                           "age": round(age, 3)})
+        done = 0
+        completed_in_window = 0
+        for path in self.results.glob("*.json"):
+            done += 1
+            try:
+                if now - path.stat().st_mtime <= window:
+                    completed_in_window += 1
+            except OSError:
+                continue
+        workers: List[Dict[str, Any]] = []
+        for path in sorted(self.workers.glob("*.json")):
+            try:
+                beat_age = max(0.0, now - path.stat().st_mtime)
+            except OSError:
+                continue
+            payload = _read_json(path) or {}
+            workers.append({"id": path.stem,
+                            "heartbeat_age": round(beat_age, 3),
+                            "host": payload.get("host"),
+                            "pid": payload.get("pid")})
+        return {
+            "kind": "queue-status",
+            "root": str(self.root),
+            "lease_ttl": self.lease_ttl,
+            "board": {
+                "pending": pending,
+                "leased": len(leases),
+                "done": done,
+                "lease_ages": summarize_ages([l["age"] for l in leases]),
+                "leases": leases,
+                "throughput": {
+                    "window": window,
+                    "completed": completed_in_window,
+                    "per_second": round(completed_in_window / window, 4)
+                                  if window > 0 else 0.0,
+                },
+            },
+            "workers": workers,
+            "stop": (self.root / STOP_FILENAME).exists(),
+        }
+
     # -- worker side --------------------------------------------------------
 
-    def claim(self) -> Optional[Tuple[str, Dict[str, Any]]]:
-        """Atomically claim the lowest-id pending task, or ``None``."""
+    def claim(self, worker_id: Optional[str] = None
+              ) -> Optional[Tuple[str, Dict[str, Any]]]:
+        """Atomically claim the lowest-id pending task, or ``None``.
+
+        When ``worker_id`` is given, the lease file is rewritten with a
+        ``"worker"`` field so status readers can attribute the lease to
+        its owner.
+        """
         for task_path in sorted(self.tasks.glob("*.json")):
             lease_path = self.leases / task_path.name
             try:
@@ -198,12 +335,18 @@ class FileTaskQueue:
                     "attempt": 1,
                 })
                 continue
+            if worker_id is not None:
+                payload["worker"] = worker_id
+                # The atomic rewrite also refreshes the lease mtime.
+                _write_json_atomic(lease_path, payload)
+            _metric("queue.claims").inc()
             return task_path.stem, payload
         return None
 
     def touch_lease(self, task_id: str) -> None:
         """Heartbeat: prove the lease owner is still alive."""
         _touch(self.lease_path(task_id))
+        _metric("queue.heartbeats").inc()
 
     def complete(self, task_id: str, result_payload: Dict[str, Any]) -> None:
         """Publish a result (record or terminal error) and drop the lease.
@@ -219,6 +362,7 @@ class FileTaskQueue:
         if not (existing is not None and "record" in existing
                 and "record" not in result_payload):
             _write_json_atomic(self.result_path(task_id), result_payload)
+        _metric("queue.completes").inc()
         try:
             self.lease_path(task_id).unlink()
         except OSError:
@@ -226,6 +370,7 @@ class FileTaskQueue:
 
     def release_for_retry(self, task_id: str, payload: Dict[str, Any]) -> None:
         """Put a failed-but-retryable task back on the queue."""
+        _metric("queue.retries").inc()
         _write_json_atomic(self.task_path(task_id), payload)
         try:
             self.lease_path(task_id).unlink()
@@ -304,6 +449,7 @@ class FileTaskQueue:
             task_id = self._reclaim_one(path)
             if task_id is not None:
                 reclaimed.append(task_id)
+                _metric("queue.reclaims").inc()
         return reclaimed
 
     def _reclaim_one(self, path: Path) -> Optional[str]:
@@ -382,8 +528,9 @@ def run_worker(queue_dir: PathLike,
                max_idle: Optional[float] = None,
                max_tasks: Optional[int] = None,
                progress: Optional[Callable[[str, Dict[str, Any]], None]] = None,
-               ) -> int:
-    """Pull-and-execute loop; returns the number of tasks processed.
+               ) -> WorkerSummary:
+    """Pull-and-execute loop; returns a :class:`WorkerSummary` (which
+    compares equal to the number of tasks processed).
 
     The worker claims tasks, executes them through the same
     :func:`~repro.orchestrator.transport.execute_payload` body the process
@@ -408,7 +555,7 @@ def run_worker(queue_dir: PathLike,
     })
     heartbeat_every = max(min(lease_ttl / 4.0, 5.0), 0.05)
     reclaim_every = max(lease_ttl / 4.0, poll)
-    processed = 0
+    summary = WorkerSummary(worker_id)
     idle_since = time.monotonic()
     last_beat = last_reclaim = float("-inf")
     try:
@@ -418,11 +565,12 @@ def run_worker(queue_dir: PathLike,
             now = time.monotonic()
             if now - last_beat >= heartbeat_every:
                 _touch(worker_file)
+                summary.heartbeats += 1
                 last_beat = now
             if now - last_reclaim >= reclaim_every:
                 queue.reclaim_stale()
                 last_reclaim = now
-            claimed = queue.claim()
+            claimed = queue.claim(worker_id)
             if claimed is None:
                 if (max_idle is not None
                         and time.monotonic() - idle_since >= max_idle):
@@ -437,6 +585,7 @@ def run_worker(queue_dir: PathLike,
                 while not stop_beat.wait(heartbeat_every):
                     queue.touch_lease(task_id)
                     _touch(worker_file)
+                    summary.heartbeats += 1
 
             beater = threading.Thread(target=beat, daemon=True)
             beater.start()
@@ -460,28 +609,34 @@ def run_worker(queue_dir: PathLike,
             if "record" in outcome:
                 result["record"] = outcome["record"]
                 queue.complete(task_id, result)
+                summary.done += 1
+                summary.last_task_failed = False
             elif budget is not None and attempt >= budget:
                 result["error"] = outcome.get("error", "unknown error")
                 queue.complete(task_id, result)
+                summary.failed += 1
+                summary.last_task_failed = True
             else:
                 payload["attempt"] = attempt
                 queue.release_for_retry(task_id, payload)
                 result["retrying"] = True
                 result["error"] = outcome.get("error", "unknown error")
-            processed += 1
+                summary.retried += 1
+                summary.last_task_failed = False
+            summary.processed += 1
             # The idle clock starts when the task *finishes* — a long task
             # must not count toward --max-idle.
             idle_since = time.monotonic()
             if progress is not None:
                 progress(task_id, result)
-            if max_tasks is not None and processed >= max_tasks:
+            if max_tasks is not None and summary.processed >= max_tasks:
                 break
     finally:
         try:
             worker_file.unlink()
         except OSError:
             pass
-    return processed
+    return summary
 
 
 # ---------------------------------------------------------------------------
@@ -529,6 +684,26 @@ class QueueTransport:
             queue.enqueue(task_id, config.to_dict(), digest,
                           max_attempts=self.max_attempts)
             pending[task_id] = index
+        total = len(pending)
+
+        def publish_status() -> None:
+            """Drop a live snapshot next to the queue for ``repro status``.
+
+            Best-effort: a sweep must never die because the status file
+            could not be written.
+            """
+            try:
+                snapshot = queue.status_snapshot()
+                snapshot["coordinator"] = {
+                    "enqueued": total,
+                    "collected": total - len(pending),
+                    "outstanding": len(pending),
+                    "published_at": time.time(),
+                }
+                _write_json_atomic(self.queue_dir / STATUS_FILENAME, snapshot)
+            except OSError:
+                pass
+
         deadline = (time.monotonic() + self.timeout
                     if self.timeout is not None else None)
         reclaim_every = max(self.lease_ttl / 4.0, self.poll)
@@ -536,6 +711,7 @@ class QueueTransport:
         while pending:
             if time.monotonic() - last_reclaim >= reclaim_every:
                 queue.reclaim_stale()
+                publish_status()
                 last_reclaim = time.monotonic()
             progressed = False
             # One directory listing per poll instead of one stat per
@@ -554,6 +730,7 @@ class QueueTransport:
                 progressed = True
                 yield index, payload
             if not pending:
+                publish_status()
                 break
             if deadline is not None and time.monotonic() >= deadline:
                 raise TimeoutError(

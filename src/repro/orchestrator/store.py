@@ -27,6 +27,7 @@ import os
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Set, Union
 
+from ..telemetry import counter as _metric
 from .spec import RunConfig
 
 try:  # advisory locking is POSIX-only; the O_APPEND write stands alone
@@ -90,6 +91,7 @@ class RunLedger:
             os.write(fd, line)
         finally:
             os.close(fd)  # closing the descriptor releases the lock
+        _metric("ledger.appends").inc()
 
     # -- reading ------------------------------------------------------------
 

@@ -1,0 +1,77 @@
+"""repro.telemetry — metrics, structured events and logging in one place.
+
+Three small, dependency-free facilities every other layer records through:
+
+* :mod:`~repro.telemetry.registry` — a process-wide **metrics registry**
+  (counters, gauges, fixed-bucket histograms).  The default registry is a
+  shared no-op, so instrumentation costs one empty call when telemetry is
+  off; ``repro sweep`` installs a real one around the work and reads a
+  JSON-ready ``snapshot()`` back.
+* :mod:`~repro.telemetry.events` — a structured **JSONL event log** with
+  wall-clock and monotonic timestamps and ``span()`` begin/end pairs;
+  ``repro sweep --telemetry DIR`` writes it next to the ledger.
+* :mod:`~repro.telemetry.logconfig` — the single
+  :func:`configure_logging` behind every CLI front-end's named
+  ``repro.*`` logger and the global ``--log-level`` flag.
+
+The registry and the event log share one idiom: a module-global *current*
+instance, ``get_…()`` to read it, ``use_…()`` to install one for a scope.
+Nothing in this package imports the rest of ``repro``, so any module —
+the grid geometry included — may instrument itself without import cycles.
+"""
+
+from .events import (
+    NULL_EVENT_LOG,
+    EventLog,
+    NullEventLog,
+    emit,
+    get_event_log,
+    set_event_log,
+    use_event_log,
+)
+from .logconfig import LOG_LEVELS, configure_logging, get_logger
+from .registry import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    counter,
+    gauge,
+    get_registry,
+    histogram,
+    quantile,
+    set_registry,
+    summarize_ages,
+    use_registry,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "LOG_LEVELS",
+    "NULL_EVENT_LOG",
+    "NULL_REGISTRY",
+    "Counter",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullEventLog",
+    "NullRegistry",
+    "configure_logging",
+    "counter",
+    "emit",
+    "gauge",
+    "get_event_log",
+    "get_logger",
+    "get_registry",
+    "histogram",
+    "quantile",
+    "set_event_log",
+    "set_registry",
+    "summarize_ages",
+    "use_event_log",
+    "use_registry",
+]

@@ -1,0 +1,157 @@
+"""Structured JSONL event log: the narrative record of a sweep.
+
+Where the metrics registry answers *how many*, the event log answers
+*what happened when*: one JSON object per line, each carrying a wall-clock
+timestamp (``ts``, ``time.time()``), a monotonic stamp (``mono``,
+``time.monotonic()`` read under the writer lock, so the ``mono`` column of
+a log is non-decreasing even with concurrent emitters), the event name,
+and whatever context the log was opened with (sweep/run/worker ids).
+
+:meth:`EventLog.span` wraps a block in ``<event>.begin`` / ``<event>.end``
+lines, the end line carrying the monotonic duration (``dur``) and whether
+the block raised (``ok``) — robust to wall-clock steps because the
+duration comes from the monotonic clock.
+
+Like the registry, the *current* log defaults to a shared no-op
+(:data:`NULL_EVENT_LOG`); ``repro sweep --telemetry DIR`` installs a real
+one via :func:`use_event_log` and every instrumented layer picks it up
+through :func:`get_event_log` / the module-level :func:`emit`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Union
+
+__all__ = [
+    "NULL_EVENT_LOG",
+    "EventLog",
+    "NullEventLog",
+    "emit",
+    "get_event_log",
+    "set_event_log",
+    "use_event_log",
+]
+
+PathLike = Union[str, Path]
+
+
+class EventLog:
+    """Append-only JSONL event stream with monotonic ordering."""
+
+    enabled = True
+
+    def __init__(self, path: PathLike,
+                 context: Optional[Dict[str, Any]] = None) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.context = dict(context or {})
+        self._lock = threading.Lock()
+        self._handle = self.path.open("a", encoding="utf-8")
+        self.lines = 0
+
+    def emit(self, event: str, **fields: Any) -> None:
+        """Write one event line (flushed, so a killed run keeps its log)."""
+        with self._lock:
+            if self._handle.closed:
+                return
+            entry: Dict[str, Any] = {
+                "ts": round(time.time(), 6),
+                # Read under the lock, immediately before the write: the
+                # mono column is non-decreasing line over line.
+                "mono": round(time.monotonic(), 6),
+                "event": event,
+            }
+            entry.update(self.context)
+            entry.update(fields)
+            self._handle.write(json.dumps(entry, default=str) + "\n")
+            self._handle.flush()
+            self.lines += 1
+
+    @contextmanager
+    def span(self, event: str, **fields: Any) -> Iterator[None]:
+        """``<event>.begin`` … ``<event>.end`` around a block, the end line
+        carrying the monotonic duration and whether the block raised."""
+        started = time.monotonic()
+        self.emit(event + ".begin", **fields)
+        try:
+            yield
+        except BaseException:
+            self.emit(event + ".end", ok=False,
+                      dur=round(time.monotonic() - started, 6), **fields)
+            raise
+        self.emit(event + ".end", ok=True,
+                  dur=round(time.monotonic() - started, 6), **fields)
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class NullEventLog:
+    """The default, disabled event log: emits nowhere, spans for free."""
+
+    enabled = False
+    lines = 0
+
+    def emit(self, event: str, **fields: Any) -> None:
+        pass
+
+    @contextmanager
+    def span(self, event: str, **fields: Any) -> Iterator[None]:
+        yield
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "NullEventLog":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        pass
+
+
+#: The process-wide default event log (disabled).
+NULL_EVENT_LOG = NullEventLog()
+
+_current: Any = NULL_EVENT_LOG
+
+
+def get_event_log() -> Any:
+    """The currently installed event log (the no-op one by default)."""
+    return _current
+
+
+def set_event_log(log: Optional[Any]) -> Any:
+    """Install ``log`` (``None`` restores the no-op default); returns the
+    previously installed log."""
+    global _current
+    previous = _current
+    _current = log if log is not None else NULL_EVENT_LOG
+    return previous
+
+
+@contextmanager
+def use_event_log(log: Optional[Any]) -> Iterator[Any]:
+    """Scoped install: the log is current inside the ``with`` block."""
+    previous = set_event_log(log)
+    try:
+        yield _current
+    finally:
+        set_event_log(previous)
+
+
+def emit(event: str, **fields: Any) -> None:
+    """Emit through the current event log (no-op when none is installed)."""
+    _current.emit(event, **fields)

@@ -1,0 +1,62 @@
+"""One logging configuration for every ``repro`` front-end.
+
+Before this module the CLI entry points each printed their own status
+lines to ``sys.stderr``; now they share a ``repro`` logger hierarchy
+(``repro.sweep``, ``repro.worker``, ``repro.serve``, ``repro.status``,
+…) configured once by :func:`configure_logging`, which the global
+``--log-level`` CLI flag threads through.
+
+The handler resolves ``sys.stderr`` **at emit time** rather than binding
+the stream at configuration time: pytest's capture machinery (and any
+other stderr redirection) swaps ``sys.stderr`` after import, and a bound
+stream would silently write past it.  The message format stays bare
+(``%(message)s``) so the CLI's output is unchanged for users — levels and
+logger names are plumbing, not UI.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, Tuple
+
+__all__ = ["LOG_LEVELS", "configure_logging", "get_logger"]
+
+#: The ``--log-level`` choices, least to most severe.
+LOG_LEVELS: Tuple[str, ...] = ("debug", "info", "warning", "error")
+
+
+class _DynamicStderrHandler(logging.Handler):
+    """Writes to whatever ``sys.stderr`` is when the record is emitted."""
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            sys.stderr.write(self.format(record) + "\n")
+        except Exception:  # pragma: no cover - stderr itself is broken
+            self.handleError(record)
+
+
+def configure_logging(level: str = "info") -> logging.Logger:
+    """Configure (idempotently) and return the root ``repro`` logger.
+
+    Repeated calls update the level without stacking handlers, so tests
+    and long-lived processes can reconfigure freely.
+    """
+    name = str(level).lower()
+    if name not in LOG_LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r}; known: {list(LOG_LEVELS)}")
+    root = logging.getLogger("repro")
+    root.setLevel(getattr(logging, name.upper()))
+    root.propagate = False
+    if not any(isinstance(handler, _DynamicStderrHandler)
+               for handler in root.handlers):
+        handler = _DynamicStderrHandler()
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        root.addHandler(handler)
+    return root
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """The ``repro`` logger, or the ``repro.<name>`` child."""
+    return logging.getLogger(f"repro.{name}" if name else "repro")
