@@ -19,9 +19,14 @@ Run with::
 
 from collections import Counter
 
-from repro import ParticleSystem, elect_leader, random_holey_blob
-from repro.amoebot.scheduler import Scheduler
-from repro.apps.spanning_tree import SpanningTreeAlgorithm, verify_spanning_tree
+from repro.api import (
+    ParticleSystem,
+    SpanningTreeAlgorithm,
+    elect_leader,
+    random_holey_blob,
+    run_algorithm,
+    verify_spanning_tree,
+)
 
 
 def main() -> None:
@@ -32,8 +37,8 @@ def main() -> None:
     print("election rounds per stage:", outcome.stage_rounds())
     print("leader at:", outcome.leader_point)
 
-    tree_result = Scheduler(order="random", seed=7).run(
-        SpanningTreeAlgorithm(), system)
+    tree_result = run_algorithm(SpanningTreeAlgorithm(), system,
+                                order="random", seed=7)
     parents = verify_spanning_tree(system)
     print(f"\nspanning tree built in {tree_result.rounds} additional rounds")
 

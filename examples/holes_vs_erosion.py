@@ -20,21 +20,22 @@ Run with::
     python examples/holes_vs_erosion.py
 """
 
-from repro import (
+from repro.api import (
+    DLEAlgorithm,
     ParticleSystem,
     annulus,
     compute_metrics,
     hexagon,
+    run_algorithm,
     run_erosion_election,
+    verify_unique_leader,
 )
-from repro.amoebot.scheduler import Scheduler
-from repro.core.dle import DLEAlgorithm, verify_unique_leader
 
 
 def run_dle(shape, seed=0):
     system = ParticleSystem.from_shape(shape, orientation_seed=seed)
     algorithm = DLEAlgorithm()
-    result = Scheduler(order="random", seed=seed).run(algorithm, system)
+    result = run_algorithm(algorithm, system, order="random", seed=seed)
     verify_unique_leader(system)
     return result.rounds
 

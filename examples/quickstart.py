@@ -15,7 +15,7 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro import (
+from repro.api import (
     ParticleSystem,
     compute_metrics,
     elect_leader,

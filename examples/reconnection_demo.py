@@ -20,12 +20,18 @@ Run with::
 
 from collections import Counter
 
-from repro import ParticleSystem, compute_metrics, random_holey_blob, render_system
-from repro.amoebot.scheduler import Scheduler
-from repro.core.collect import CollectSimulator
-from repro.core.dle import DLEAlgorithm, verify_unique_leader
-from repro.grid.coords import grid_distance
-from repro.grid.shape import connected_components
+from repro.api import (
+    CollectSimulator,
+    DLEAlgorithm,
+    ParticleSystem,
+    compute_metrics,
+    connected_components,
+    grid_distance,
+    random_holey_blob,
+    render_system,
+    run_algorithm,
+    verify_unique_leader,
+)
 
 
 def component_count(system: ParticleSystem) -> int:
@@ -43,7 +49,7 @@ def main() -> None:
     print(render_system(system, show_status=False))
 
     algorithm = DLEAlgorithm()
-    dle_result = Scheduler(order="random", seed=4).run(algorithm, system)
+    dle_result = run_algorithm(algorithm, system, order="random", seed=4)
     leader = verify_unique_leader(system)
     print(f"\n--- after DLE ({dle_result.rounds} rounds): "
           f"{component_count(system)} connected component(s)")

@@ -26,8 +26,7 @@ Run with::
 import os
 import sys
 
-from repro import format_scaling_series
-from repro.orchestrator import run_sweep, scaling_spec
+from repro.api import format_scaling_series, run_sweep, scaling_spec
 
 JOBS = int(os.environ.get("REPRO_JOBS", "1"))
 CACHE_DIR = os.environ.get("REPRO_CACHE_DIR") or None

@@ -28,8 +28,7 @@ Run with::
 import os
 import sys
 
-from repro import format_table1
-from repro.orchestrator import run_sweep, table1_spec
+from repro.api import format_table1, run_sweep, table1_spec
 
 
 def main() -> None:

@@ -84,12 +84,16 @@ from .grid import (
     random_holey_blob,
     spiral,
 )
+from .session import Session
+from .state import CheckpointContext, CheckpointError
 from .viz import render_shape, render_system
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AmoebotAlgorithm",
+    "CheckpointContext",
+    "CheckpointError",
     "CollectSimulator",
     "DLEAlgorithm",
     "ElectionOutcome",
@@ -104,6 +108,7 @@ __all__ = [
     "Scheduler",
     "SchedulerResult",
     "SequentialScheduler",
+    "Session",
     "Shape",
     "SweepResult",
     "SweepSpec",

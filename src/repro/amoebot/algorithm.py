@@ -210,6 +210,31 @@ class AmoebotAlgorithm(ABC):
         """
         return None
 
+    # -- checkpoint state protocol ------------------------------------------
+
+    def snapshot_state(self, system: ParticleSystem) -> Dict[str, Any]:
+        """Algorithm-private state as a JSON-ready document (optional).
+
+        Everything an algorithm instance keeps *outside* particle
+        memories — actionable sets, wait counts, round accumulators,
+        private RNGs — must be returned here for the run to be
+        checkpointable; particle memories themselves are captured by
+        :meth:`ParticleSystem.snapshot_state`.  The default covers
+        algorithms whose whole state lives in the particles.
+        """
+        return {}
+
+    def restore_state(self, state: Dict[str, Any],
+                      system: ParticleSystem) -> None:
+        """Restore a :meth:`snapshot_state` document (optional).
+
+        Called *instead of* :meth:`setup` when a run resumes: ``system``
+        already holds the restored particle memories, and the scheduler
+        continues from the checkpointed round.  Derived per-particle
+        caches may be rebuilt here; they must reproduce exactly the
+        values the uninterrupted run would hold at the same round.
+        """
+
 
 class StatusMixin:
     """Helpers shared by the leader-election algorithms in this package."""

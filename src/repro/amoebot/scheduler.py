@@ -52,11 +52,13 @@ the engine — the event engine merely skips the parked suffix of the work.
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field
 from heapq import heapify, heappop, heappush
 from itertools import islice
-from typing import Callable, Dict, List, Optional, Sequence, Set
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set
 
+from ..state import decode_rng, encode_rng
 from ..telemetry import get_registry as _get_registry
 from .algorithm import QUIESCENT, TERMINATED, AmoebotAlgorithm
 from .system import ParticleSystem
@@ -68,6 +70,7 @@ __all__ = [
     "Scheduler",
     "SequentialScheduler",
     "EventDrivenScheduler",
+    "canonical_run_kwargs",
     "make_scheduler",
     "run_algorithm",
 ]
@@ -122,9 +125,15 @@ class _UniformKeyStream:
     stdlib generator itself is used.  Either way the engines consume the
     exact same key sequence, so traces and round counts are engine- and
     numpy-independent (asserted by tests/test_scheduler.py).
+
+    ``getstate()``/``setstate()`` expose the stream position in one
+    canonical JSON-ready form — ``{"key": [624 words], "pos": int}`` —
+    regardless of which backend produced it, so a checkpoint written on a
+    numpy build restores bit-identically on a pure-Python build and vice
+    versa (the two backends share the MT19937 state layout).
     """
 
-    __slots__ = ("draw", "draw_raw")
+    __slots__ = ("draw", "draw_raw", "getstate", "setstate")
 
     def __init__(self, rng: random.Random) -> None:
         try:
@@ -133,6 +142,18 @@ class _UniformKeyStream:
             rand = rng.random
             self.draw = lambda n: list(islice(iter(rand, None), n))
             self.draw_raw = self.draw
+
+            def getstate() -> Dict[str, Any]:
+                internal = rng.getstate()[1]
+                return {"key": [int(word) for word in internal[:-1]],
+                        "pos": int(internal[-1])}
+
+            def setstate(data: Dict[str, Any]) -> None:
+                rng.setstate((3, tuple(int(word) for word in data["key"])
+                              + (int(data["pos"]),), None))
+
+            self.getstate = getstate
+            self.setstate = setstate
         else:
             internal = rng.getstate()[1]
             state = numpy.random.RandomState()
@@ -147,6 +168,19 @@ class _UniformKeyStream:
             # is a net win there (the sweep sorts 10k+ keys and keeps the
             # converted list).
             self.draw_raw = sample
+
+            def getstate() -> Dict[str, Any]:
+                _kind, key, pos = state.get_state()[:3]
+                return {"key": [int(word) for word in key], "pos": int(pos)}
+
+            def setstate(data: Dict[str, Any]) -> None:
+                state.set_state(("MT19937",
+                                 numpy.array(data["key"],
+                                             dtype=numpy.uint32),
+                                 int(data["pos"])))
+
+            self.getstate = getstate
+            self.setstate = setstate
 
 
 def _random_order(round_index: int, ids: List[int],
@@ -226,6 +260,9 @@ class SequentialScheduler:
     def run(self, algorithm: AmoebotAlgorithm, system: ParticleSystem,
             max_rounds: int = 1_000_000,
             round_hook: Optional[Callable[[int, ParticleSystem], None]] = None,
+            checkpoint_every: Optional[int] = None,
+            checkpoint_sink: Optional[Callable[[Dict[str, Any]], None]] = None,
+            resume_state: Optional[Dict[str, Any]] = None,
             ) -> SchedulerResult:
         """Run ``algorithm`` until all particles terminate.
 
@@ -233,8 +270,25 @@ class SequentialScheduler:
         returned with ``terminated=False`` rather than raising, so callers
         (e.g. negative tests about algorithms that cannot terminate) can
         inspect the partial execution.
+
+        ``checkpoint_sink`` (with a ``checkpoint_every`` round period)
+        receives a JSON-ready scheduler-state document at each period
+        boundary: RNG stream, round/activation/move counters and the
+        engine's private sets.  Passing such a document back as
+        ``resume_state`` — with ``system`` and the algorithm already
+        restored to the matching snapshot — continues the run exactly
+        where it stopped; the continued execution is bit-identical to the
+        uninterrupted one (``algorithm.setup`` is *not* re-run).
         """
+        if (checkpoint_sink is not None or resume_state is not None) \
+                and self._validate_order:
+            raise ValueError(
+                "checkpointing requires a built-in activation order; "
+                "user-supplied order policies carry unserializable state")
         rng = random.Random(self.seed)
+        if resume_state is not None:
+            self._check_resume(resume_state)
+            decode_rng(resume_state["rng"], rng)
         # For the built-in ``random`` policy the scheduler rng feeds the
         # per-round key draws and nothing else, so the draws can come from
         # the bulk stream (same floats, one C call per round).  Custom
@@ -243,12 +297,26 @@ class SequentialScheduler:
             self._key_stream = _UniformKeyStream(rng)
         else:
             self._key_stream = None
-        algorithm.setup(system)
-        state = self._start(algorithm, system)
-        moves_before = system.move_count
         activations = 0
         skipped = 0
         rounds = 0
+        moves_already = 0
+        resume_engine = None
+        if resume_state is None:
+            algorithm.setup(system)
+        else:
+            key_stream_state = resume_state.get("key_stream")
+            if self._key_stream is not None and key_stream_state is not None:
+                self._key_stream.setstate(key_stream_state)
+            rounds = int(resume_state["rounds"])
+            activations = int(resume_state["activations"])
+            skipped = int(resume_state["skipped"])
+            moves_already = int(resume_state["moves"])
+            resume_engine = resume_state.get("engine_state")
+        state = self._start(algorithm, system, resume=resume_engine)
+        # Credit the moves the checkpointed prefix already performed, so
+        # the resumed result reports the same whole-run total.
+        moves_before = system.move_count - moves_already
         history: List[dict] = []
         try:
             while rounds < max_rounds:
@@ -262,6 +330,12 @@ class SequentialScheduler:
                 algorithm.on_round_end(rounds, system)
                 if round_hook is not None:
                     round_hook(rounds, system)
+                if (checkpoint_sink is not None and checkpoint_every
+                        and rounds % checkpoint_every == 0
+                        and not algorithm.has_terminated(system)):
+                    checkpoint_sink(self._checkpoint_state(
+                        rng, rounds, activations, skipped,
+                        system.move_count - moves_before, state))
         finally:
             self._finish(system, state)
         terminated = algorithm.has_terminated(system)
@@ -295,11 +369,45 @@ class SequentialScheduler:
         registry.counter(prefix + "skipped").inc(skipped)
         registry.counter(prefix + "moves").inc(moves)
 
+    # -- checkpoint plumbing --------------------------------------------------
+
+    def _check_resume(self, resume_state: Dict[str, Any]) -> None:
+        """Refuse to resume a checkpoint another scheduler wrote: the RNG
+        stream and engine sets only make sense under the same
+        (engine, order, seed) triple."""
+        expected = {"engine": self.engine, "order": self.order_name,
+                    "seed": self.seed}
+        saved = {key: resume_state.get(key) for key in expected}
+        if saved != expected:
+            raise ValueError(
+                f"checkpoint was written by scheduler {saved}; "
+                f"this scheduler is {expected}")
+
+    def _checkpoint_state(self, rng: random.Random, rounds: int,
+                          activations: int, skipped: int, moves: int,
+                          state: Optional[object]) -> Dict[str, Any]:
+        """The JSON-ready scheduler-state document handed to the sink."""
+        document: Dict[str, Any] = {
+            "engine": self.engine,
+            "order": self.order_name,
+            "seed": self.seed,
+            "rounds": rounds,
+            "activations": activations,
+            "skipped": skipped,
+            "moves": moves,
+            "rng": encode_rng(rng),
+            "engine_state": self._snapshot_engine_state(state),
+        }
+        if self._key_stream is not None:
+            document["key_stream"] = self._key_stream.getstate()
+        return document
+
     # -- engine-specific hooks ------------------------------------------------
 
-    def _start(self, algorithm: AmoebotAlgorithm,
-               system: ParticleSystem) -> Optional[object]:
-        """Per-run engine state, created after ``algorithm.setup``.
+    def _start(self, algorithm: AmoebotAlgorithm, system: ParticleSystem,
+               resume: Optional[Dict[str, Any]] = None) -> Optional[object]:
+        """Per-run engine state, created after ``algorithm.setup`` (or
+        restored from a checkpoint's ``engine_state`` when resuming).
 
         The sweep keeps one set: the particles it has observed terminated.
         Final states are absorbing (the model's contract, already relied on
@@ -307,7 +415,14 @@ class SequentialScheduler:
         dropped from future rounds without re-asking the algorithm — the
         sweep's per-round cost becomes O(live particles), not O(n).
         """
+        if resume is not None:
+            return set(resume.get("done", ()))
         return set()
+
+    def _snapshot_engine_state(self,
+                               state: Optional[object]) -> Dict[str, Any]:
+        """The engine's private per-run sets, JSON-ready."""
+        return {"done": sorted(state or ())}
 
     def _finish(self, system: ParticleSystem, state: Optional[object]) -> None:
         """Tear down per-run engine state (always called, even on error)."""
@@ -441,20 +556,30 @@ class EventDrivenScheduler(SequentialScheduler):
 
     engine = "event"
 
-    def _start(self, algorithm: AmoebotAlgorithm,
-               system: ParticleSystem) -> _EventState:
+    def _start(self, algorithm: AmoebotAlgorithm, system: ParticleSystem,
+               resume: Optional[Dict[str, Any]] = None) -> _EventState:
         state = _EventState()
-        initial = algorithm.initially_active_ids(system)
-        all_ids = system.particle_ids()
-        if initial is None:
-            state.active = set(all_ids)
+        if resume is not None:
+            # A checkpointed run's park/done partition is part of its
+            # semantics (a parked particle stays skipped until an event
+            # wakes it), so it is restored verbatim rather than re-derived.
+            state.active = set(resume["active"])
+            state.parked = set(resume["parked"])
+            state.done = set(resume["done"])
+            state.parks = int(resume.get("parks", 0))
+            state.wakes = int(resume.get("wakes", 0))
         else:
-            # The algorithm enumerated the particles whose first activation
-            # may act; everyone else starts parked instead of being
-            # examined (and re-parked) during round one.
-            state.active = set(initial)
-            state.parked = set(all_ids) - state.active
-            state.parks = len(state.parked)
+            initial = algorithm.initially_active_ids(system)
+            all_ids = system.particle_ids()
+            if initial is None:
+                state.active = set(all_ids)
+            else:
+                # The algorithm enumerated the particles whose first
+                # activation may act; everyone else starts parked instead
+                # of being examined (and re-parked) during round one.
+                state.active = set(initial)
+                state.parked = set(all_ids) - state.active
+                state.parks = len(state.parked)
         active = state.active
         parked = state.parked
         done = state.done
@@ -514,6 +639,15 @@ class EventDrivenScheduler(SequentialScheduler):
     def _finish(self, system: ParticleSystem, state: _EventState) -> None:
         if state.listener is not None:
             system.remove_change_listener(state.listener)
+
+    def _snapshot_engine_state(self, state: _EventState) -> Dict[str, Any]:
+        return {
+            "active": sorted(state.active),
+            "parked": sorted(state.parked),
+            "done": sorted(state.done),
+            "parks": state.parks,
+            "wakes": state.wakes,
+        }
 
     def _record_metrics(self, rounds: int, activations: int, skipped: int,
                         moves: int, state: _EventState) -> None:
@@ -704,9 +838,41 @@ ENGINES: Dict[str, type] = {
 }
 
 
+def canonical_run_kwargs(order: "str | OrderPolicy", seed: int,
+                         scheduler_order: "Optional[str | OrderPolicy]" = None,
+                         rng: Optional[int] = None,
+                         stacklevel: int = 3):
+    """Resolve the canonical ``(order, seed)`` pair from current and
+    deprecated keyword spellings.
+
+    The keyword surface drifted while the harness grew — ``scheduler.py``
+    said ``order=``/``seed=``, the pipeline drivers said
+    ``scheduler_order=`` and some call sites said ``rng=`` for the seed.
+    ``order=`` and ``seed=`` are now canonical everywhere; the old
+    spellings keep working through this shim but raise a
+    :class:`DeprecationWarning` naming the replacement.
+    """
+    if scheduler_order is not None:
+        warnings.warn("scheduler_order= is deprecated; use order=",
+                      DeprecationWarning, stacklevel=stacklevel)
+        order = scheduler_order
+    if rng is not None:
+        warnings.warn("rng= is deprecated; use seed=",
+                      DeprecationWarning, stacklevel=stacklevel)
+        seed = rng
+    return order, seed
+
+
 def make_scheduler(engine: str = "sweep", order: str | OrderPolicy = "random",
-                   seed: int = 0) -> SequentialScheduler:
-    """Build the scheduler for ``engine`` (``"sweep"`` or ``"event"``)."""
+                   seed: int = 0, *,
+                   scheduler_order: "Optional[str | OrderPolicy]" = None,
+                   rng: Optional[int] = None) -> SequentialScheduler:
+    """Build the scheduler for ``engine`` (``"sweep"`` or ``"event"``).
+
+    ``scheduler_order=`` and ``rng=`` are deprecated aliases of ``order=``
+    and ``seed=``.
+    """
+    order, seed = canonical_run_kwargs(order, seed, scheduler_order, rng)
     try:
         cls = ENGINES[engine]
     except KeyError:
@@ -719,7 +885,14 @@ def make_scheduler(engine: str = "sweep", order: str | OrderPolicy = "random",
 def run_algorithm(algorithm: AmoebotAlgorithm, system: ParticleSystem,
                   order: str | OrderPolicy = "random", seed: int = 0,
                   max_rounds: int = 1_000_000,
-                  engine: str = "sweep") -> SchedulerResult:
-    """Convenience wrapper: build a scheduler and run the algorithm."""
+                  engine: str = "sweep", *,
+                  scheduler_order: "Optional[str | OrderPolicy]" = None,
+                  rng: Optional[int] = None) -> SchedulerResult:
+    """Convenience wrapper: build a scheduler and run the algorithm.
+
+    ``scheduler_order=`` and ``rng=`` are deprecated aliases of ``order=``
+    and ``seed=``.
+    """
+    order, seed = canonical_run_kwargs(order, seed, scheduler_order, rng)
     return make_scheduler(engine, order=order, seed=seed).run(
         algorithm, system, max_rounds=max_rounds)

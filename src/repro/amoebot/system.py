@@ -647,6 +647,73 @@ class ParticleSystem:
             pid: (p.head, p.tail) for pid, p in self._particles.items()
         }
 
+    # -- checkpoint state protocol --------------------------------------------
+
+    def snapshot_state(self) -> Dict[str, object]:
+        """The full mutable world state as a JSON-ready document.
+
+        Covers everything :meth:`restore_state` needs to continue a run
+        bit-identically: every particle's phase (head/tail), orientation
+        and memory, the id allocator and the movement counter.  Derived
+        caches (neighbor index, shape snapshot, occupancy views) are
+        deliberately omitted — they are rebuilt on demand after restore.
+        Particle memories must hold JSON-representable values only (the
+        same contract :mod:`repro.io` imposes; true for every built-in
+        algorithm).
+        """
+        particles = []
+        for pid in sorted(self._particles):
+            particle = self._particles[pid]
+            particles.append({
+                "id": pid,
+                "head": list(particle.head),
+                "tail": list(particle.tail),
+                "orientation": particle.orientation,
+                "memory": particle.memory,
+            })
+        return {"particles": particles, "next_id": self._next_id,
+                "move_count": self.move_count}
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Replace this system's state with a :meth:`snapshot_state` doc.
+
+        Occupancy (both points of an expanded particle) is re-derived from
+        the particle list; every cache is invalidated and rebuilt lazily.
+        Registered change listeners stay subscribed but are not notified —
+        restore is a wholesale replacement, not a movement.
+        """
+        particles: Dict[int, Particle] = {}
+        occupancy: Dict[int, int] = {}
+        mirror: Set[Point] = set()
+        new_particle = Particle.__new__
+        for entry in state["particles"]:
+            particle = new_particle(Particle)
+            pid = int(entry["id"])
+            particle.particle_id = pid
+            particle.head = tuple(entry["head"])
+            particle.tail = tuple(entry["tail"])
+            particle.orientation = int(entry["orientation"])
+            particle.memory = dict(entry["memory"])
+            particles[pid] = particle
+            occupancy[pack_point(particle.head)] = pid
+            mirror.add(particle.head)
+            if particle.tail != particle.head:
+                occupancy[pack_point(particle.tail)] = pid
+                mirror.add(particle.tail)
+        self._particles = particles
+        self._occupancy = occupancy
+        self._points = mirror
+        self._next_id = int(state["next_id"])
+        self.move_count = int(state["move_count"])
+        self._neighbor_cache = {}
+        self._version += 1
+        self._shape_cache = None
+        self._shape_version = -1
+        self._shape_deltas = None
+        self._occupied_cache = None
+        self._occupied_version = -1
+        self._ids_cache = None
+
     def __repr__(self) -> str:
         expanded = sum(1 for p in self._particles.values() if p.is_expanded)
         return (

@@ -23,6 +23,7 @@ from ..core.obd import OuterBoundaryDetection
 from ..amoebot.scheduler import make_scheduler
 from ..grid.metrics import ShapeMetrics, compute_metrics
 from ..grid.shape import Shape
+from ..state import CheckpointContext, run_checkpointed_stage
 
 __all__ = [
     "ExperimentRecord",
@@ -70,10 +71,14 @@ def _fresh_system(shape: Shape, seed: int) -> ParticleSystem:
 # ---------------------------------------------------------------------------
 
 def _run_dle(shape: Shape, seed: int, order: str = "random",
-             engine: str = "sweep") -> Dict[str, object]:
+             engine: str = "sweep",
+             checkpoint: Optional[CheckpointContext] = None,
+             ) -> Dict[str, object]:
     system = _fresh_system(shape, seed)
     algorithm = DLEAlgorithm()
-    result = make_scheduler(engine, order=order, seed=seed).run(algorithm, system)
+    scheduler = make_scheduler(engine, order=order, seed=seed)
+    result = run_checkpointed_stage(checkpoint, "dle", algorithm, system,
+                                    scheduler, 1_000_000)
     succeeded = result.terminated
     if succeeded:
         try:
@@ -89,11 +94,13 @@ def _run_dle(shape: Shape, seed: int, order: str = "random",
 
 
 def _run_dle_collect(shape: Shape, seed: int, order: str = "random",
-                     engine: str = "sweep") -> Dict[str, object]:
+                     engine: str = "sweep",
+                     checkpoint: Optional[CheckpointContext] = None,
+                     ) -> Dict[str, object]:
     system = _fresh_system(shape, seed)
     outcome = elect_leader_known_boundary(system, reconnect=True,
-                                          scheduler_order=order, seed=seed,
-                                          engine=engine)
+                                          order=order, seed=seed,
+                                          engine=engine, checkpoint=checkpoint)
     return {
         "rounds": outcome.total_rounds,
         "succeeded": outcome.reconnected and outcome.connected_after,
@@ -103,10 +110,14 @@ def _run_dle_collect(shape: Shape, seed: int, order: str = "random",
 
 
 def _run_collect_only(shape: Shape, seed: int, order: str = "random",
-                      engine: str = "sweep") -> Dict[str, object]:
+                      engine: str = "sweep",
+                      checkpoint: Optional[CheckpointContext] = None,
+                      ) -> Dict[str, object]:
     system = _fresh_system(shape, seed)
     algorithm = DLEAlgorithm()
-    make_scheduler(engine, order=order, seed=seed).run(algorithm, system)
+    scheduler = make_scheduler(engine, order=order, seed=seed)
+    run_checkpointed_stage(checkpoint, "dle", algorithm, system, scheduler,
+                           1_000_000)
     leader = verify_unique_leader(system)
     result = CollectSimulator(system, leader).run()
     return {
@@ -117,9 +128,11 @@ def _run_collect_only(shape: Shape, seed: int, order: str = "random",
 
 
 def _run_obd(shape: Shape, seed: int, order: str = "random",
-             engine: str = "sweep") -> Dict[str, object]:
-    # OBD is a synchronous primitive; neither the activation order nor the
-    # activation engine applies.
+             engine: str = "sweep",
+             checkpoint: Optional[CheckpointContext] = None,
+             ) -> Dict[str, object]:
+    # OBD is a synchronous primitive; neither the activation order, the
+    # activation engine nor round-granular checkpointing applies.
     system = _fresh_system(shape, seed)
     result = OuterBoundaryDetection(system).run()
     expected = shape.outer_boundary
@@ -134,10 +147,12 @@ def _run_obd(shape: Shape, seed: int, order: str = "random",
 
 
 def _run_full(shape: Shape, seed: int, order: str = "random",
-              engine: str = "sweep") -> Dict[str, object]:
+              engine: str = "sweep",
+              checkpoint: Optional[CheckpointContext] = None,
+              ) -> Dict[str, object]:
     system = _fresh_system(shape, seed)
-    outcome = elect_leader(system, reconnect=True, scheduler_order=order,
-                           seed=seed, engine=engine)
+    outcome = elect_leader(system, reconnect=True, order=order,
+                           seed=seed, engine=engine, checkpoint=checkpoint)
     return {
         "rounds": outcome.total_rounds,
         "succeeded": outcome.reconnected and outcome.connected_after,
@@ -148,10 +163,12 @@ def _run_full(shape: Shape, seed: int, order: str = "random",
 
 
 def _run_erosion(shape: Shape, seed: int, order: str = "random",
-                 engine: str = "sweep") -> Dict[str, object]:
+                 engine: str = "sweep",
+                 checkpoint: Optional[CheckpointContext] = None,
+                 ) -> Dict[str, object]:
     system = _fresh_system(shape, seed)
-    outcome = run_erosion_election(system, scheduler_order=order, seed=seed,
-                                   engine=engine)
+    outcome = run_erosion_election(system, order=order, seed=seed,
+                                   engine=engine, checkpoint=checkpoint)
     return {
         "rounds": outcome.rounds,
         "succeeded": outcome.succeeded,
@@ -161,9 +178,12 @@ def _run_erosion(shape: Shape, seed: int, order: str = "random",
 
 
 def _run_randomized(shape: Shape, seed: int, order: str = "random",
-                    engine: str = "sweep") -> Dict[str, object]:
+                    engine: str = "sweep",
+                    checkpoint: Optional[CheckpointContext] = None,
+                    ) -> Dict[str, object]:
     # The randomized baseline drives its own internal phase schedule, so
-    # neither the activation order nor the activation engine applies.
+    # neither the activation order nor the activation engine applies; its
+    # ring elections finish in one shot, so there is nothing to checkpoint.
     system = _fresh_system(shape, seed)
     outcome = run_randomized_election(system, seed=seed)
     return {
@@ -174,9 +194,12 @@ def _run_randomized(shape: Shape, seed: int, order: str = "random",
 
 
 #: Registry of runnable algorithms / pipelines.  Every driver takes
-#: ``(shape, seed, order, engine)`` where ``order`` is the scheduler
-#: activation policy and ``engine`` the activation engine (``"sweep"`` or
-#: ``"event"``); both are ignored by the synchronous/self-scheduled entries.
+#: ``(shape, seed, order, engine, checkpoint)`` where ``order`` is the
+#: scheduler activation policy, ``engine`` the activation engine
+#: (``"sweep"`` or ``"event"``) and ``checkpoint`` an optional
+#: :class:`repro.state.CheckpointContext` making scheduler-driven stages
+#: resumable; all three are ignored by the synchronous/self-scheduled
+#: entries.
 ALGORITHMS: Dict[str, Callable[..., Dict[str, object]]] = {
     "dle": _run_dle,
     "dle+collect": _run_dle_collect,
@@ -208,7 +231,9 @@ def run_experiment(algorithm: str, shape: Shape, family: str = "custom",
                    size: int = 0, seed: int = 0,
                    metrics: Optional[ShapeMetrics] = None,
                    order: str = "random",
-                   engine: str = "sweep") -> ExperimentRecord:
+                   engine: str = "sweep",
+                   checkpoint: Optional[CheckpointContext] = None,
+                   ) -> ExperimentRecord:
     """Run one algorithm on one shape and return the measurement record."""
     try:
         driver = ALGORITHMS[algorithm]
@@ -218,7 +243,12 @@ def run_experiment(algorithm: str, shape: Shape, family: str = "custom",
         ) from None
     if metrics is None:
         metrics = compute_metrics(shape)
-    details = driver(shape, seed, order, engine)
+    # Old-style drivers (registered before checkpointing existed) accept
+    # four arguments; only hand them the checkpoint when one is active.
+    if checkpoint is not None:
+        details = driver(shape, seed, order, engine, checkpoint)
+    else:
+        details = driver(shape, seed, order, engine)
     rounds = int(details.pop("rounds"))
     succeeded = bool(details.pop("succeeded"))
     return ExperimentRecord(

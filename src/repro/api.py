@@ -1,0 +1,111 @@
+"""The stable public API of the reproduction.
+
+Import from here — and only from here — in examples, notebooks and
+downstream code::
+
+    from repro.api import RunConfig, Session, SweepSpec, run_sweep
+
+Everything this module exports is covered by the compatibility promise in
+EXPERIMENTS.md: names keep working across refactors of the underlying
+packages (whose layout may change without notice).  The surface, grouped:
+
+Running experiments
+    ``RunConfig`` / ``SweepSpec`` — declarative run and sweep-grid specs;
+    ``run_sweep`` (with ``scaling_spec`` / ``table1_spec``) — execute a
+    spec with caching, ledgers, resume and pluggable transports;
+    ``Session`` — one checkpointable, resumable run of one config;
+    ``run_experiment`` / ``ALGORITHMS`` — the per-algorithm measurement
+    drivers behind every sweep.
+
+The simulator
+    ``ParticleSystem`` / ``run_algorithm`` / ``make_scheduler`` — one
+    algorithm on one system under an explicit activation order and engine.
+
+The paper's algorithms and baselines
+    ``elect_leader`` / ``elect_leader_known_boundary`` (the full
+    pipeline), ``DLEAlgorithm``, ``CollectSimulator``,
+    ``verify_unique_leader``, ``run_erosion_election``,
+    ``run_randomized_election``, ``SpanningTreeAlgorithm`` /
+    ``verify_spanning_tree`` (the post-election application).
+
+Shapes and geometry
+    ``make_shape`` plus the named families (``hexagon``,
+    ``hexagon_with_holes``, ``annulus``, ``random_blob``,
+    ``random_holey_blob``), ``compute_metrics``, ``grid_distance`` and
+    ``connected_components``.
+
+Presentation
+    ``render_system`` (ASCII art), ``format_records`` /
+    ``format_scaling_series`` / ``format_table1`` (result tables).
+"""
+
+from __future__ import annotations
+
+from .amoebot.scheduler import SchedulerResult, make_scheduler, run_algorithm
+from .amoebot.system import ParticleSystem
+from .analysis.experiments import ALGORITHMS, ExperimentRecord, run_experiment
+from .analysis.tables import format_records, format_scaling_series, format_table1
+from .apps import SpanningTreeAlgorithm, verify_spanning_tree
+from .baselines import run_erosion_election, run_randomized_election
+from .core.collect import CollectSimulator
+from .core.dle import DLEAlgorithm, verify_unique_leader
+from .core.full import ElectionOutcome, elect_leader, elect_leader_known_boundary
+from .grid.coords import grid_distance
+from .grid.generators import (
+    annulus,
+    hexagon,
+    hexagon_with_holes,
+    make_shape,
+    random_blob,
+    random_holey_blob,
+)
+from .grid.metrics import ShapeMetrics, compute_metrics
+from .grid.shape import Shape, connected_components
+from .orchestrator.pool import SweepResult, run_sweep
+from .orchestrator.spec import RunConfig, SweepSpec, scaling_spec, table1_spec
+from .session import Session
+from .state import CheckpointError
+from .viz import render_system
+
+__all__ = [
+    "ALGORITHMS",
+    "CheckpointError",
+    "CollectSimulator",
+    "DLEAlgorithm",
+    "ElectionOutcome",
+    "ExperimentRecord",
+    "ParticleSystem",
+    "RunConfig",
+    "SchedulerResult",
+    "Session",
+    "Shape",
+    "ShapeMetrics",
+    "SpanningTreeAlgorithm",
+    "SweepResult",
+    "SweepSpec",
+    "annulus",
+    "compute_metrics",
+    "connected_components",
+    "elect_leader",
+    "elect_leader_known_boundary",
+    "format_records",
+    "format_scaling_series",
+    "format_table1",
+    "grid_distance",
+    "hexagon",
+    "hexagon_with_holes",
+    "make_scheduler",
+    "make_shape",
+    "random_blob",
+    "random_holey_blob",
+    "render_system",
+    "run_algorithm",
+    "run_erosion_election",
+    "run_experiment",
+    "run_randomized_election",
+    "run_sweep",
+    "scaling_spec",
+    "table1_spec",
+    "verify_spanning_tree",
+    "verify_unique_leader",
+]

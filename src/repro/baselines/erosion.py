@@ -38,9 +38,10 @@ from ..amoebot.algorithm import (
     is_sce_flag_arc,
 )
 from ..amoebot.particle import Particle
-from ..amoebot.scheduler import make_scheduler
+from ..amoebot.scheduler import canonical_run_kwargs, make_scheduler
 from ..amoebot.system import ParticleSystem
 from ..grid.coords import NUM_DIRECTIONS, Point
+from ..state import run_checkpointed_stage
 
 __all__ = ["ErosionLeaderElection", "ErosionOutcome", "run_erosion_election"]
 
@@ -208,6 +209,32 @@ class ErosionLeaderElection(AmoebotAlgorithm, StatusMixin):
                 wake.append(q)
         return wake
 
+    # -- checkpoint state protocol -------------------------------------------
+
+    def snapshot_state(self, system: ParticleSystem) -> dict:
+        """Algorithm-private state outside particle memories.  Taken at
+        round boundaries, where ``_changes_this_round`` has just been reset
+        by :meth:`on_round_end` — it is serialized anyway for exactness."""
+        return {
+            "eligible_points": [list(point)
+                                for point in sorted(self.eligible_points)],
+            "changes_this_round": self._changes_this_round,
+            "stalled": self.stalled,
+            "terminated_count": self._terminated_count,
+            "population": self._population,
+            "initially_active": sorted(self._initially_active),
+        }
+
+    def restore_state(self, state: dict, system: ParticleSystem) -> None:
+        self.eligible_points = {tuple(point)
+                                for point in state["eligible_points"]}
+        self._changes_this_round = int(state["changes_this_round"])
+        self.stalled = bool(state["stalled"])
+        self._terminated_count = int(state["terminated_count"])
+        self._population = int(state["population"])
+        self._initially_active = {int(pid)
+                                  for pid in state["initially_active"]}
+
     @staticmethod
     def _is_sce(eligible_dirs: List[int]) -> bool:
         """Same purely local SCE test as Algorithm DLE: 1-3 eligible
@@ -234,22 +261,30 @@ class ErosionOutcome:
     leader_point: Optional[Point] = None
 
 
-def run_erosion_election(system: ParticleSystem, scheduler_order: str = "random",
+def run_erosion_election(system: ParticleSystem, order: str = "random",
                          seed: int = 0,
                          max_rounds: Optional[int] = None,
-                         engine: str = "sweep") -> ErosionOutcome:
+                         engine: str = "sweep",
+                         checkpoint=None, *,
+                         scheduler_order: Optional[str] = None
+                         ) -> ErosionOutcome:
     """Run the erosion baseline and classify the outcome.
 
     ``succeeded`` is True only when a unique leader was elected and every
     other particle is a follower.  On shapes with holes the run typically
     ends ``stalled`` (the documented restriction of this algorithm family).
-    ``engine`` selects the activation engine (``"sweep"`` or ``"event"``).
+    ``engine`` selects the activation engine (``"sweep"`` or ``"event"``);
+    ``checkpoint`` is an optional
+    :class:`repro.state.CheckpointContext` making the run resumable.
+    ``scheduler_order=`` is a deprecated alias of ``order=``.
     """
+    order, seed = canonical_run_kwargs(order, seed, scheduler_order)
     if max_rounds is None:
         max_rounds = 10 * len(system) + 100
     algorithm = ErosionLeaderElection()
-    scheduler = make_scheduler(engine, order=scheduler_order, seed=seed)
-    result = scheduler.run(algorithm, system, max_rounds=max_rounds)
+    scheduler = make_scheduler(engine, order=order, seed=seed)
+    result = run_checkpointed_stage(checkpoint, "erosion", algorithm, system,
+                                    scheduler, max_rounds)
     leaders = [p for p in system.particles() if p.get(STATUS_KEY) == STATUS_LEADER]
     followers = [p for p in system.particles() if p.get(STATUS_KEY) == STATUS_FOLLOWER]
     succeeded = (

@@ -6,7 +6,11 @@ The CLI exposes the experiment harness without writing any Python:
   — run an arbitrary experiment grid through the orchestrator
   (parallel workers, ``--cache-dir`` result reuse, ``--resume``,
   ``--engine`` activation-engine selection, ``--transport queue`` /
-  ``--transport tcp`` to distribute over worker daemons)
+  ``--transport tcp`` to distribute over worker daemons,
+  ``--checkpoint-dir`` / ``--checkpoint-every`` preemption-safe runs)
+* ``python -m repro run --algorithm dle --checkpoint-dir ckpts`` — one
+  checkpointable run through the :class:`repro.session.Session` API
+  (``--resume-from PATH`` continues an interrupted run's checkpoint file)
 * ``python -m repro serve --port 7643``        — TCP sweep coordinator for
   ``--transport tcp`` sweeps across machines with no shared filesystem
 * ``python -m repro worker runs/queue``        — pull-based worker daemon
@@ -173,6 +177,43 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a structured event log (events.jsonl) "
                             "and a final metrics snapshot (metrics.json) "
                             "into DIR")
+    sweep.add_argument("--checkpoint-every", type=int, metavar="N",
+                       default=None,
+                       help="checkpoint each run every N scheduler rounds "
+                            "so a killed worker's task resumes instead of "
+                            "restarting")
+    sweep.add_argument("--checkpoint-dir", metavar="PATH", default=None,
+                       help="directory for per-config checkpoint files "
+                            "(default: checkpointing disabled; queue "
+                            "workers need this path to be shared, tcp "
+                            "workers set their own with 'worker "
+                            "--checkpoint-dir')")
+
+    run = sub.add_parser(
+        "run",
+        help="run one config through the Session API, optionally "
+             "checkpointing and resuming")
+    run.add_argument("--algorithm", default="dle", choices=sorted(ALGORITHMS))
+    run.add_argument("--family", default="hexagon",
+                     choices=sorted(SHAPE_FAMILIES))
+    run.add_argument("--size", type=int, default=3)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--scheduler", default="random",
+                     choices=sorted(SCHEDULER_ORDERS),
+                     help="activation order the adversary uses")
+    run.add_argument("--engine", default="sweep", choices=sorted(ENGINES))
+    run.add_argument("--checkpoint-every", type=int, metavar="N",
+                     default=None,
+                     help="write a checkpoint every N scheduler rounds "
+                          "(requires --checkpoint-dir)")
+    run.add_argument("--checkpoint-dir", metavar="PATH", default=None,
+                     help="directory the checkpoint file is written into")
+    run.add_argument("--resume-from", metavar="PATH", default=None,
+                     help="resume from this checkpoint file instead of "
+                          "starting a fresh run (ignores the config flags; "
+                          "the checkpoint carries the config)")
+    run.add_argument("--json", metavar="PATH", default=None,
+                     help="also write the record to a JSON file")
 
     table1 = sub.add_parser("table1", help="reproduce the Table 1 comparison")
     table1.add_argument("--sizes", type=int, nargs="+", default=[2, 3, 4])
@@ -239,6 +280,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "Ctrl-C)")
     worker.add_argument("--max-tasks", type=int, default=None,
                         help="exit after processing this many tasks")
+    worker.add_argument("--checkpoint-dir", metavar="PATH", default=None,
+                        help="checkpoint task runs into this directory, "
+                             "overriding any directory the sweep attached "
+                             "to the task (tcp workers share no filesystem "
+                             "with the coordinator, so they must set this "
+                             "themselves to checkpoint at all)")
+    worker.add_argument("--checkpoint-every", type=int, metavar="N",
+                        default=None,
+                        help="checkpoint cadence in scheduler rounds, "
+                             "overriding the task's cadence")
     worker.add_argument("--quiet", action="store_true",
                         help="suppress per-task progress lines on stderr")
 
@@ -406,6 +457,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"error: parameter {args.parameter!r} is not a numeric "
               f"record column; known: {_sweep_parameters()}", file=sys.stderr)
         return 2
+    if args.checkpoint_every is not None and not args.checkpoint_dir:
+        print("error: --checkpoint-every requires --checkpoint-dir",
+              file=sys.stderr)
+        return 2
     spec = SweepSpec(algorithms=args.algorithms, families=args.families,
                      sizes=args.sizes, seeds=args.seeds,
                      scheduler=args.scheduler, engine=args.engine)
@@ -462,6 +517,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                                ledger=args.ledger, resume=args.resume,
                                transport=transport,
                                max_attempts=args.max_attempts or None,
+                               checkpoint_every=args.checkpoint_every,
+                               checkpoint_dir=args.checkpoint_dir,
                                progress=None if args.quiet else progress)
     finally:
         if event_log is not None:
@@ -531,6 +588,46 @@ def _sweep_metrics_block(snapshot, result) -> dict:
     }
 
 
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .session import Session
+    from .state import CheckpointError
+
+    if args.checkpoint_every is not None and not args.checkpoint_dir:
+        print("error: --checkpoint-every requires --checkpoint-dir",
+              file=sys.stderr)
+        return 2
+    log = get_logger("run")
+
+    def on_checkpoint(rounds: int, path: Path) -> None:
+        log.info(f"run: checkpoint at round {rounds} -> {path}")
+
+    try:
+        if args.resume_from:
+            session = Session.resume(args.resume_from,
+                                     checkpoint_every=args.checkpoint_every,
+                                     on_checkpoint=on_checkpoint)
+        else:
+            config = {"algorithm": args.algorithm, "family": args.family,
+                      "size": args.size, "seed": args.seed,
+                      "scheduler": args.scheduler, "engine": args.engine}
+            session = Session.run(config,
+                                  checkpoint_every=args.checkpoint_every,
+                                  checkpoint_dir=args.checkpoint_dir,
+                                  on_checkpoint=on_checkpoint)
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if session.resumed_round is not None:
+        log.info(f"run: resumed from round {session.resumed_round} "
+                 f"({session.resumed_from})")
+    record = session.record
+    print(format_records([record], title=session.config.describe()))
+    if args.json:
+        save_records([record], args.json)
+        print(f"raw record written to {args.json}")
+    return 0 if record.succeeded else 1
+
+
 def _cmd_worker(args: argparse.Namespace) -> int:
     from .orchestrator import run_tcp_worker, run_worker
     from .orchestrator.net import HandshakeError
@@ -548,6 +645,8 @@ def _cmd_worker(args: argparse.Namespace) -> int:
             status = "ok"
         else:
             status = "FAILED"
+        if result.get("resumed_round") is not None:
+            status += f" (resumed from round {result['resumed_round']})"
         log.info(f"worker: {task_id}: {status}")
 
     try:
@@ -559,6 +658,8 @@ def _cmd_worker(args: argparse.Namespace) -> int:
                 args.connect, secret=_secret_or_env(args.secret),
                 worker_id=args.id, poll=args.poll, max_idle=args.max_idle,
                 max_tasks=args.max_tasks,
+                checkpoint_dir=args.checkpoint_dir,
+                checkpoint_every=args.checkpoint_every,
                 progress=None if args.quiet else progress)
         else:
             if not args.quiet:
@@ -569,6 +670,8 @@ def _cmd_worker(args: argparse.Namespace) -> int:
                                  lease_ttl=args.lease_ttl, poll=args.poll,
                                  max_idle=args.max_idle,
                                  max_tasks=args.max_tasks,
+                                 checkpoint_dir=args.checkpoint_dir,
+                                 checkpoint_every=args.checkpoint_every,
                                  progress=None if args.quiet else progress)
     except HandshakeError as exc:
         log.error(f"worker: {exc}")
@@ -694,16 +797,47 @@ def _render_status(document: dict, as_json: bool) -> None:
               f"{coordinator.get('outstanding', 0)} outstanding")
 
 
+def _watch_status(args: argparse.Namespace,
+                  snapshot=_status_snapshot,
+                  sleep=time.sleep) -> int:
+    """Poll-and-render loop behind ``status --watch``.
+
+    An unreachable target (the coordinator restarting, the queue directory
+    briefly missing) must not kill the watch: the error is reported once,
+    then polling continues until the target answers again — or Ctrl-C.
+    ``snapshot`` / ``sleep`` exist for tests.
+    """
+    down = False
+    while True:
+        try:
+            document = snapshot(args)
+        except KeyboardInterrupt:
+            return 130
+        except (OSError, ConnectionError, RuntimeError) as exc:
+            if not down:
+                print(f"status: {exc}; retrying every "
+                      f"{args.watch:g}s until it answers (Ctrl-C stops)",
+                      file=sys.stderr)
+            down = True
+        else:
+            if down:
+                print("status: target answering again", file=sys.stderr)
+            down = False
+            _render_status(document, args.json)
+        try:
+            sleep(args.watch)
+        except KeyboardInterrupt:
+            return 130
+
+
 def _cmd_status(args: argparse.Namespace) -> int:
     if (args.coordinator is None) == (args.queue_dir is None):
         print("error: pass exactly one of --coordinator HOST:PORT or "
               "--queue-dir PATH", file=sys.stderr)
         return 2
+    if args.watch:
+        return _watch_status(args)
     try:
-        if args.watch:
-            while True:
-                _render_status(_status_snapshot(args), args.json)
-                time.sleep(args.watch)
         _render_status(_status_snapshot(args), args.json)
     except KeyboardInterrupt:
         return 130
@@ -922,6 +1056,7 @@ def _cmd_families(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "sweep": _cmd_sweep,
+    "run": _cmd_run,
     "worker": _cmd_worker,
     "serve": _cmd_serve,
     "status": _cmd_status,

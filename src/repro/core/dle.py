@@ -493,6 +493,43 @@ class DLEAlgorithm(AmoebotAlgorithm, StatusMixin):
         return wake
 
 
+    # -- checkpoint state protocol ----------------------------------------------
+
+    def snapshot_state(self, system: ParticleSystem) -> Dict[str, object]:
+        """Algorithm-private state (the parts outside particle memories):
+        the ``S_e`` mirror, erosion counters and the actionable/wait-count
+        mirrors of the quiescence predicate."""
+        return {
+            "eligible_points": [list(point)
+                                for point in sorted(self.eligible_points)],
+            "leader_point": list(self.leader_point)
+            if self.leader_point is not None else None,
+            "erosions": self.erosions,
+            "terminated_count": self._terminated_count,
+            "population": self._population,
+            "actionable": sorted(self._actionable),
+            "waiting": [[pid, count]
+                        for pid, count in sorted(self._waiting.items())],
+        }
+
+    def restore_state(self, state: Dict[str, object],
+                      system: ParticleSystem) -> None:
+        self.eligible_points = {tuple(point)
+                                for point in state["eligible_points"]}
+        leader_point = state["leader_point"]
+        self.leader_point = tuple(leader_point) \
+            if leader_point is not None else None
+        self.erosions = int(state["erosions"])
+        self._terminated_count = int(state["terminated_count"])
+        self._population = int(state["population"])
+        self._actionable = {int(pid) for pid in state["actionable"]}
+        # The wait counts were exact relative to the neighbor cache, which
+        # restore cleared — ``is_quiescent``'s intact-check fails until the
+        # first rescan refreshes them, so stale-but-positive counts cannot
+        # mis-park anyone.
+        self._waiting = {int(pid): int(count)
+                         for pid, count in state["waiting"]}
+
     # -- instrumentation --------------------------------------------------------
 
     def leader(self, system: ParticleSystem) -> Particle:

@@ -14,6 +14,14 @@ Both return an :class:`ElectionOutcome` bundling the elected leader, the
 per-stage round counts and the final configuration facts that the test suite
 checks (unique leader, everyone else follower, system connected again when
 reconnection was requested).
+
+Both accept an optional ``checkpoint``
+(:class:`repro.state.CheckpointContext`): the scheduler-driven DLE stage
+then saves resumable state every ``checkpoint.every`` rounds, and the
+synchronous OBD stage records its round charge as a completed-stage
+summary so a resumed run does not repeat it.  Algorithm Collect is a fast
+one-shot simulation downstream of DLE; a run preempted during Collect
+resumes from the last DLE checkpoint and re-derives it deterministically.
 """
 
 from __future__ import annotations
@@ -21,9 +29,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from ..amoebot.scheduler import SchedulerResult, make_scheduler
+from ..amoebot.scheduler import (
+    SchedulerResult,
+    canonical_run_kwargs,
+    make_scheduler,
+)
 from ..amoebot.system import ParticleSystem
 from ..grid.shape import Shape
+from ..state import CheckpointContext, run_checkpointed_stage
 from .collect import CollectResult, CollectSimulator
 from .dle import DLEAlgorithm, verify_unique_leader
 from .obd import OBDResult, OuterBoundaryDetection
@@ -42,7 +55,9 @@ class ElectionOutcome:
     leader_point: Optional[tuple] = None
     connected_after: bool = False
     reconnected: bool = False
-    #: Underlying per-stage results, for detailed inspection.
+    #: Underlying per-stage results, for detailed inspection.  ``obd_result``
+    #: is None when a resumed run replayed the stage from its checkpointed
+    #: summary instead of re-running it.
     dle_result: Optional[SchedulerResult] = None
     obd_result: Optional[OBDResult] = None
     collect_result: Optional[CollectResult] = None
@@ -58,11 +73,14 @@ class ElectionOutcome:
 
 
 def _run_dle(system: ParticleSystem, outer_from_memory: bool,
-             scheduler_order: str, seed: int, max_rounds: int,
-             engine: str = "sweep") -> tuple[DLEAlgorithm, SchedulerResult]:
+             order: str, seed: int, max_rounds: int,
+             engine: str = "sweep",
+             checkpoint: Optional[CheckpointContext] = None,
+             ) -> tuple[DLEAlgorithm, SchedulerResult]:
     algorithm = DLEAlgorithm(outer_from_memory=outer_from_memory)
-    scheduler = make_scheduler(engine, order=scheduler_order, seed=seed)
-    result = scheduler.run(algorithm, system, max_rounds=max_rounds)
+    scheduler = make_scheduler(engine, order=order, seed=seed)
+    result = run_checkpointed_stage(checkpoint, "dle", algorithm, system,
+                                    scheduler, max_rounds)
     if not result.terminated:
         raise RuntimeError(
             f"Algorithm DLE did not terminate within {max_rounds} rounds"
@@ -78,20 +96,27 @@ def _run_collect(system: ParticleSystem) -> CollectResult:
 
 def elect_leader_known_boundary(system: ParticleSystem,
                                 reconnect: bool = True,
-                                scheduler_order: str = "random",
+                                order: str = "random",
                                 seed: int = 0,
                                 max_rounds: int = 1_000_000,
-                                engine: str = "sweep") -> ElectionOutcome:
+                                engine: str = "sweep",
+                                checkpoint: Optional[CheckpointContext] = None,
+                                *,
+                                scheduler_order: Optional[str] = None,
+                                ) -> ElectionOutcome:
     """Leader election under the known-outer-boundary assumption.
 
     Runs Algorithm DLE (faithful per-activation execution) and, when
     ``reconnect`` is true, Algorithm Collect to restore connectivity.
     ``engine`` selects the activation engine for the DLE stage (``"sweep"``
     or ``"event"``; both produce identical traces and round counts).
+    ``scheduler_order=`` is a deprecated alias of ``order=``.
     """
+    order, seed = canonical_run_kwargs(order, seed, scheduler_order)
     _, dle_result = _run_dle(system, outer_from_memory=False,
-                             scheduler_order=scheduler_order, seed=seed,
-                             max_rounds=max_rounds, engine=engine)
+                             order=order, seed=seed,
+                             max_rounds=max_rounds, engine=engine,
+                             checkpoint=checkpoint)
     leader = verify_unique_leader(system)
     collect_result: Optional[CollectResult] = None
     collect_rounds = 0
@@ -112,22 +137,39 @@ def elect_leader_known_boundary(system: ParticleSystem,
 
 def elect_leader(system: ParticleSystem,
                  reconnect: bool = True,
-                 scheduler_order: str = "random",
+                 order: str = "random",
                  seed: int = 0,
                  max_rounds: int = 1_000_000,
-                 engine: str = "sweep") -> ElectionOutcome:
+                 engine: str = "sweep",
+                 checkpoint: Optional[CheckpointContext] = None,
+                 *,
+                 scheduler_order: Optional[str] = None) -> ElectionOutcome:
     """Leader election without the known-boundary assumption.
 
     Runs primitive OBD first (``O(L_out + D)`` rounds), feeds the detected
     boundary information to Algorithm DLE, and optionally reconnects with
     Algorithm Collect.  ``engine`` selects the activation engine for the
-    scheduler-driven DLE stage.
+    scheduler-driven DLE stage.  ``scheduler_order=`` is a deprecated alias
+    of ``order=``.
     """
-    obd = OuterBoundaryDetection(system)
-    obd_result = obd.run()
+    order, seed = canonical_run_kwargs(order, seed, scheduler_order)
+    obd_result: Optional[OBDResult] = None
+    obd_summary = (checkpoint.completed_stage("obd")
+                   if checkpoint is not None else None)
+    if obd_summary is not None:
+        # A resumed run: the particles' detected-boundary flags live in the
+        # restored memories, only the stage's round charge is replayed.
+        obd_rounds = int(obd_summary["rounds"])
+    else:
+        obd = OuterBoundaryDetection(system)
+        obd_result = obd.run()
+        obd_rounds = obd_result.rounds
+        if checkpoint is not None:
+            checkpoint.complete_stage("obd", {"rounds": obd_rounds})
     _, dle_result = _run_dle(system, outer_from_memory=True,
-                             scheduler_order=scheduler_order, seed=seed,
-                             max_rounds=max_rounds, engine=engine)
+                             order=order, seed=seed,
+                             max_rounds=max_rounds, engine=engine,
+                             checkpoint=checkpoint)
     leader = verify_unique_leader(system)
     collect_result: Optional[CollectResult] = None
     collect_rounds = 0
@@ -135,9 +177,9 @@ def elect_leader(system: ParticleSystem,
         collect_result = _run_collect(system)
         collect_rounds = collect_result.rounds
     return ElectionOutcome(
-        total_rounds=obd_result.rounds + dle_result.rounds + collect_rounds,
+        total_rounds=obd_rounds + dle_result.rounds + collect_rounds,
         dle_rounds=dle_result.rounds,
-        obd_rounds=obd_result.rounds,
+        obd_rounds=obd_rounds,
         collect_rounds=collect_rounds,
         leader_point=leader.head,
         connected_after=system.is_connected(),

@@ -183,10 +183,14 @@ class TaskBoard:
     # -- submitter side -----------------------------------------------------
 
     def enqueue(self, task_id: str, config_dict: Dict[str, Any], digest: str,
-                max_attempts: Optional[int] = DEFAULT_TASK_ATTEMPTS) -> str:
+                max_attempts: Optional[int] = DEFAULT_TASK_ATTEMPTS,
+                options: Optional[Dict[str, Any]] = None) -> str:
         """Make ``task_id`` runnable; same contract as the queue's enqueue:
         ``"result-exists"`` / ``"pending"`` / ``"enqueued"``.  A lingering
         failed result is discarded and retried from a zeroed attempt count.
+        ``options`` (``checkpoint_every``/``checkpoint_dir``) travels in
+        the task so every worker — including one resuming a reclaimed
+        task — runs it the same way.
         """
         with self._lock:
             result = self._results.get(task_id)
@@ -197,7 +201,7 @@ class TaskBoard:
                 self._result_times.pop(task_id, None)
             if task_id in self._tasks:
                 return "pending"
-            self._tasks[task_id] = {
+            task = {
                 "kind": TASK_KIND,
                 "id": task_id,
                 "digest": digest,
@@ -206,6 +210,9 @@ class TaskBoard:
                 "max_attempts": _budget(max_attempts),
                 "enqueued_at": time.time(),
             }
+            if options:
+                task["options"] = dict(options)
+            self._tasks[task_id] = task
             self._pending.add(task_id)
         self.note("enqueued")
         return "enqueued"
@@ -523,7 +530,8 @@ class _Handler(socketserver.StreamRequestHandler):
                     task_id, task.get("config", {}),
                     str(task.get("digest", "")),
                     max_attempts=task.get("max_attempts",
-                                          DEFAULT_TASK_ATTEMPTS))
+                                          DEFAULT_TASK_ATTEMPTS),
+                    options=task.get("options"))
             return {"ok": True, "statuses": statuses}
         if op == "collect":
             board.reclaim_stale()
@@ -820,7 +828,9 @@ def run_tcp_worker(address: Any,
                    max_idle: Optional[float] = None,
                    max_tasks: Optional[int] = None,
                    progress: Optional[Callable[[str, Dict[str, Any]], None]]
-                   = None) -> WorkerSummary:
+                   = None,
+                   checkpoint_dir: Optional[str] = None,
+                   checkpoint_every: Optional[int] = None) -> WorkerSummary:
     """Pull-and-execute loop against a TCP coordinator; returns a
     :class:`~repro.orchestrator.queue.WorkerSummary` (which compares equal
     to the number of tasks processed).
@@ -834,6 +844,11 @@ def run_tcp_worker(address: Any,
     exponential backoff, re-sending an unpublished result first.  A
     rejected handshake (:class:`HandshakeError`) is terminal, never
     retried.
+
+    ``checkpoint_dir`` / ``checkpoint_every`` override the task-carried
+    checkpoint options — TCP workers share nothing with the coordinator,
+    so the directory a sweep names is usually only meaningful when the
+    worker fleet re-points it at storage the *workers* share.
 
     Exit conditions: a stop broadcast from the coordinator
     (:meth:`CoordinatorServer.stop_workers`), ``max_idle`` seconds without
@@ -911,10 +926,17 @@ def run_tcp_worker(address: Any,
                     except (OSError, RuntimeError):
                         return  # main loop will notice on publish
 
+            task_options = dict(task.get("options") or {})
+            if checkpoint_dir is not None:
+                task_options["checkpoint_dir"] = str(checkpoint_dir)
+            if checkpoint_every is not None:
+                task_options["checkpoint_every"] = int(checkpoint_every)
+
             beater = threading.Thread(target=beat, daemon=True)
             beater.start()
             try:
-                outcome = execute_payload(task.get("config", {}))
+                outcome = execute_payload(task.get("config", {}),
+                                          task_options or None)
             finally:
                 stop_beat.set()
                 beater.join()
@@ -926,6 +948,8 @@ def run_tcp_worker(address: Any,
                 "elapsed": outcome.get("elapsed", 0.0),
                 "attempt": int(task.get("attempt", 0)) + 1,
             }
+            if "resumed_round" in outcome:
+                result["resumed_round"] = outcome["resumed_round"]
             try:
                 reply = client.request({"op": "result", "id": task_id,
                                         "outcome": outcome})
@@ -1000,7 +1024,8 @@ class TcpTransport:
         self.worker_timeout = float(worker_timeout)
         self.timeout = timeout
 
-    def run(self, items: Sequence[TransportItem]
+    def run(self, items: Sequence[TransportItem],
+            options: Optional[Dict[str, Any]] = None
             ) -> Iterator[Tuple[int, Dict[str, Any]]]:
         from .queue import FileTaskQueue
 
@@ -1018,6 +1043,7 @@ class TcpTransport:
                 "digest": digest,
                 "config": config.to_dict(),
                 "max_attempts": self.max_attempts,
+                **({"options": dict(options)} if options else {}),
             } for index, config, digest in items]
             self._submit(client, tasks)
             while pending:

@@ -29,6 +29,7 @@ first, and the ledger is written in spec order too, so ``jobs=1``,
 
 from __future__ import annotations
 
+import inspect
 import os
 import time
 from dataclasses import dataclass, field
@@ -166,14 +167,35 @@ def _shape_and_metrics(family: str, size: int, seed: int):
     return shape, compute_metrics(shape)
 
 
-def execute_config(config: RunConfig) -> ExperimentRecord:
-    """Run one config from scratch (no cache involved)."""
-    shape, metrics = _shape_and_metrics(config.family, config.size,
-                                        config.seed)
-    return run_experiment(config.algorithm, shape, family=config.family,
-                          size=config.size, seed=config.seed,
-                          metrics=metrics, order=config.scheduler,
-                          engine=config.engine)
+def execute_config(config: RunConfig,
+                   checkpoint_every: Optional[int] = None,
+                   checkpoint_dir: Optional[str] = None) -> ExperimentRecord:
+    """Run one config from scratch (no cache involved).
+
+    Thin front-end over :class:`repro.session.Session`, kept for callers
+    that want the record without the session bookkeeping.
+    """
+    from ..session import Session
+
+    return Session.run(config, checkpoint_every=checkpoint_every,
+                       checkpoint_dir=checkpoint_dir).record
+
+
+def _accepts_options(transport: Any) -> bool:
+    """Whether the transport's ``run`` takes the execution-options dict.
+
+    Custom transports predating checkpointing only accept ``run(items)``;
+    they keep working, merely without checkpoint support.
+    """
+    try:
+        signature = inspect.signature(transport.run)
+    except (TypeError, ValueError):
+        return False
+    if len(signature.parameters) >= 2:
+        return True
+    return any(p.kind == inspect.Parameter.VAR_POSITIONAL
+               or p.kind == inspect.Parameter.VAR_KEYWORD
+               for p in signature.parameters.values())
 
 
 def _result_from_payload(config: RunConfig,
@@ -207,7 +229,9 @@ def run_sweep(spec: Union[SweepSpec, Sequence[RunConfig]],
               resume: bool = False,
               progress: Optional[ProgressFn] = None,
               transport: Any = None,
-              max_attempts: Optional[int] = DEFAULT_MAX_ATTEMPTS) -> SweepResult:
+              max_attempts: Optional[int] = DEFAULT_MAX_ATTEMPTS,
+              checkpoint_every: Optional[int] = None,
+              checkpoint_dir: Optional[str] = None) -> SweepResult:
     """Execute every config of ``spec``, returning results in spec order.
 
     ``cache`` / ``ledger`` accept paths or pre-built objects.  ``resume``
@@ -227,6 +251,15 @@ def run_sweep(spec: Union[SweepSpec, Sequence[RunConfig]],
     work to ``python -m repro worker`` daemons.  Whatever the transport and
     completion order, ledger lines are flushed in spec order, so
     distributed sweeps and ``jobs=1`` sweeps write identical ledgers.
+
+    ``checkpoint_every`` / ``checkpoint_dir`` make every executed config
+    resumable: each run saves its state to ``checkpoint_dir`` every that
+    many scheduler rounds (through :class:`repro.session.Session`), so a
+    killed worker's half-done run continues from the last checkpoint
+    instead of restarting.  These are execution options, not run identity:
+    they never enter the cache digest or the ledger.  Transports that do
+    not understand options (custom ``run(items)`` objects) simply run
+    without checkpointing.
     """
     configs = spec.expand() if isinstance(spec, SweepSpec) else list(spec)
     for config in configs:
@@ -348,7 +381,16 @@ def run_sweep(spec: Union[SweepSpec, Sequence[RunConfig]],
     if pending:
         items = [(index, configs[index], digests[configs[index]])
                  for index in pending]
-        for index, payload in transport.run(items):
+        options: Optional[Dict[str, Any]] = None
+        if checkpoint_every is not None or checkpoint_dir is not None:
+            options = {"checkpoint_every": checkpoint_every,
+                       "checkpoint_dir": (str(checkpoint_dir)
+                                          if checkpoint_dir else None)}
+        if options is not None and _accepts_options(transport):
+            results = transport.run(items, options)
+        else:
+            results = transport.run(items)
+        for index, payload in results:
             finish(index, _result_from_payload(configs[index], payload))
 
     sweep_result = SweepResult(results=list(slots),

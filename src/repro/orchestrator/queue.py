@@ -192,7 +192,8 @@ class FileTaskQueue:
     # -- coordinator side ---------------------------------------------------
 
     def enqueue(self, task_id: str, config_dict: Dict[str, Any], digest: str,
-                max_attempts: Optional[int] = DEFAULT_TASK_ATTEMPTS) -> str:
+                max_attempts: Optional[int] = DEFAULT_TASK_ATTEMPTS,
+                options: Optional[Dict[str, Any]] = None) -> str:
         """Make ``task_id`` runnable; returns how it was handled.
 
         ``"result-exists"``: a previous (identical) run already finished it
@@ -200,7 +201,9 @@ class FileTaskQueue:
         coordinator already enqueued it and it is waiting or running.
         ``"enqueued"``: a fresh task file was written.  A lingering *failed*
         result is deleted and retried — failures are never treated as
-        cached.
+        cached.  ``options`` (e.g. ``checkpoint_every``/``checkpoint_dir``)
+        rides along in the task file so any worker — including the one
+        that resumes after the original owner dies — runs it the same way.
         """
         self.ensure_layout()
         result = self.result_path(task_id)
@@ -214,7 +217,7 @@ class FileTaskQueue:
                 pass
         if self.task_path(task_id).exists() or self.lease_path(task_id).exists():
             return "pending"
-        _write_json_atomic(self.task_path(task_id), {
+        task = {
             "kind": TASK_KIND,
             "id": task_id,
             "digest": digest,
@@ -222,7 +225,10 @@ class FileTaskQueue:
             "attempt": 0,
             "max_attempts": _budget(max_attempts),
             "enqueued_at": time.time(),
-        })
+        }
+        if options:
+            task["options"] = dict(options)
+        _write_json_atomic(self.task_path(task_id), task)
         _metric("queue.enqueued").inc()
         return "enqueued"
 
@@ -528,6 +534,8 @@ def run_worker(queue_dir: PathLike,
                max_idle: Optional[float] = None,
                max_tasks: Optional[int] = None,
                progress: Optional[Callable[[str, Dict[str, Any]], None]] = None,
+               checkpoint_dir: Optional[PathLike] = None,
+               checkpoint_every: Optional[int] = None,
                ) -> WorkerSummary:
     """Pull-and-execute loop; returns a :class:`WorkerSummary` (which
     compares equal to the number of tasks processed).
@@ -538,6 +546,12 @@ def run_worker(queue_dir: PathLike,
     simulation runs, and publishes the outcome.  A task that raises is
     retried (by this or any other worker) until its attempt budget is
     spent, then published as a failed result.
+
+    Checkpointing: each task's own ``options`` (set by the enqueueing
+    coordinator) apply by default; ``checkpoint_dir`` / ``checkpoint_every``
+    override them for this worker — e.g. to point at a directory that is
+    shared between workers when the coordinator's path is not.  A task
+    resumed from a checkpoint reports ``"resumed_round"`` in its result.
 
     Exit conditions: a ``STOP`` file in the queue root, ``max_idle``
     seconds without finding work, or ``max_tasks`` processed.
@@ -587,10 +601,17 @@ def run_worker(queue_dir: PathLike,
                     _touch(worker_file)
                     summary.heartbeats += 1
 
+            task_options = dict(payload.get("options") or {})
+            if checkpoint_dir is not None:
+                task_options["checkpoint_dir"] = str(checkpoint_dir)
+            if checkpoint_every is not None:
+                task_options["checkpoint_every"] = int(checkpoint_every)
+
             beater = threading.Thread(target=beat, daemon=True)
             beater.start()
             try:
-                outcome = execute_payload(payload.get("config", {}))
+                outcome = execute_payload(payload.get("config", {}),
+                                          task_options or None)
             finally:
                 stop_beat.set()
                 beater.join()
@@ -606,6 +627,8 @@ def run_worker(queue_dir: PathLike,
                 "worker": worker_id,
                 "attempt": attempt,
             }
+            if "resumed_round" in outcome:
+                result["resumed_round"] = outcome["resumed_round"]
             if "record" in outcome:
                 result["record"] = outcome["record"]
                 queue.complete(task_id, result)
@@ -672,7 +695,8 @@ class QueueTransport:
         self.worker_timeout = float(worker_timeout)
         self.timeout = timeout
 
-    def run(self, items: Sequence[TransportItem]
+    def run(self, items: Sequence[TransportItem],
+            options: Optional[Dict[str, Any]] = None
             ) -> Iterator[Tuple[int, Dict[str, Any]]]:
         queue = FileTaskQueue(self.queue_dir, lease_ttl=self.lease_ttl)
         queue.ensure_layout()
@@ -682,7 +706,7 @@ class QueueTransport:
         for index, config, digest in items:
             task_id = queue.task_id(index, digest)
             queue.enqueue(task_id, config.to_dict(), digest,
-                          max_attempts=self.max_attempts)
+                          max_attempts=self.max_attempts, options=options)
             pending[task_id] = index
         total = len(pending)
 

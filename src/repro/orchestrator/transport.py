@@ -39,7 +39,7 @@ from __future__ import annotations
 import multiprocessing
 import time
 import traceback
-from typing import Any, Callable, Dict, Iterator, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, Optional, Sequence, Tuple
 
 __all__ = [
     "TRANSPORTS",
@@ -55,26 +55,39 @@ __all__ = [
 TransportItem = Tuple[int, Any, str]
 
 
-def execute_payload(config_dict: Dict[str, Any]) -> Dict[str, Any]:
+def execute_payload(config_dict: Dict[str, Any],
+                    options: Optional[Dict[str, Any]] = None
+                    ) -> Dict[str, Any]:
     """Run one serialised config; never raises.
 
     The shared worker body: process-pool workers call it across a pickle
     boundary, queue workers call it and write the returned payload to a
     result file.  Both sides therefore speak the same dialect.
+
+    ``options`` carries execution options that are not part of the run's
+    identity — ``checkpoint_every`` / ``checkpoint_dir`` — so a worker
+    killed mid-run leaves a checkpoint the next lease holder resumes.  A
+    resumed run reports the round it continued from as ``"resumed_round"``
+    in the payload (ledger records ignore the extra key).
     """
     from ..io import records_to_dicts
-    from .pool import execute_config
-    from .spec import RunConfig
+    from ..session import Session
 
+    options = options or {}
     started = time.perf_counter()
     try:
-        config = RunConfig.from_dict(config_dict)
-        record = execute_config(config)
-        return {
+        session = Session.run(
+            config_dict,
+            checkpoint_every=options.get("checkpoint_every"),
+            checkpoint_dir=options.get("checkpoint_dir"))
+        payload = {
             "config": config_dict,
-            "record": records_to_dicts([record])[0],
+            "record": records_to_dicts([session.record])[0],
             "elapsed": time.perf_counter() - started,
         }
+        if session.resumed_round is not None:
+            payload["resumed_round"] = session.resumed_round
+        return payload
     except Exception:
         return {
             "config": config_dict,
@@ -87,8 +100,8 @@ def _indexed_payload(item):
     """Pool worker: pairs each payload with the caller's index so results
     can be matched up regardless of completion order (top-level so it is
     picklable)."""
-    index, config_dict = item
-    return index, execute_payload(config_dict)
+    index, config_dict, options = item
+    return index, execute_payload(config_dict, options)
 
 
 class InlineTransport:
@@ -102,19 +115,26 @@ class InlineTransport:
 
     name = "inline"
 
-    def run(self, items: Sequence[TransportItem]
+    def run(self, items: Sequence[TransportItem],
+            options: Optional[Dict[str, Any]] = None
             ) -> Iterator[Tuple[int, Dict[str, Any]]]:
         from ..io import records_to_dicts
-        from .pool import execute_config
+        from ..session import Session
 
+        options = options or {}
         for index, config, _digest in items:
             started = time.perf_counter()
             try:
-                record = execute_config(config)
+                session = Session.run(
+                    config,
+                    checkpoint_every=options.get("checkpoint_every"),
+                    checkpoint_dir=options.get("checkpoint_dir"))
                 payload: Dict[str, Any] = {
-                    "record": records_to_dicts([record])[0],
+                    "record": records_to_dicts([session.record])[0],
                     "elapsed": time.perf_counter() - started,
                 }
+                if session.resumed_round is not None:
+                    payload["resumed_round"] = session.resumed_round
             except Exception as exc:
                 payload = {
                     "error": traceback.format_exc(),
@@ -132,9 +152,11 @@ class ProcessTransport:
     def __init__(self, jobs: int = 2) -> None:
         self.jobs = max(1, int(jobs))
 
-    def run(self, items: Sequence[TransportItem]
+    def run(self, items: Sequence[TransportItem],
+            options: Optional[Dict[str, Any]] = None
             ) -> Iterator[Tuple[int, Dict[str, Any]]]:
-        payloads = [(index, config.to_dict()) for index, config, _ in items]
+        payloads = [(index, config.to_dict(), options)
+                    for index, config, _ in items]
         with multiprocessing.Pool(
                 processes=min(self.jobs, len(payloads))) as pool:
             results = pool.imap_unordered(_indexed_payload, payloads,

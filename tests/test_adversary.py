@@ -86,7 +86,7 @@ class TestAlgorithmsUnderAdversaries:
     def test_erosion_correct_under_every_adversary_on_hexagon(self, adversary):
         system = ParticleSystem.from_shape(hexagon(3), orientation_seed=2)
         policy = ADVERSARY_FACTORIES[adversary](system)
-        outcome = run_erosion_election(system, scheduler_order=policy, seed=2)
+        outcome = run_erosion_election(system, order=policy, seed=2)
         assert outcome.succeeded
 
     def test_adversary_can_slow_dle_down(self):

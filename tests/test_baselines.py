@@ -62,7 +62,7 @@ class TestErosionBaseline:
     @pytest.mark.parametrize("order", ["round_robin", "random", "reversed"])
     def test_scheduler_independence_on_hexagon(self, order):
         system = ParticleSystem.from_shape(hexagon(3), orientation_seed=0)
-        outcome = run_erosion_election(system, scheduler_order=order, seed=5)
+        outcome = run_erosion_election(system, order=order, seed=5)
         assert outcome.succeeded
 
     def test_no_particle_ever_moves(self):

@@ -281,3 +281,110 @@ class TestBenchCommand:
                      "--baseline", str(out1), "--quiet"])
         assert code == 1
         assert "regressed" in capsys.readouterr().err
+
+
+class TestRunCommand:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.algorithm == "dle"
+        assert args.checkpoint_dir is None
+        assert args.resume_from is None
+
+    def test_run_executes_one_config(self, capsys, tmp_path):
+        out = tmp_path / "record.json"
+        code = main(["run", "--algorithm", "dle", "--family", "hexagon",
+                     "--size", "2", "--json", str(out)])
+        assert code == 0
+        assert "dle/hexagon size=2" in capsys.readouterr().out
+        (record,) = json.loads(out.read_text())
+        assert record["algorithm"] == "dle"
+        assert record["succeeded"]
+
+    def test_run_checkpoint_every_requires_dir(self, capsys):
+        code = main(["run", "--checkpoint-every", "5"])
+        assert code == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_run_resume_from_missing_file_errors(self, capsys, tmp_path):
+        code = main(["run", "--resume-from", str(tmp_path / "missing.json")])
+        assert code == 2
+        assert "no checkpoint" in capsys.readouterr().err
+
+    def test_run_kill_then_resume_from(self, capsys, tmp_path):
+        # Interrupt a checkpointing run, then finish it via --resume-from.
+        from repro.session import Session
+
+        class Kill(Exception):
+            pass
+
+        def bomb(rounds, path):
+            raise Kill
+
+        config = {"algorithm": "dle", "family": "holey", "size": 3,
+                  "seed": 1, "scheduler": "random", "engine": "event"}
+        with pytest.raises(Kill):
+            Session.run(config, checkpoint_every=3,
+                        checkpoint_dir=tmp_path, on_checkpoint=bomb)
+        (checkpoint,) = tmp_path.glob("checkpoint-*.json")
+        code = main(["run", "--resume-from", str(checkpoint)])
+        assert code == 0
+        assert "dle/holey size=3" in capsys.readouterr().out
+        assert not checkpoint.exists()
+
+    def test_sweep_checkpoint_every_requires_dir(self, capsys):
+        code = main(["sweep", "--checkpoint-every", "5"])
+        assert code == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_sweep_with_checkpointing_runs_clean(self, capsys, tmp_path):
+        code = main(["sweep", "--algorithms", "dle", "--families", "hexagon",
+                     "--sizes", "2", "--checkpoint-every", "5",
+                     "--checkpoint-dir", str(tmp_path / "ckpts"), "--quiet"])
+        assert code == 0
+        # Clean completion leaves no checkpoint files behind.
+        assert list((tmp_path / "ckpts").glob("checkpoint-*")) == []
+
+
+class TestStatusWatch:
+    def _args(self, watch=0.01, as_json=False):
+        import argparse
+
+        return argparse.Namespace(coordinator="localhost:1", queue_dir=None,
+                                  secret=None, watch=watch, json=as_json)
+
+    def test_watch_survives_snapshot_errors(self, capsys):
+        from repro.cli import _watch_status
+
+        document = {"kind": "repro-status", "source": "tcp",
+                    "target": "localhost:1", "board": {"pending": 1},
+                    "workers": [], "stop": False}
+        # Coordinator up, then restarting (two failures), then up again.
+        outcomes = [document, ConnectionError("refused"),
+                    OSError("unreachable"), document]
+
+        def snapshot(args):
+            outcome = outcomes.pop(0)
+            if isinstance(outcome, Exception):
+                raise outcome
+            return outcome
+
+        def sleep(seconds):
+            if not outcomes:
+                raise KeyboardInterrupt
+
+        code = _watch_status(self._args(), snapshot=snapshot, sleep=sleep)
+        assert code == 130
+        captured = capsys.readouterr()
+        # Both successful polls rendered; the outage was reported once.
+        assert captured.out.count("1 pending") == 2
+        assert captured.err.count("retrying every") == 1
+        assert "answering again" in captured.err
+
+    def test_watch_stops_on_interrupt_during_poll(self):
+        from repro.cli import _watch_status
+
+        def snapshot(args):
+            raise KeyboardInterrupt
+
+        assert _watch_status(self._args(), snapshot=snapshot,
+                             sleep=lambda s: None) == 130
