@@ -36,7 +36,7 @@ def sweep_once(benchmark, spec, **kwargs):
     ``benchmark.extra_info`` so the benchmark JSON records how the sweep's
     results were obtained.
     """
-    from repro.orchestrator import run_sweep
+    from repro.api import run_sweep
 
     result = benchmark.pedantic(run_sweep, args=(spec,), kwargs=kwargs,
                                 rounds=1, iterations=1)

@@ -14,13 +14,16 @@ reversed) and the state-dependent adversaries of
 
 import pytest
 
-from repro.amoebot.adversary import ADVERSARY_FACTORIES
-from repro.amoebot.scheduler import Scheduler
-from repro.amoebot.system import ParticleSystem
-from repro.analysis.tables import format_table
-from repro.core.dle import DLEAlgorithm, verify_unique_leader
-from repro.grid.generators import make_shape
-from repro.grid.metrics import compute_metrics
+from repro.api import (
+    ADVERSARY_FACTORIES,
+    DLEAlgorithm,
+    ParticleSystem,
+    Scheduler,
+    compute_metrics,
+    format_table,
+    make_shape,
+    verify_unique_leader,
+)
 
 from conftest import run_once
 

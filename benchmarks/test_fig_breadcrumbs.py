@@ -10,14 +10,17 @@ spread out the system is when DLE finishes.
 
 import pytest
 
-from repro.amoebot.scheduler import Scheduler
-from repro.amoebot.system import ParticleSystem
-from repro.analysis.tables import format_table
-from repro.core.dle import DLEAlgorithm, verify_unique_leader
-from repro.grid.coords import grid_distance
-from repro.grid.generators import make_shape
-from repro.grid.metrics import compute_metrics
-from repro.grid.shape import connected_components
+from repro.api import (
+    DLEAlgorithm,
+    ParticleSystem,
+    Scheduler,
+    compute_metrics,
+    connected_components,
+    format_table,
+    grid_distance,
+    make_shape,
+    verify_unique_leader,
+)
 
 from conftest import run_once
 

@@ -8,16 +8,18 @@ charged rounds on growing shapes and fit against the grid diameter ``D_G``.
 
 import pytest
 
-from repro.analysis.experiments import run_experiment, run_scaling_experiment
-from repro.analysis.tables import format_scaling_series, summarize_scaling
-from repro.core.collect import (
+from repro.api import (
     OMP_ROUNDS_PER_UNIT,
     PRP_ROUNDS_PER_UNIT,
     ROTATIONS_PER_PHASE,
     SDP_ROUNDS_PER_UNIT,
+    compute_metrics,
+    format_scaling_series,
+    make_shape,
+    run_experiment,
+    run_scaling_experiment,
+    summarize_scaling,
 )
-from repro.grid.generators import make_shape
-from repro.grid.metrics import compute_metrics
 
 from conftest import attach_record, run_once
 

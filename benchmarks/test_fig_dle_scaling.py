@@ -9,10 +9,14 @@ quadratic behaviour of the prior deterministic algorithms in Table 1.
 
 import pytest
 
-from repro.analysis.experiments import run_experiment, run_scaling_experiment
-from repro.analysis.tables import format_scaling_series, summarize_scaling
-from repro.grid.generators import make_shape
-from repro.grid.metrics import compute_metrics
+from repro.api import (
+    compute_metrics,
+    format_scaling_series,
+    make_shape,
+    run_experiment,
+    run_scaling_experiment,
+    summarize_scaling,
+)
 
 from conftest import attach_record, run_once
 

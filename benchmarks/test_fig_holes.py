@@ -11,10 +11,7 @@ Two claims from the paper's introduction and Table 1 are reproduced here:
 
 import pytest
 
-from repro.analysis.experiments import run_experiment
-from repro.analysis.tables import format_table
-from repro.grid.generators import annulus
-from repro.grid.metrics import compute_metrics
+from repro.api import annulus, compute_metrics, format_table, run_experiment
 
 from conftest import attach_record, run_once
 

@@ -9,11 +9,16 @@ stress the two terms of the bound.
 
 import pytest
 
-from repro.analysis.experiments import ExperimentRecord, run_experiment, run_scaling_experiment
-from repro.analysis.fitting import fit_linear, fit_power_law
-from repro.analysis.tables import format_table
-from repro.grid.generators import make_shape
-from repro.grid.metrics import compute_metrics
+from repro.api import (
+    ExperimentRecord,
+    compute_metrics,
+    fit_linear,
+    fit_power_law,
+    format_table,
+    make_shape,
+    run_experiment,
+    run_scaling_experiment,
+)
 
 from conftest import attach_record, run_once
 

@@ -9,15 +9,15 @@ holes.  The printed table is the artefact recorded in EXPERIMENTS.md.
 
 import pytest
 
-from repro.analysis.experiments import (
+from repro.api import (
     TABLE1_ALGORITHMS,
     TABLE1_FAMILIES,
+    compute_metrics,
+    format_table1,
+    make_shape,
     run_experiment,
+    table1_spec,
 )
-from repro.analysis.tables import format_table1
-from repro.grid.generators import make_shape
-from repro.grid.metrics import compute_metrics
-from repro.orchestrator import table1_spec
 
 from conftest import attach_record, run_once, sweep_once
 

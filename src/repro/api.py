@@ -15,18 +15,26 @@ Running experiments
     spec with caching, ledgers, resume and pluggable transports;
     ``Session`` — one checkpointable, resumable run of one config;
     ``run_experiment`` / ``ALGORITHMS`` — the per-algorithm measurement
-    drivers behind every sweep.
+    drivers behind every sweep; ``run_scaling_experiment`` /
+    ``run_table1_experiment`` (with ``TABLE1_ALGORITHMS`` /
+    ``TABLE1_FAMILIES``) — the pre-packaged paper experiments.
 
 The simulator
-    ``ParticleSystem`` / ``run_algorithm`` / ``make_scheduler`` — one
-    algorithm on one system under an explicit activation order and engine.
+    ``ParticleSystem`` / ``run_algorithm`` / ``make_scheduler`` /
+    ``Scheduler`` — one algorithm on one system under an explicit
+    activation order and engine; ``ADVERSARY_FACTORIES`` — the named
+    adversarial activation orders used by the scheduler ablation.
 
 The paper's algorithms and baselines
     ``elect_leader`` / ``elect_leader_known_boundary`` (the full
     pipeline), ``DLEAlgorithm``, ``CollectSimulator``,
     ``verify_unique_leader``, ``run_erosion_election``,
     ``run_randomized_election``, ``SpanningTreeAlgorithm`` /
-    ``verify_spanning_tree`` (the post-election application).
+    ``verify_spanning_tree`` (the post-election application).  The
+    Collect round-charging constants (``OMP_ROUNDS_PER_UNIT``,
+    ``PRP_ROUNDS_PER_UNIT``, ``SDP_ROUNDS_PER_UNIT``,
+    ``ROTATIONS_PER_PHASE``) are exported so analyses can state expected
+    round counts in the paper's own units.
 
 Shapes and geometry
     ``make_shape`` plus the named families (``hexagon``,
@@ -34,20 +42,49 @@ Shapes and geometry
     ``random_holey_blob``), ``compute_metrics``, ``grid_distance`` and
     ``connected_components``.
 
-Presentation
-    ``render_system`` (ASCII art), ``format_records`` /
-    ``format_scaling_series`` / ``format_table1`` (result tables).
+Presentation and analysis
+    ``render_system`` (ASCII art), ``format_table`` / ``format_records``
+    / ``format_scaling_series`` / ``format_table1`` (result tables),
+    ``summarize_scaling`` and ``fit_linear`` / ``fit_power_law``
+    (scaling-law fits).
 """
 
 from __future__ import annotations
 
-from .amoebot.scheduler import SchedulerResult, make_scheduler, run_algorithm
+from .amoebot.adversary import ADVERSARY_FACTORIES
+from .amoebot.scheduler import (
+    Scheduler,
+    SchedulerResult,
+    make_scheduler,
+    run_algorithm,
+)
 from .amoebot.system import ParticleSystem
-from .analysis.experiments import ALGORITHMS, ExperimentRecord, run_experiment
-from .analysis.tables import format_records, format_scaling_series, format_table1
+from .analysis.experiments import (
+    ALGORITHMS,
+    TABLE1_ALGORITHMS,
+    TABLE1_FAMILIES,
+    ExperimentRecord,
+    run_experiment,
+    run_scaling_experiment,
+    run_table1_experiment,
+)
+from .analysis.fitting import fit_linear, fit_power_law
+from .analysis.tables import (
+    format_records,
+    format_scaling_series,
+    format_table,
+    format_table1,
+    summarize_scaling,
+)
 from .apps import SpanningTreeAlgorithm, verify_spanning_tree
 from .baselines import run_erosion_election, run_randomized_election
-from .core.collect import CollectSimulator
+from .core.collect import (
+    OMP_ROUNDS_PER_UNIT,
+    PRP_ROUNDS_PER_UNIT,
+    ROTATIONS_PER_PHASE,
+    SDP_ROUNDS_PER_UNIT,
+    CollectSimulator,
+)
 from .core.dle import DLEAlgorithm, verify_unique_leader
 from .core.full import ElectionOutcome, elect_leader, elect_leader_known_boundary
 from .grid.coords import grid_distance
@@ -68,14 +105,20 @@ from .state import CheckpointError
 from .viz import render_system
 
 __all__ = [
+    "ADVERSARY_FACTORIES",
     "ALGORITHMS",
     "CheckpointError",
     "CollectSimulator",
     "DLEAlgorithm",
     "ElectionOutcome",
     "ExperimentRecord",
+    "OMP_ROUNDS_PER_UNIT",
+    "PRP_ROUNDS_PER_UNIT",
     "ParticleSystem",
+    "ROTATIONS_PER_PHASE",
     "RunConfig",
+    "SDP_ROUNDS_PER_UNIT",
+    "Scheduler",
     "SchedulerResult",
     "Session",
     "Shape",
@@ -83,13 +126,18 @@ __all__ = [
     "SpanningTreeAlgorithm",
     "SweepResult",
     "SweepSpec",
+    "TABLE1_ALGORITHMS",
+    "TABLE1_FAMILIES",
     "annulus",
     "compute_metrics",
     "connected_components",
     "elect_leader",
     "elect_leader_known_boundary",
+    "fit_linear",
+    "fit_power_law",
     "format_records",
     "format_scaling_series",
+    "format_table",
     "format_table1",
     "grid_distance",
     "hexagon",
@@ -103,8 +151,11 @@ __all__ = [
     "run_erosion_election",
     "run_experiment",
     "run_randomized_election",
+    "run_scaling_experiment",
     "run_sweep",
+    "run_table1_experiment",
     "scaling_spec",
+    "summarize_scaling",
     "table1_spec",
     "verify_spanning_tree",
     "verify_unique_leader",

@@ -405,6 +405,33 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--json", metavar="PATH", default=None,
                          help="also write the report to a JSON file")
 
+    lint = sub.add_parser(
+        "lint",
+        help="static analysis: determinism, state-protocol, telemetry, "
+             "lock-order and API-hygiene rules",
+        description="AST-based static analysis of repro source trees. "
+                    "Exit code 0 when clean, 1 when findings exist, 2 on "
+                    "usage errors.  Suppress one finding in place with "
+                    "'# repro: lint-ok[CODE] reason'.")
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files or directories to lint (default: --self)")
+    lint.add_argument("--self", action="store_true", dest="lint_self",
+                      help="lint this repository's own src/, tests/, "
+                           "examples/ and benchmarks/ trees (the CI gate)")
+    lint.add_argument("--format", choices=("human", "json"), default="human",
+                      help="report format on stdout (default human)")
+    lint.add_argument("--json", metavar="PATH", default=None,
+                      help="additionally write the JSON report to a file "
+                           "(the CI failure artifact)")
+    lint.add_argument("--select", metavar="RULES", default=None,
+                      help="comma-separated rule codes or family letters "
+                           "to run (e.g. D101,S or A)")
+    lint.add_argument("--ignore", metavar="RULES", default=None,
+                      help="comma-separated rule codes or family letters "
+                           "to skip")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list the registered rules and exit")
+
     metrics = sub.add_parser("metrics", help="print the parameters of a shape")
     metrics.add_argument("--family", default="hexagon", choices=sorted(SHAPE_FAMILIES))
     metrics.add_argument("--size", type=int, default=3)
@@ -1054,6 +1081,47 @@ def _cmd_families(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint import DEFAULT_SELF_PATHS, all_rules, lint_paths
+
+    if args.list_rules:
+        for rule in all_rules():
+            roles = ",".join(rule.roles)
+            print(f"{rule.code}  {rule.name}  [{roles}]")
+            print(f"       {rule.description}")
+        return 0
+    paths = list(args.paths)
+    if args.lint_self or not paths:
+        missing = [name for name in DEFAULT_SELF_PATHS
+                   if not Path(name).exists()]
+        if "src" in missing:
+            print("error: --self expects to run from the repository root "
+                  "(no src/ here); pass explicit paths instead",
+                  file=sys.stderr)
+            return 2
+        paths.extend(name for name in DEFAULT_SELF_PATHS
+                     if name not in missing and name not in paths)
+    select = args.select.split(",") if args.select else None
+    ignore = args.ignore.split(",") if args.ignore else None
+    for path in paths:
+        if not Path(path).exists():
+            print(f"error: no such path {path!r}", file=sys.stderr)
+            return 2
+    report = lint_paths(paths, select=select, ignore=ignore)
+    if args.json:
+        Path(args.json).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.json).write_text(json.dumps(report.to_dict(), indent=2)
+                                   + "\n", encoding="utf-8")
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        if report.ok:
+            print(f"repro lint: clean ({report.files_checked} files)")
+        else:
+            print(report.format_human())
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "sweep": _cmd_sweep,
     "run": _cmd_run,
@@ -1063,6 +1131,7 @@ _COMMANDS = {
     "queue-gc": _cmd_queue_gc,
     "bench": _cmd_bench,
     "profile": _cmd_profile,
+    "lint": _cmd_lint,
     "table1": _cmd_table1,
     "scaling": _cmd_scaling,
     "elect": _cmd_elect,

@@ -256,12 +256,14 @@ class CollectSimulator:
         to cover it; the extra rounds are at most another ``O(D_G)`` and are
         charged below.
         """
-        distances = [
-            packed_grid_distance(pack_point(self.system.get_particle(pid).head),
-                                 self._leader_packed)
-            for pid in self.collected
-        ]
-        max_distance = max(distances) if distances else 0
+        # Reduced straight to max(): iterating the ``collected`` set must
+        # never materialise a hash-ordered list (D102) — only the extremum
+        # is order-free.
+        max_distance = max(
+            (packed_grid_distance(
+                pack_point(self.system.get_particle(pid).head),
+                self._leader_packed)
+             for pid in self.collected), default=0)
         needed_stem = max_distance + 1
         if needed_stem > len(self.collected):
             needed_stem = len(self.collected)

@@ -1,0 +1,73 @@
+"""``repro.lint`` — determinism & state-protocol static analysis.
+
+An AST-based analyzer enforcing, at review time, the invariants the rest
+of the harness can only test after the fact: no unseeded randomness, no
+hash-order leaking into traces/ledgers/digests, full
+``snapshot_state``/``restore_state`` coverage, paired telemetry spans
+and registered metric names, acyclic lock ordering in the threaded
+coordinator, and a facade-only public API surface.
+
+Run it as ``python -m repro lint [paths]`` (``--self`` scans the
+repository's own ``src``/``tests``/``examples``/``benchmarks``), or
+programmatically::
+
+    from repro.lint import lint_paths, lint_source
+
+    report = lint_paths(["src"])
+    assert report.ok, report.format_human()
+
+Rule families (each rule's docstring in its module has the details):
+
+* ``D1xx`` determinism — :mod:`repro.lint.determinism`
+* ``S2xx`` state protocol — :mod:`repro.lint.stateproto`
+* ``T3xx`` telemetry — :mod:`repro.lint.telemetryrules`
+* ``L4xx`` lock discipline — :mod:`repro.lint.locks`
+* ``A5xx`` API hygiene — :mod:`repro.lint.apihygiene`
+
+Suppress a finding in place with ``# repro: lint-ok[CODE] reason`` on
+the flagged line.  New rules subclass :class:`~repro.lint.base.Rule`,
+register with :func:`~repro.lint.base.register_rule`, and are picked up
+by the CLI, the CI gate and ``--list-rules`` automatically.
+"""
+
+from __future__ import annotations
+
+from .base import (
+    ROLES,
+    RULE_TYPES,
+    Finding,
+    ModuleContext,
+    Rule,
+    all_rules,
+    register_rule,
+)
+
+# Importing the rule modules populates RULE_TYPES.
+from . import apihygiene  # noqa: F401  (registration import)
+from . import determinism  # noqa: F401
+from . import locks  # noqa: F401
+from . import stateproto  # noqa: F401
+from . import telemetryrules  # noqa: F401
+
+from .runner import (
+    DEFAULT_SELF_PATHS,
+    LintReport,
+    lint_paths,
+    lint_source,
+    role_for_path,
+)
+
+__all__ = [
+    "DEFAULT_SELF_PATHS",
+    "Finding",
+    "LintReport",
+    "ModuleContext",
+    "ROLES",
+    "RULE_TYPES",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+    "role_for_path",
+]

@@ -1,0 +1,353 @@
+"""D-rules: determinism hazards.
+
+Every guarantee the harness ships — trace-identical engines,
+byte-identical ledgers across transports, restore ≡ continue — assumes
+the simulation draws randomness only from seeded generators and never
+lets hash-order leak into ordered output.  These rules enforce that
+statically:
+
+``D101`` *unseeded-random*
+    Calls into the process-global stdlib RNG (``random.shuffle`` and
+    friends), ``random.SystemRandom``, or numpy's legacy global RNG
+    (``np.random.rand`` …).  Seeded construction — ``random.Random(s)``,
+    ``np.random.default_rng(s)``, ``Generator``/``MT19937``/
+    ``SeedSequence`` — is the sanctioned plumbing and is allowed.
+
+``D102`` *unordered-iteration*
+    ``set``/``frozenset`` values iterated into *ordered* output:
+    ``list(s)`` / ``tuple(s)``, list comprehensions over sets, or
+    ``for`` loops over sets whose bodies ``append``/``extend``/``yield``.
+    Order-insensitive consumption (``sorted``, ``len``, ``min``/``max``,
+    membership, building another set) is fine.  Tracks set-typed local
+    variables, ``Set[...]``-annotated attributes and direct set
+    expressions.
+
+``D103`` *wallclock-in-digest*
+    ``time.*`` / ``os.urandom`` / ``uuid.*`` / ``id()`` inside functions
+    that construct digests or cache keys (detected by a ``hashlib`` call
+    or a digest-ish name): a timestamp in a digest breaks cache identity
+    across runs.
+
+``D104`` *unsorted-json-digest*
+    ``json.dumps`` without ``sort_keys=True`` in those same digest
+    functions: dict insertion order is deterministic per construction
+    site but not across code paths, so canonical forms must sort.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Set
+
+from .base import (
+    Finding,
+    ModuleContext,
+    Rule,
+    call_name,
+    dotted_name,
+    iter_functions,
+    register_rule,
+)
+
+__all__ = [
+    "UnseededRandomRule",
+    "UnorderedIterationRule",
+    "WallclockInDigestRule",
+    "UnsortedJsonDigestRule",
+]
+
+#: Module-level stdlib ``random`` functions that use the shared global RNG.
+GLOBAL_RANDOM_FUNCS = frozenset({
+    "betavariate", "choice", "choices", "expovariate", "gammavariate",
+    "gauss", "getrandbits", "lognormvariate", "normalvariate", "paretovariate",
+    "randbytes", "randint", "random", "randrange", "sample", "seed",
+    "shuffle", "triangular", "uniform", "vonmisesvariate", "weibullvariate",
+})
+
+#: Seeded / explicitly-parameterised numpy.random entry points.
+NUMPY_RANDOM_ALLOWED = frozenset({
+    "default_rng", "Generator", "MT19937", "PCG64", "Philox", "SFC64",
+    "SeedSequence", "BitGenerator", "RandomState",
+})
+
+
+def _import_aliases(tree: ast.AST) -> Dict[str, str]:
+    """Local name -> imported dotted module/name, from top-level imports."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                aliases[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}")
+    return aliases
+
+
+@register_rule
+class UnseededRandomRule(Rule):
+    code = "D101"
+    name = "unseeded-random"
+    description = ("no process-global RNG: random.* module functions, "
+                   "SystemRandom and numpy's legacy global generator are "
+                   "banned outside seeded plumbing")
+    roles = ("src", "examples", "benchmarks")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        aliases = _import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = call_name(node)
+            if target is None:
+                continue
+            resolved = self._resolve(target, aliases)
+            if resolved is None:
+                continue
+            yield self.finding(module, node, resolved)
+
+    def _resolve(self, target: str,
+                 aliases: Dict[str, str]) -> Optional[str]:
+        head, _, rest = target.partition(".")
+        origin = aliases.get(head)
+        if origin is None:
+            return None
+        full = origin + ("." + rest if rest else "")
+        # from random import shuffle  ->  full == "random.shuffle"
+        if full.startswith("random."):
+            func = full.split(".", 1)[1]
+            if func in GLOBAL_RANDOM_FUNCS:
+                return (f"call to the process-global RNG "
+                        f"'random.{func}'; draw from a seeded "
+                        f"random.Random instead")
+            if func == "SystemRandom":
+                return ("random.SystemRandom is entropy-backed and can "
+                        "never be made reproducible; use a seeded "
+                        "random.Random")
+        if full.startswith("numpy.random."):
+            func = full.split(".", 2)[2].split(".")[0]
+            if func not in NUMPY_RANDOM_ALLOWED:
+                return (f"call to numpy's legacy global RNG "
+                        f"'numpy.random.{func}'; use "
+                        f"numpy.random.default_rng(seed) / Generator")
+        return None
+
+
+# ---------------------------------------------------------------------------
+# D102 — set iteration escaping into ordered output
+# ---------------------------------------------------------------------------
+
+_SET_ANNOTATIONS = re.compile(r"^(typing\.)?(Set|FrozenSet|set|frozenset)$")
+_ORDER_FREE_CONSUMERS = frozenset({
+    "sorted", "len", "min", "max", "sum", "any", "all", "set", "frozenset",
+    "iter", "next", "enumerate",
+})
+_ORDERED_BUILDERS = frozenset({"list", "tuple"})
+
+
+def _is_set_expr(node: ast.AST, known: Set[str]) -> bool:
+    """Does ``node`` evaluate to a set, as far as local syntax can tell?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = call_name(node)
+        if name in ("set", "frozenset"):
+            return True
+    name = dotted_name(node)
+    return name is not None and name in known
+
+
+def _annotation_is_set(annotation: Optional[ast.AST]) -> bool:
+    if annotation is None:
+        return False
+    target = annotation
+    if isinstance(target, ast.Subscript):
+        target = target.value
+    name = dotted_name(target)
+    return name is not None and _SET_ANNOTATIONS.match(name) is not None
+
+
+class _FunctionSetScan:
+    """Per-function view: which names/attributes are set-valued here."""
+
+    def __init__(self, func: ast.AST, class_sets: Set[str]) -> None:
+        self.known: Set[str] = set(class_sets)
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign):
+                if _is_set_expr(node.value, self.known):
+                    for target in node.targets:
+                        name = dotted_name(target)
+                        if name is not None:
+                            self.known.add(name)
+            elif isinstance(node, ast.AnnAssign):
+                name = dotted_name(node.target)
+                if name is None:
+                    continue
+                if (_annotation_is_set(node.annotation)
+                        or (node.value is not None
+                            and _is_set_expr(node.value, self.known))):
+                    self.known.add(name)
+
+
+def _class_set_attributes(cls: ast.ClassDef) -> Set[str]:
+    """``self.x`` attributes a class binds to set values anywhere."""
+    attrs: Set[str] = set()
+    for node in ast.walk(cls):
+        if isinstance(node, ast.Assign) and _is_set_expr(node.value, attrs):
+            for target in node.targets:
+                name = dotted_name(target)
+                if name is not None and name.startswith("self."):
+                    attrs.add(name)
+        elif isinstance(node, ast.AnnAssign):
+            name = dotted_name(node.target)
+            if (name is not None and name.startswith("self.")
+                    and _annotation_is_set(node.annotation)):
+                attrs.add(name)
+    return attrs
+
+
+def _body_orders_output(body: List[ast.stmt]) -> bool:
+    """Does a loop body push elements into ordered output?"""
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                return True
+            if isinstance(node, ast.Call):
+                name = call_name(node)
+                if name is not None and name.split(".")[-1] in (
+                        "append", "extend", "insert", "write"):
+                    return True
+    return False
+
+
+@register_rule
+class UnorderedIterationRule(Rule):
+    code = "D102"
+    name = "unordered-iteration"
+    description = ("set iteration must not escape into ordered output "
+                   "(list()/tuple()/comprehensions/append loops) without "
+                   "sorted()")
+    roles = ("src",)
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        # Attribute knowledge is collected per class, name knowledge per
+        # function; module-level code gets an empty class scope.
+        class_sets: Dict[ast.AST, Set[str]] = {}
+        func_owner: Dict[ast.AST, Set[str]] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                sets = _class_set_attributes(node)
+                for child in node.body:
+                    if isinstance(child, (ast.FunctionDef,
+                                          ast.AsyncFunctionDef)):
+                        func_owner[child] = sets
+        for func in iter_functions(module.tree):
+            scan = _FunctionSetScan(func, func_owner.get(func, set()))
+            yield from self._check_scope(module, func, scan.known)
+
+    def _check_scope(self, module: ModuleContext, func: ast.AST,
+                     known: Set[str]) -> Iterator[Finding]:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call):
+                name = call_name(node)
+                if (name in _ORDERED_BUILDERS and len(node.args) == 1
+                        and _is_set_expr(node.args[0], known)):
+                    yield self.finding(
+                        module, node,
+                        f"{name}() over a set produces hash-ordered "
+                        f"output; wrap the set in sorted()")
+            elif isinstance(node, ast.ListComp):
+                for gen in node.generators:
+                    if _is_set_expr(gen.iter, known):
+                        yield self.finding(
+                            module, node,
+                            "list comprehension over a set produces "
+                            "hash-ordered output; iterate sorted(...)")
+            elif isinstance(node, ast.For):
+                if (_is_set_expr(node.iter, known)
+                        and _body_orders_output(node.body)):
+                    yield self.finding(
+                        module, node,
+                        "for-loop over a set feeds ordered output "
+                        "(append/extend/yield); iterate sorted(...)")
+
+
+# ---------------------------------------------------------------------------
+# D103 / D104 — nondeterminism flowing into digests
+# ---------------------------------------------------------------------------
+
+_DIGEST_NAME = re.compile(r"digest|cache_key|fingerprint|checkpoint_name",
+                          re.IGNORECASE)
+_WALLCLOCK_CALLS = frozenset({
+    "time.time", "time.monotonic", "time.perf_counter", "time.time_ns",
+    "time.monotonic_ns", "time.perf_counter_ns", "os.urandom",
+    "uuid.uuid1", "uuid.uuid4", "id",
+})
+
+
+def _digest_functions(tree: ast.AST) -> Iterator[ast.AST]:
+    """Functions that construct digests: named like one, or calling
+    ``hashlib``."""
+    for func in iter_functions(tree):
+        name = getattr(func, "name", "")
+        if _DIGEST_NAME.search(name):
+            yield func
+            continue
+        for node in ast.walk(func):
+            target = call_name(node) if isinstance(node, ast.Call) else None
+            if target is not None and target.startswith("hashlib."):
+                yield func
+                break
+
+
+@register_rule
+class WallclockInDigestRule(Rule):
+    code = "D103"
+    name = "wallclock-in-digest"
+    description = ("time.*/os.urandom/uuid/id() must not flow into digest "
+                   "or cache-key construction")
+    roles = ("src",)
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for func in _digest_functions(module.tree):
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                target = call_name(node)
+                if target in _WALLCLOCK_CALLS:
+                    yield self.finding(
+                        module, node,
+                        f"'{target}' inside digest-constructing function "
+                        f"'{getattr(func, 'name', '?')}' makes the digest "
+                        f"run-dependent")
+
+
+@register_rule
+class UnsortedJsonDigestRule(Rule):
+    code = "D104"
+    name = "unsorted-json-digest"
+    description = ("json.dumps feeding a digest must pass sort_keys=True "
+                   "for a canonical byte form")
+    roles = ("src",)
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for func in _digest_functions(module.tree):
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                if call_name(node) != "json.dumps":
+                    continue
+                sort_keys = False
+                for keyword in node.keywords:
+                    if keyword.arg == "sort_keys":
+                        value = keyword.value
+                        sort_keys = not (isinstance(value, ast.Constant)
+                                         and value.value is False)
+                if not sort_keys:
+                    yield self.finding(
+                        module, node,
+                        f"json.dumps without sort_keys=True in digest "
+                        f"function '{getattr(func, 'name', '?')}' is not "
+                        f"a canonical byte form")

@@ -1,0 +1,219 @@
+"""L-rules: lock discipline in the threaded coordinator.
+
+``repro.orchestrator.net`` runs one protocol-handler thread per
+connection over shared state (``TaskBoard``, the worker table); every
+lock there is a plain non-reentrant ``threading.Lock``.  Two statically
+checkable invariants keep that safe:
+
+``L401`` *lock-order-cycle*
+    Build the acquires-while-holding graph per class: an edge A → B
+    means some code path acquires B while holding A, either by lexical
+    ``with`` nesting or by calling (transitively, same class) a method
+    that acquires B.  A cycle in that graph is a lock-ordering deadlock
+    waiting for the right thread interleaving.
+
+``L402`` *lock-reacquired*
+    A path that re-acquires a lock it already holds: instant deadlock
+    with ``threading.Lock`` (they are not reentrant).  This is the
+    invariant behind ``TaskBoard.note()`` owning a *separate*
+    ``_counter_lock`` — callers may hold the board lock.
+
+Lock attributes are recognised by name (``lock`` / ``mutex`` / ``cv`` /
+``cond``, case-insensitive), matching this codebase's naming style.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .base import Finding, ModuleContext, Rule, dotted_name, register_rule
+
+__all__ = ["LockOrderCycleRule", "LockReacquiredRule"]
+
+_LOCK_NAME = re.compile(r"lock|mutex|(^|_)cv($|_)|cond", re.IGNORECASE)
+
+
+def _lock_target(node: ast.AST) -> Optional[str]:
+    """``self._lock`` (or similar) when a with-item acquires a lock."""
+    name = dotted_name(node)
+    if name is None or not name.startswith("self."):
+        return None
+    attr = name.split(".", 1)[1]
+    if _LOCK_NAME.search(attr):
+        return attr
+    return None
+
+
+class _ClassLockScan(ast.NodeVisitor):
+    """One class's lock behaviour: per-method acquires, nesting edges,
+    and calls made while holding locks."""
+
+    def __init__(self, cls: ast.ClassDef) -> None:
+        self.cls = cls
+        #: method -> locks it acquires directly.
+        self.acquires: Dict[str, Set[str]] = {}
+        #: (held, acquired, node) direct lexical nestings.
+        self.nest_edges: List[Tuple[str, str, ast.AST]] = []
+        #: (held, callee-method, node) same-class calls under a lock.
+        self.held_calls: List[Tuple[str, str, ast.AST]] = []
+        #: (lock, node) lexical re-acquisitions.
+        self.reacquired: List[Tuple[str, ast.AST]] = []
+        self._method: Optional[str] = None
+        self._held: List[str] = []
+        for item in cls.body:
+            if isinstance(item, ast.FunctionDef):
+                self._method = item.name
+                self.acquires.setdefault(item.name, set())
+                for stmt in item.body:
+                    self.visit(stmt)
+        self._method = None
+
+    def visit_With(self, node: ast.With) -> None:
+        acquired: List[str] = []
+        for item in node.items:
+            lock = _lock_target(item.context_expr)
+            if lock is None:
+                continue
+            if self._method is not None:
+                self.acquires[self._method].add(lock)
+            if lock in self._held:
+                self.reacquired.append((lock, item.context_expr))
+            for held in self._held:
+                if held != lock:
+                    self.nest_edges.append((held, lock, item.context_expr))
+            acquired.append(lock)
+        self._held.extend(acquired)
+        for stmt in node.body:
+            self.visit(stmt)
+        del self._held[len(self._held) - len(acquired):]
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name is not None and name.startswith("self.") and self._held:
+            method = name.split(".", 1)[1]
+            if "." not in method:
+                for held in self._held:
+                    self.held_calls.append((held, method, node))
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # Nested function: conservatively scan with the current held set.
+        for stmt in node.body:
+            self.visit(stmt)
+
+
+def _transitive_acquires(scan: _ClassLockScan) -> Dict[str, Set[str]]:
+    """method -> every lock a call to it may acquire (fixpoint over the
+    same-class call graph)."""
+    callee_graph: Dict[str, Set[str]] = {m: set() for m in scan.acquires}
+    for item in scan.cls.body:
+        if not isinstance(item, ast.FunctionDef):
+            continue
+        for node in ast.walk(item):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is not None and name.startswith("self."):
+                    method = name.split(".", 1)[1]
+                    if "." not in method and method in callee_graph:
+                        callee_graph[item.name].add(method)
+    result = {m: set(locks) for m, locks in scan.acquires.items()}
+    changed = True
+    while changed:
+        changed = False
+        for method in sorted(result):
+            for callee in sorted(callee_graph.get(method, ())):
+                extra = result.get(callee, set()) - result[method]
+                if extra:
+                    result[method] |= extra
+                    changed = True
+    return result
+
+
+def _find_cycle(edges: Dict[str, Set[str]]) -> Optional[List[str]]:
+    """A lock cycle as a path ``[a, b, ..., a]``, or None."""
+    visiting: Set[str] = set()
+    visited: Set[str] = set()
+    path: List[str] = []
+
+    def visit(node: str) -> Optional[List[str]]:
+        if node in visiting:
+            return path[path.index(node):] + [node]
+        if node in visited:
+            return None
+        visiting.add(node)
+        path.append(node)
+        for target in sorted(edges.get(node, ())):
+            cycle = visit(target)
+            if cycle is not None:
+                return cycle
+        path.pop()
+        visiting.discard(node)
+        visited.add(node)
+        return None
+
+    for start in sorted(edges):
+        cycle = visit(start)
+        if cycle is not None:
+            return cycle
+    return None
+
+
+class _LockRuleBase(Rule):
+    def _scans(self, module: ModuleContext) -> Iterator[_ClassLockScan]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                scan = _ClassLockScan(node)
+                if any(scan.acquires.values()):
+                    yield scan
+
+
+@register_rule
+class LockOrderCycleRule(_LockRuleBase):
+    code = "L401"
+    name = "lock-order-cycle"
+    description = ("the acquires-while-holding graph of a class must be "
+                   "acyclic (cycles deadlock under the right thread "
+                   "interleaving)")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for scan in self._scans(module):
+            transitive = _transitive_acquires(scan)
+            edges: Dict[str, Set[str]] = {}
+            for held, acquired, _node in scan.nest_edges:
+                edges.setdefault(held, set()).add(acquired)
+            for held, callee, _node in scan.held_calls:
+                for acquired in transitive.get(callee, ()):
+                    if acquired != held:
+                        edges.setdefault(held, set()).add(acquired)
+            cycle = _find_cycle(edges)
+            if cycle is not None:
+                yield self.finding(
+                    module, scan.cls,
+                    f"lock-order cycle in class {scan.cls.name}: "
+                    f"{' -> '.join(cycle)}; impose one global order")
+
+
+@register_rule
+class LockReacquiredRule(_LockRuleBase):
+    code = "L402"
+    name = "lock-reacquired"
+    description = ("a non-reentrant lock must never be re-acquired on a "
+                   "path that already holds it")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for scan in self._scans(module):
+            for lock, node in scan.reacquired:
+                yield self.finding(
+                    module, node,
+                    f"'{lock}' re-acquired while already held: "
+                    f"threading.Lock is not reentrant, this deadlocks")
+            transitive = _transitive_acquires(scan)
+            for held, callee, node in scan.held_calls:
+                if held in transitive.get(callee, ()):
+                    yield self.finding(
+                        module, node,
+                        f"call to self.{callee}() while holding "
+                        f"'{held}', which {callee}() (re-)acquires: "
+                        f"threading.Lock is not reentrant, this deadlocks")

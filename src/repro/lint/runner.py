@@ -1,0 +1,156 @@
+"""The lint runner: path walking, role assignment, reports.
+
+:func:`lint_paths` is what ``python -m repro lint`` and the CI gate
+call: walk the targets (files or directories) in sorted order — the
+linter's own output is deterministic, of course — assign each file a
+*role* from its location, run every registered rule that covers the
+role, and return the findings plus a JSON-ready report.
+
+Role assignment, by path segment relative to the scanned root:
+
+* ``examples`` / ``benchmarks`` directory → that role,
+* a ``tests`` directory or a ``test_*.py`` / ``conftest.py`` basename →
+  ``tests``,
+* everything else (the ``src/repro`` tree included) → ``src``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .base import Finding, ModuleContext, Rule, all_rules
+
+__all__ = [
+    "DEFAULT_SELF_PATHS",
+    "LintReport",
+    "lint_paths",
+    "lint_source",
+    "role_for_path",
+]
+
+#: What ``repro lint --self`` scans, relative to the repository root:
+#: the package sources *and* every facade consumer, so the A-rules
+#: (facade-only imports) are enforced over examples/ and benchmarks/ too.
+DEFAULT_SELF_PATHS: Tuple[str, ...] = ("src", "tests", "examples",
+                                       "benchmarks")
+
+#: Schema version of the JSON report.
+REPORT_VERSION = 1
+
+
+class LintReport:
+    """Findings plus the counts the CI artifact and humans both want."""
+
+    def __init__(self, findings: Sequence[Finding],
+                 files_checked: int) -> None:
+        self.findings = list(findings)
+        self.files_checked = files_checked
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": "repro-lint-report",
+            "version": REPORT_VERSION,
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "counts": self.counts_by_rule(),
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+
+    def format_human(self) -> str:
+        lines = [finding.format() for finding in self.findings]
+        noun = "finding" if len(self.findings) == 1 else "findings"
+        lines.append(f"repro lint: {len(self.findings)} {noun} in "
+                     f"{self.files_checked} files")
+        return "\n".join(lines)
+
+
+def role_for_path(path: Path, root: Optional[Path] = None) -> str:
+    """The lint role of one file (see module docstring)."""
+    try:
+        relative = path.resolve().relative_to((root or Path.cwd()).resolve())
+    except ValueError:
+        relative = path
+    parts = relative.parts
+    if "examples" in parts:
+        return "examples"
+    if "benchmarks" in parts:
+        return "benchmarks"
+    name = path.name
+    if "tests" in parts or name.startswith("test_") or name == "conftest.py":
+        return "tests"
+    return "src"
+
+
+def _iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    for path in sorted(Path(p) for p in paths):
+        if path.is_dir():
+            yield from sorted(candidate for candidate in path.rglob("*.py")
+                              if "__pycache__" not in candidate.parts)
+        elif path.suffix == ".py":
+            yield path
+
+
+def _select_rules(select: Optional[Sequence[str]],
+                  ignore: Optional[Sequence[str]]) -> List[Rule]:
+    rules = all_rules()
+    if select:
+        wanted = set(select)
+        rules = [rule for rule in rules
+                 if rule.code in wanted or rule.code[0] in wanted]
+    if ignore:
+        unwanted = set(ignore)
+        rules = [rule for rule in rules
+                 if rule.code not in unwanted
+                 and rule.code[0] not in unwanted]
+    return rules
+
+
+def lint_source(source: str, path: str = "<string>", role: str = "src",
+                select: Optional[Sequence[str]] = None,
+                ignore: Optional[Sequence[str]] = None) -> List[Finding]:
+    """Lint one source string (the unit the fixture tests drive)."""
+    try:
+        module = ModuleContext(path, source, role=role)
+    except SyntaxError as exc:
+        return [Finding(rule="X001", path=path, line=exc.lineno or 1,
+                        col=(exc.offset or 0) + 1,
+                        message=f"syntax error: {exc.msg}")]
+    findings: List[Finding] = []
+    for rule in _select_rules(select, ignore):
+        findings.extend(rule.run(module))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def lint_paths(paths: Sequence[object], root: Optional[Path] = None,
+               select: Optional[Sequence[str]] = None,
+               ignore: Optional[Sequence[str]] = None) -> LintReport:
+    """Lint files and directories; returns a :class:`LintReport`."""
+    root = Path(root) if root is not None else Path.cwd()
+    findings: List[Finding] = []
+    files = 0
+    for file_path in _iter_python_files([Path(str(p)) for p in paths]):
+        files += 1
+        role = role_for_path(file_path, root=root)
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            findings.append(Finding(rule="X002", path=str(file_path),
+                                    line=1, col=1,
+                                    message=f"unreadable: {exc}"))
+            continue
+        findings.extend(lint_source(source, path=str(file_path), role=role,
+                                    select=select, ignore=ignore))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return LintReport(findings, files_checked=files)

@@ -1,0 +1,241 @@
+"""S-rules: the checkpoint state protocol.
+
+PR 7's restore ≡ continue guarantee rests on every class that implements
+``snapshot_state`` covering *all* of its mutable run state.  The fuzz
+suite can only catch a missing field probabilistically (the field has to
+matter on the fuzzed configs); these rules catch the drift structurally,
+at review time:
+
+``S201`` *state-protocol-pair*
+    A class defining only one of ``snapshot_state`` / ``restore_state``.
+
+``S202`` *snapshot-restore-key-drift*
+    The string keys of the dict literal ``snapshot_state`` returns must
+    exactly match the keys ``restore_state`` reads off its state
+    argument (``state["k"]`` / ``state.get("k")``).  A key written but
+    never restored is silently-dropped state; a key read but never
+    written is a guaranteed ``KeyError`` on resume.
+
+``S203`` *uncovered-mutable-attr*
+    A public attribute (no leading underscore) assigned in ``__init__``
+    **and mutated elsewhere in the class** — i.e. genuine run state, not
+    immutable configuration — must appear in ``snapshot_state`` or
+    ``restore_state``.  Derived caches are exempt by the repo convention
+    that caches are underscore-prefixed and rebuilt on restore.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .base import (
+    Finding,
+    ModuleContext,
+    Rule,
+    call_name,
+    dotted_name,
+    register_rule,
+    string_keys,
+)
+
+__all__ = [
+    "StateProtocolPairRule",
+    "SnapshotKeyDriftRule",
+    "UncoveredMutableAttrRule",
+]
+
+_MUTATOR_METHODS = frozenset({
+    "add", "append", "extend", "insert", "update", "pop", "popitem",
+    "remove", "discard", "clear", "setdefault", "appendleft",
+})
+
+
+def _methods(cls: ast.ClassDef) -> Dict[str, ast.FunctionDef]:
+    return {node.name: node for node in cls.body
+            if isinstance(node, ast.FunctionDef)}
+
+
+def _state_param(func: ast.FunctionDef) -> Optional[str]:
+    """The name of ``restore_state``'s state argument (first after self)."""
+    args = func.args.args
+    if len(args) >= 2:
+        return args[1].arg
+    return None
+
+
+def _snapshot_keys(func: ast.FunctionDef) -> Optional[Set[str]]:
+    """Keys of dict literals returned by ``snapshot_state``.
+
+    Returns ``None`` when the method returns anything other than dict
+    literals (dynamic composition defeats static key matching).
+    """
+    keys: Set[str] = set()
+    returns = [node for node in ast.walk(func) if isinstance(node, ast.Return)]
+    if not returns:
+        return None
+    for node in returns:
+        if not isinstance(node.value, ast.Dict):
+            return None
+        literal_keys = string_keys(node.value)
+        if len(literal_keys) != len(node.value.keys):
+            return None  # **spread or computed key: bail out
+        keys.update(key for key, _ in literal_keys)
+    return keys
+
+
+def _restore_keys(func: ast.FunctionDef) -> Set[str]:
+    """Keys ``restore_state`` reads from its state argument."""
+    param = _state_param(func)
+    keys: Set[str] = set()
+    if param is None:
+        return keys
+    for node in ast.walk(func):
+        if isinstance(node, ast.Subscript):
+            base = dotted_name(node.value)
+            index = node.slice
+            if (base == param and isinstance(index, ast.Constant)
+                    and isinstance(index.value, str)):
+                keys.add(index.value)
+        elif isinstance(node, ast.Call):
+            name = call_name(node)
+            if (name == f"{param}.get" and node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)):
+                keys.add(node.args[0].value)
+    return keys
+
+
+@register_rule
+class StateProtocolPairRule(Rule):
+    code = "S201"
+    name = "state-protocol-pair"
+    description = ("snapshot_state and restore_state must be defined "
+                   "together")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = _methods(node)
+            has_snapshot = "snapshot_state" in methods
+            has_restore = "restore_state" in methods
+            if has_snapshot != has_restore:
+                present = "snapshot_state" if has_snapshot else "restore_state"
+                missing = "restore_state" if has_snapshot else "snapshot_state"
+                yield self.finding(
+                    module, methods[present],
+                    f"class {node.name} defines {present} but not "
+                    f"{missing}; the state protocol needs both")
+
+
+@register_rule
+class SnapshotKeyDriftRule(Rule):
+    code = "S202"
+    name = "snapshot-restore-key-drift"
+    description = ("keys written by snapshot_state must equal the keys "
+                   "restore_state reads")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = _methods(node)
+            snapshot = methods.get("snapshot_state")
+            restore = methods.get("restore_state")
+            if snapshot is None or restore is None:
+                continue
+            written = _snapshot_keys(snapshot)
+            if written is None:
+                continue  # dynamic snapshot document: not checkable
+            read = _restore_keys(restore)
+            for key in sorted(written - read):
+                yield self.finding(
+                    module, snapshot,
+                    f"{node.name}.snapshot_state writes key '{key}' that "
+                    f"restore_state never reads: state is silently "
+                    f"dropped on resume")
+            for key in sorted(read - written):
+                yield self.finding(
+                    module, restore,
+                    f"{node.name}.restore_state reads key '{key}' that "
+                    f"snapshot_state never writes: resume will fail or "
+                    f"mis-default")
+
+
+def _attr_assignment_targets(node: ast.stmt) -> List[str]:
+    """``self.x`` names a statement assigns (Assign/AnnAssign/AugAssign)."""
+    names: List[str] = []
+    targets: List[ast.AST] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+        targets = [node.target]
+    for target in targets:
+        if isinstance(target, ast.Tuple):
+            candidates: List[ast.AST] = list(target.elts)
+        else:
+            candidates = [target]
+        for candidate in candidates:
+            name = dotted_name(candidate)
+            if name is not None and name.startswith("self."):
+                parts = name.split(".")
+                if len(parts) == 2:
+                    names.append(parts[1])
+    return names
+
+
+def _mutated_attrs(func: ast.FunctionDef) -> Set[str]:
+    """Attributes a method reassigns or mutates through container calls."""
+    mutated: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            mutated.update(_attr_assignment_targets(node))
+        elif isinstance(node, ast.Call):
+            name = call_name(node)
+            if name is None:
+                continue
+            parts = name.split(".")
+            if (len(parts) == 3 and parts[0] == "self"
+                    and parts[2] in _MUTATOR_METHODS):
+                mutated.add(parts[1])
+    return mutated
+
+
+@register_rule
+class UncoveredMutableAttrRule(Rule):
+    code = "S203"
+    name = "uncovered-mutable-attr"
+    description = ("public attributes mutated outside __init__ must be "
+                   "covered by snapshot_state/restore_state")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = _methods(node)
+            snapshot = methods.get("snapshot_state")
+            restore = methods.get("restore_state")
+            init = methods.get("__init__")
+            if snapshot is None or restore is None or init is None:
+                continue
+            protocol_source = (ast.dump(snapshot) + ast.dump(restore))
+            init_attrs: Set[str] = set()
+            for stmt in ast.walk(init):
+                if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                    init_attrs.update(_attr_assignment_targets(stmt))
+            mutated: Set[str] = set()
+            for name, method in methods.items():
+                if name in ("__init__", "snapshot_state", "restore_state"):
+                    continue
+                mutated |= _mutated_attrs(method)
+            for attr in sorted(init_attrs & mutated):
+                if attr.startswith("_"):
+                    continue  # derived-cache convention: rebuilt on restore
+                if f"attr='{attr}'" in protocol_source:
+                    continue  # read or written by the protocol methods
+                yield self.finding(
+                    module, init,
+                    f"{node.name}.{attr} is mutable run state (assigned "
+                    f"in __init__, mutated in other methods) but appears "
+                    f"in neither snapshot_state nor restore_state")

@@ -1,0 +1,121 @@
+"""T-rules: telemetry discipline.
+
+``T301`` *unpaired-span*
+    :meth:`EventLog.span` emits ``<event>.begin`` on entry and
+    ``<event>.end`` on exit *of the context manager*.  A ``span(...)``
+    call that is not the context expression of a ``with`` statement
+    produces a begin line whose end is not guaranteed on every exit
+    path — exactly the unbalanced-span bug the event-log consumers
+    (CI schema checks, ``repro status``) cannot tolerate.
+
+``T302`` *unknown-metric-name*
+    Literal instrument names passed to ``counter(...)`` / ``gauge(...)``
+    / ``histogram(...)`` (module-level helpers, ``registry.<kind>`` and
+    the ``_metric`` import alias alike) must be declared in
+    :mod:`repro.telemetry.names`.  The registry creates instruments on
+    first use, so a typo silently splits a metric into two series; the
+    static name registry is what keeps dashboards and the CI schema
+    checks honest.  Dynamically composed names are checked against the
+    registry's declared prefixes/suffixes where a literal fragment is
+    visible, and skipped otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from .base import Finding, ModuleContext, Rule, call_name, register_rule
+
+__all__ = ["UnpairedSpanRule", "UnknownMetricNameRule"]
+
+_INSTRUMENT_FACTORIES = frozenset({"counter", "gauge", "histogram",
+                                   "_metric"})
+
+
+@register_rule
+class UnpairedSpanRule(Rule):
+    code = "T301"
+    name = "unpaired-span"
+    description = ("span() must be used as a with-statement context "
+                   "manager so begin/end lines always pair")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        with_contexts: Set[int] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    with_contexts.add(id(item.context_expr))
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name is None or name.split(".")[-1] != "span":
+                continue
+            if id(node) not in with_contexts:
+                yield self.finding(
+                    module, node,
+                    "span() outside a with-statement: the .end event is "
+                    "not guaranteed on every exit path")
+
+
+def _literal_metric_parts(node: ast.AST) -> Optional[Set[str]]:
+    """Literal fragments of a metric-name expression.
+
+    A plain string returns ``{name}``; a ``prefix + dynamic`` /
+    ``dynamic + suffix`` concatenation returns its literal fragments
+    (checked against declared prefixes/suffixes); a fully dynamic name
+    returns ``None`` (unchecked).
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return {node.value}
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        parts: Set[str] = set()
+        for side in (node.left, node.right):
+            side_parts = _literal_metric_parts(side)
+            if side_parts is not None:
+                parts |= side_parts
+        return parts or None
+    if isinstance(node, ast.JoinedStr):
+        parts = {value.value for value in node.values
+                 if isinstance(value, ast.Constant)
+                 and isinstance(value.value, str)}
+        return parts or None
+    return None
+
+
+@register_rule
+class UnknownMetricNameRule(Rule):
+    code = "T302"
+    name = "unknown-metric-name"
+    description = ("instrument names must be declared in "
+                   "repro.telemetry.names (typos silently fork a metric "
+                   "into two series)")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        # The registry and its name table construct instruments from
+        # caller-supplied names by design.
+        if module.path.replace("\\", "/").endswith(
+                ("telemetry/registry.py", "telemetry/names.py")):
+            return
+        from ..telemetry.names import matches_known_fragment
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            name = call_name(node)
+            if name is None or name.split(".")[-1] not in \
+                    _INSTRUMENT_FACTORIES:
+                continue
+            parts = _literal_metric_parts(node.args[0])
+            if parts is None:
+                continue  # fully dynamic: not statically checkable
+            exact = (isinstance(node.args[0], ast.Constant)
+                     and isinstance(node.args[0].value, str))
+            for part in sorted(parts):
+                if not matches_known_fragment(part, exact=exact):
+                    yield self.finding(
+                        module, node,
+                        f"metric name fragment '{part}' is not declared "
+                        f"in repro.telemetry.names; register it (or fix "
+                        f"the typo)")

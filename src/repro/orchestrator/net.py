@@ -586,7 +586,9 @@ class _TcpServer(socketserver.ThreadingTCPServer):
 
     def close_connections(self) -> None:
         with self._workers_lock:
-            connections = list(self._connections)
+            # Socket teardown order is immaterial: nothing downstream
+            # observes it, and sockets are not sortable anyway.
+            connections = list(self._connections)  # repro: lint-ok[D102]
         for sock in connections:
             try:
                 sock.shutdown(socket.SHUT_RDWR)

@@ -34,11 +34,12 @@ import os
 import time
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..analysis.experiments import ExperimentRecord, run_experiment
 from ..grid.generators import make_shape
-from ..grid.metrics import compute_metrics
+from ..grid.metrics import ShapeMetrics, compute_metrics
+from ..grid.shape import Shape
 from ..telemetry import counter as _metric, get_event_log
 from .cache import ResultCache
 from .spec import RunConfig, SweepSpec
@@ -159,7 +160,8 @@ class SweepResult:
 # ---------------------------------------------------------------------------
 
 @lru_cache(maxsize=128)
-def _shape_and_metrics(family: str, size: int, seed: int):
+def _shape_and_metrics(family: str, size: int,
+                       seed: int) -> Tuple[Shape, ShapeMetrics]:
     """Shape construction and metrics are pure and shared by every algorithm
     of a sweep on the same (family, size, seed) — build them once per
     process, like the old serial table1 loop did."""

@@ -76,13 +76,14 @@ def execute_payload(config_dict: Dict[str, Any],
     options = options or {}
     started = time.perf_counter()
     try:
-        session = Session.run(
+        session = Session(
             config_dict,
             checkpoint_every=options.get("checkpoint_every"),
             checkpoint_dir=options.get("checkpoint_dir"))
-        payload = {
+        record = session.execute()
+        payload: Dict[str, Any] = {
             "config": config_dict,
-            "record": records_to_dicts([session.record])[0],
+            "record": records_to_dicts([record])[0],
             "elapsed": time.perf_counter() - started,
         }
         if session.resumed_round is not None:
@@ -96,7 +97,9 @@ def execute_payload(config_dict: Dict[str, Any],
         }
 
 
-def _indexed_payload(item):
+def _indexed_payload(
+        item: Tuple[int, Dict[str, Any], Optional[Dict[str, Any]]],
+) -> Tuple[int, Dict[str, Any]]:
     """Pool worker: pairs each payload with the caller's index so results
     can be matched up regardless of completion order (top-level so it is
     picklable)."""
@@ -125,12 +128,13 @@ class InlineTransport:
         for index, config, _digest in items:
             started = time.perf_counter()
             try:
-                session = Session.run(
+                session = Session(
                     config,
                     checkpoint_every=options.get("checkpoint_every"),
                     checkpoint_dir=options.get("checkpoint_dir"))
+                record = session.execute()
                 payload: Dict[str, Any] = {
-                    "record": records_to_dicts([session.record])[0],
+                    "record": records_to_dicts([record])[0],
                     "elapsed": time.perf_counter() - started,
                 }
                 if session.resumed_round is not None:
@@ -181,7 +185,8 @@ def _make_process(jobs: int, **_options: Any) -> ProcessTransport:
     return ProcessTransport(jobs=jobs)
 
 
-def _make_queue(jobs: int, queue_dir: Any = None, **queue_options: Any):
+def _make_queue(jobs: int, queue_dir: Any = None,
+                **queue_options: Any) -> Any:
     if queue_dir is None:
         raise ValueError(
             "transport='queue' needs a queue directory: pass queue_dir= "
@@ -191,7 +196,8 @@ def _make_queue(jobs: int, queue_dir: Any = None, **queue_options: Any):
     return QueueTransport(queue_dir, **queue_options)
 
 
-def _make_tcp(jobs: int, coordinator: Any = None, **tcp_options: Any):
+def _make_tcp(jobs: int, coordinator: Any = None,
+              **tcp_options: Any) -> Any:
     if coordinator is None:
         raise ValueError(
             "transport='tcp' needs a coordinator address: pass "
@@ -222,7 +228,7 @@ TRANSPORT_HELP: Dict[str, str] = {
 
 
 def resolve_transport(transport: Any = None, jobs: int = 1,
-                      **options: Any):
+                      **options: Any) -> Any:
     """Turn a transport name (or ``None``) into a transport object.
 
     ``None`` preserves the historical behaviour: in-process for

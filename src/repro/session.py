@@ -32,7 +32,7 @@ worker (on any code version) finds the file.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Any, Callable, Dict, Optional, Union
+from typing import TYPE_CHECKING, Any, Callable, Optional, Union
 
 from .state import (
     CheckpointContext,
@@ -40,6 +40,9 @@ from .state import (
     checkpoint_name,
     read_checkpoint,
 )
+
+if TYPE_CHECKING:
+    from .analysis.experiments import ExperimentRecord
 
 __all__ = ["Session"]
 
@@ -65,7 +68,8 @@ class Session:
                  checkpoint_every: Optional[int] = None,
                  checkpoint_dir: Union[str, Path, None] = None,
                  checkpoint_path: Union[str, Path, None] = None,
-                 on_checkpoint: Optional[Callable[[int, Path], None]] = None):
+                 on_checkpoint: Optional[Callable[[int, Path], None]] = None,
+                 ) -> None:
         from .orchestrator.spec import RunConfig
 
         if isinstance(config, dict):
@@ -81,7 +85,7 @@ class Session:
                                     / checkpoint_name(config.to_dict()))
         else:
             self.checkpoint_path = None
-        self.record = None
+        self.record: Optional["ExperimentRecord"] = None
         self.resumed_round: Optional[int] = None
         self.resumed_from: Optional[str] = None
 
@@ -126,7 +130,7 @@ class Session:
 
     # -- execution ----------------------------------------------------------
 
-    def execute(self):
+    def execute(self) -> "ExperimentRecord":
         """Run (or continue) the config; returns the ExperimentRecord."""
         from .analysis.experiments import run_experiment
         from .orchestrator.pool import _shape_and_metrics

@@ -172,7 +172,8 @@ class CheckpointContext:
 
     def __init__(self, path: Union[str, Path], every: Optional[int],
                  config: Dict[str, Any],
-                 on_checkpoint: Optional[Callable[[int, Path], None]] = None):
+                 on_checkpoint: Optional[Callable[[int, Path], None]] = None,
+                 ) -> None:
         self.path = Path(path)
         self.every = int(every) if every else None
         self.config = dict(config)
@@ -180,7 +181,7 @@ class CheckpointContext:
         #: Round the active stage resumed from (None = started fresh).
         self.resumed_round: Optional[int] = None
         self.document = self._load()
-        self._completed: Dict[str, Any] = dict(
+        self._completed: Dict[str, Dict[str, Any]] = dict(
             (self.document or {}).get("completed", {}))
 
     def _load(self) -> Optional[Dict[str, Any]]:
@@ -249,7 +250,8 @@ class CheckpointContext:
 def run_checkpointed_stage(checkpoint: Optional[CheckpointContext],
                            stage: str, algorithm: Any, system: Any,
                            scheduler: Any, max_rounds: int,
-                           round_hook: Optional[Callable] = None) -> Any:
+                           round_hook: Optional[Callable[..., Any]] = None,
+                           ) -> Any:
     """Run one scheduler stage under an optional checkpoint context.
 
     With no context this is exactly ``scheduler.run(...)``.  With one,
@@ -261,7 +263,7 @@ def run_checkpointed_stage(checkpoint: Optional[CheckpointContext],
     if checkpoint is None:
         return scheduler.run(algorithm, system, max_rounds=max_rounds,
                              round_hook=round_hook)
-    resume_state = None
+    resume_state: Optional[Dict[str, Any]] = None
     document = checkpoint.stage_document(stage)
     if document is not None:
         try:

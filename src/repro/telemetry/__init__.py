@@ -30,6 +30,12 @@ from .events import (
     use_event_log,
 )
 from .logconfig import LOG_LEVELS, configure_logging, get_logger
+from .names import (
+    KNOWN_METRIC_PREFIXES,
+    KNOWN_METRIC_SUFFIXES,
+    KNOWN_METRICS,
+    is_known_metric,
+)
 from .registry import (
     DEFAULT_BUCKETS,
     NULL_REGISTRY,
@@ -50,6 +56,9 @@ from .registry import (
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "KNOWN_METRICS",
+    "KNOWN_METRIC_PREFIXES",
+    "KNOWN_METRIC_SUFFIXES",
     "LOG_LEVELS",
     "NULL_EVENT_LOG",
     "NULL_REGISTRY",
@@ -68,6 +77,7 @@ __all__ = [
     "get_logger",
     "get_registry",
     "histogram",
+    "is_known_metric",
     "quantile",
     "set_event_log",
     "set_registry",
