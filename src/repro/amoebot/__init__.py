@@ -15,6 +15,7 @@ from .algorithm import (
     AmoebotAlgorithm,
     StatusMixin,
 )
+from .faults import FaultInjector, FaultPlan, FaultSpec
 from .particle import Particle
 from .scheduler import (
     ENGINES,
@@ -37,6 +38,9 @@ __all__ = [
     "sticky_order",
     "ENGINES",
     "EventDrivenScheduler",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
     "IllegalMoveError",
     "Particle",
     "ParticleSystem",

@@ -24,7 +24,7 @@ are adversaries over ordering, not over enabling.
 from __future__ import annotations
 
 import random
-from typing import Callable, List, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from ..grid.coords import Point, grid_distance
 from .system import ParticleSystem
@@ -33,7 +33,9 @@ __all__ = [
     "outside_in_order",
     "inside_out_order",
     "sticky_order",
+    "sticky_factory",
     "alternating_order",
+    "alternating_factory",
     "ADVERSARY_FACTORIES",
 ]
 
@@ -81,11 +83,28 @@ def inside_out_order(system: ParticleSystem) -> OrderPolicy:
     return policy
 
 
-def sticky_order(victim_index: int = 0) -> OrderPolicy:
-    """Always activate one chosen particle last in every round."""
+def sticky_order(victim_index: Optional[int] = None, *,
+                 seed: Optional[int] = None) -> OrderPolicy:
+    """Always activate one chosen victim particle last in every round.
+
+    ``victim_index`` pins the victim to a position in the round's id
+    list.  When it is None the victim slot is drawn once — from
+    ``random.Random(seed)`` when ``seed`` is given, otherwise from the
+    scheduler rng on the first round — and then held for the rest of the
+    run, so the "one slow particle" stays the *same* particle instead of
+    silently defaulting to index 0.
+    """
+    slot: List[int] = []
 
     def policy(round_index: int, ids: List[int], rng: random.Random) -> List[int]:
-        victim = ids[victim_index % len(ids)]
+        if victim_index is not None:
+            index = victim_index
+        else:
+            if not slot:
+                picker = rng if seed is None else random.Random(seed)
+                slot.append(picker.randrange(len(ids)))
+            index = slot[0]
+        victim = ids[index % len(ids)]
         rest = [pid for pid in ids if pid != victim]
         return rest + [victim]
 
@@ -103,11 +122,36 @@ def alternating_order() -> OrderPolicy:
     return policy
 
 
-#: Named adversary factories taking the particle system and returning a
-#: scheduler order policy.  Used by the scheduler-ablation benchmark.
+def sticky_factory(system: ParticleSystem,
+                   victim_index: Optional[int] = None,
+                   seed: Optional[int] = None) -> OrderPolicy:
+    """Build a sticky adversary for ``system`` with a selectable victim.
+
+    Pass ``victim_index`` to pin the victim to a position in the id
+    list, or ``seed`` to draw it reproducibly.  With neither, the draw
+    is seeded by the system's population, so equal-sized systems
+    victimise the same slot and the choice is deterministic without
+    being hard-wired to particle 0.
+    """
+    if victim_index is None and seed is None:
+        seed = len(system)
+    return sticky_order(victim_index, seed=seed)
+
+
+def alternating_factory(system: ParticleSystem) -> OrderPolicy:
+    """Build the alternating adversary (state-oblivious: ``system`` is
+    accepted only to match the factory signature)."""
+    return alternating_order()
+
+
+#: Named adversary factories, ``factory(system) -> order policy``; the
+#: scheduler-ablation benchmark and tests iterate this table.  Each value
+#: is a documented function (see its docstring for the adversary's
+#: strategy); ``sticky_factory`` additionally takes ``victim_index`` /
+#: ``seed`` keywords when called directly.
 ADVERSARY_FACTORIES = {
     "outside_in": outside_in_order,
     "inside_out": inside_out_order,
-    "sticky": lambda system: sticky_order(0),
-    "alternating": lambda system: alternating_order(),
+    "sticky": sticky_factory,
+    "alternating": alternating_factory,
 }

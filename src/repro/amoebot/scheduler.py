@@ -61,6 +61,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Set
 from ..state import decode_rng, encode_rng
 from ..telemetry import get_registry as _get_registry
 from .algorithm import QUIESCENT, TERMINATED, AmoebotAlgorithm
+from .faults import FaultInjector, FaultSpec
 from .system import ParticleSystem
 
 __all__ = [
@@ -229,6 +230,75 @@ class SchedulerResult:
         )
 
 
+class _SweepFaultHooks:
+    """The sweep engine's side of the fault injector's hook protocol.
+
+    The sweep holds no park/wake state — a crashed particle is simply
+    excluded from the round order via ``injector.crashed`` — so only the
+    removal of a particle needs bookkeeping (its id must leave the
+    engine's ``done`` set or a later shape-add reusing nothing would
+    still skip it... ids are never reused, but the set must not grow
+    stale entries across checkpoints either).
+    """
+
+    __slots__ = ("_done",)
+
+    def __init__(self, done: Set[int]) -> None:
+        self._done = done
+
+    def crash(self, pid: int) -> None:
+        """No-op: the sweep order excludes ``injector.crashed`` directly."""
+
+    def revive(self, pid: int) -> None:
+        """No-op: leaving ``injector.crashed`` re-admits the particle."""
+
+    def wake(self, pids: Sequence[int]) -> None:
+        """No-op: the sweep examines every live particle every round."""
+
+    def remove(self, pid: int) -> None:
+        self._done.discard(pid)
+
+
+class _EventFaultHooks:
+    """The event engine's side of the fault injector's hook protocol:
+    crash/revive/wake translate to the active/parked partition."""
+
+    __slots__ = ("_state",)
+
+    def __init__(self, state: "_EventState") -> None:
+        self._state = state
+
+    def crash(self, pid: int) -> None:
+        state = self._state
+        state.active.discard(pid)
+        state.parked.discard(pid)
+
+    def revive(self, pid: int) -> None:
+        # Conservatively revive into the active set (we do not know
+        # whether the particle was parked when it crashed): if it is
+        # quiescent the next examination re-parks it without acting —
+        # exactly what the sweep's unconditional activation would do.
+        state = self._state
+        if pid not in state.done:
+            state.parked.discard(pid)
+            state.active.add(pid)
+            state.wakes += 1
+
+    def wake(self, pids: Sequence[int]) -> None:
+        state = self._state
+        for pid in pids:
+            if pid in state.parked:
+                state.parked.discard(pid)
+                state.active.add(pid)
+                state.wakes += 1
+
+    def remove(self, pid: int) -> None:
+        state = self._state
+        state.active.discard(pid)
+        state.parked.discard(pid)
+        state.done.discard(pid)
+
+
 class SequentialScheduler:
     """Runs an :class:`AmoebotAlgorithm` on a :class:`ParticleSystem` by
     activating every non-terminated particle once per round (the legacy
@@ -237,7 +307,15 @@ class SequentialScheduler:
     engine = "sweep"
 
     def __init__(self, order: str | OrderPolicy = "random",
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 faults: "str | FaultSpec | None" = None) -> None:
+        #: The run's fault plan (``FaultSpec.parse("")`` when disabled).
+        #: A disabled plan injects nothing, consumes no randomness and
+        #: adds one ``is None`` check per round — disabled runs are
+        #: bit-identical to runs predating the fault layer.
+        self.faults = FaultSpec.parse(faults)
+        #: The live injector of the current run (None when disabled).
+        self._injector: Optional[FaultInjector] = None
         if callable(order):
             self._policy: OrderPolicy = order
             self.order_name = getattr(order, "__name__", "custom")
@@ -289,6 +367,16 @@ class SequentialScheduler:
         if resume_state is not None:
             self._check_resume(resume_state)
             decode_rng(resume_state["rng"], rng)
+        # Faulty runs are capped (a permanently crashed particle can make
+        # termination impossible; see faults.DEFAULT_FAULT_CAP).  The cap
+        # derives from the plan alone, so resumed runs agree on it.
+        max_rounds = self.faults.max_rounds(max_rounds)
+        injector = self._injector = (FaultInjector(self.faults)
+                                     if self.faults.enabled else None)
+        if injector is not None and resume_state is not None:
+            # ``system`` is already restored (run_checkpointed_stage order),
+            # so the stale-view proxies re-bind to the live particles here.
+            injector.restore_state(resume_state["fault_state"], system)
         # For the built-in ``random`` policy the scheduler rng feeds the
         # per-round key draws and nothing else, so the draws can come from
         # the bulk stream (same floats, one C call per round).  Custom
@@ -314,6 +402,8 @@ class SequentialScheduler:
             moves_already = int(resume_state["moves"])
             resume_engine = resume_state.get("engine_state")
         state = self._start(algorithm, system, resume=resume_engine)
+        fault_hooks = self._fault_hooks(state) if injector is not None \
+            else None
         # Credit the moves the checkpointed prefix already performed, so
         # the resumed result reports the same whole-run total.
         moves_before = system.move_count - moves_already
@@ -322,6 +412,8 @@ class SequentialScheduler:
             while rounds < max_rounds:
                 if algorithm.has_terminated(system):
                     break
+                if injector is not None:
+                    injector.begin_round(rounds, system, fault_hooks)
                 done, skip = self._run_round(algorithm, system, rounds, rng,
                                              state)
                 activations += done
@@ -338,6 +430,8 @@ class SequentialScheduler:
                         system.move_count - moves_before, state))
         finally:
             self._finish(system, state)
+            if injector is not None:
+                injector.finish(system)
         terminated = algorithm.has_terminated(system)
         moves = system.move_count - moves_before
         self._record_metrics(rounds, activations, skipped, moves, state)
@@ -368,6 +462,9 @@ class SequentialScheduler:
         registry.counter(prefix + "activations").inc(activations)
         registry.counter(prefix + "skipped").inc(skipped)
         registry.counter(prefix + "moves").inc(moves)
+        if self._injector is not None:
+            for name, value in self._injector.counters.items():
+                registry.counter("fault." + name).inc(value)
 
     # -- checkpoint plumbing --------------------------------------------------
 
@@ -382,6 +479,13 @@ class SequentialScheduler:
             raise ValueError(
                 f"checkpoint was written by scheduler {saved}; "
                 f"this scheduler is {expected}")
+        # Checkpoints predating the fault layer carry no "faults" key;
+        # they resume only under a disabled plan (the empty string).
+        saved_faults = resume_state.get("faults") or ""
+        if saved_faults != self.faults.to_string():
+            raise ValueError(
+                f"checkpoint was written under fault plan {saved_faults!r}; "
+                f"this scheduler runs {self.faults.to_string()!r}")
 
     def _checkpoint_state(self, rng: random.Random, rounds: int,
                           activations: int, skipped: int, moves: int,
@@ -400,6 +504,9 @@ class SequentialScheduler:
         }
         if self._key_stream is not None:
             document["key_stream"] = self._key_stream.getstate()
+        if self._injector is not None:
+            document["faults"] = self.faults.to_string()
+            document["fault_state"] = self._injector.snapshot_state()
         return document
 
     # -- engine-specific hooks ------------------------------------------------
@@ -418,6 +525,10 @@ class SequentialScheduler:
         if resume is not None:
             return set(resume.get("done", ()))
         return set()
+
+    def _fault_hooks(self, state: Optional[object]) -> object:
+        """The engine's receiver of the fault injector's hook calls."""
+        return _SweepFaultHooks(state)
 
     def _snapshot_engine_state(self,
                                state: Optional[object]) -> Dict[str, Any]:
@@ -444,6 +555,15 @@ class SequentialScheduler:
                    state: Set[int]):
         """Activate one round; returns (activations, skipped)."""
         done = state
+        injector = self._injector
+        excluded = done
+        if injector is not None and injector.crashed:
+            # Crashed particles are skipped exactly like terminated ones,
+            # but stay in the full id list so the key draws (the RNG
+            # stream both engines share) are unaffected by who is down.
+            # ``excluded`` is a throwaway union — terminations observed
+            # this round still land in ``done`` (the engine state) below.
+            excluded = done | injector.crashed.keys()
         name = None if self._validate_order else self.order_name
         if name == "random":
             # Draw keys for the *full* id list (the RNG stream the event
@@ -452,19 +572,21 @@ class SequentialScheduler:
             # terminated particles are sorted along.
             ids = system._ids_snapshot()
             keyfn = _key_function(ids, self._key_stream.draw(len(ids)))
-            live = [pid for pid in ids if pid not in done] if done else ids
+            live = [pid for pid in ids if pid not in excluded] \
+                if excluded else ids
             order = sorted(live, key=keyfn)
         elif name == "round_robin":
             ids = system._ids_snapshot()
-            order = [pid for pid in ids if pid not in done] if done else ids
+            order = [pid for pid in ids if pid not in excluded] \
+                if excluded else ids
         elif name == "reversed":
             ids = system._ids_snapshot()
-            order = [pid for pid in reversed(ids) if pid not in done] \
-                if done else list(reversed(ids))
+            order = [pid for pid in reversed(ids) if pid not in excluded] \
+                if excluded else list(reversed(ids))
         else:
             order = self._round_order(system, round_index, rng)
-            if done:
-                order = [pid for pid in order if pid not in done]
+            if excluded:
+                order = [pid for pid in order if pid not in excluded]
         particles = system._particles
         is_terminated = algorithm.is_terminated
         activate = algorithm.activate
@@ -556,6 +678,9 @@ class EventDrivenScheduler(SequentialScheduler):
 
     engine = "event"
 
+    def _fault_hooks(self, state: "_EventState") -> object:
+        return _EventFaultHooks(state)
+
     def _start(self, algorithm: AmoebotAlgorithm, system: ParticleSystem,
                resume: Optional[Dict[str, Any]] = None) -> _EventState:
         state = _EventState()
@@ -592,6 +717,12 @@ class EventDrivenScheduler(SequentialScheduler):
         gain_insensitive = not algorithm.occupancy_gain_wakes
         particles = system._particles
         mirror = system._points
+        # The injector's crashed map, captured by reference: crashed
+        # particles are in neither active nor done, and a dirty event must
+        # not resurrect them — their revive (not the event) re-admits
+        # them.  None/empty whenever crash faults are off.
+        crashed = (self._injector.crashed
+                   if self._injector is not None else None)
 
         def wake(dirty_points, affected_ids):
             # Everything affected that is not terminated must be awake:
@@ -599,6 +730,8 @@ class EventDrivenScheduler(SequentialScheduler):
             # them movement-insensitive), brand-new particles (added while
             # the run executes) become active.
             woken = affected_ids - active - done
+            if crashed:
+                woken = woken - crashed.keys()
             if not woken:
                 return
             if gain_insensitive:
@@ -691,7 +824,16 @@ class EventDrivenScheduler(SequentialScheduler):
         is_terminated = algorithm.is_terminated
         is_quiescent = algorithm.is_quiescent
         activate = algorithm.activate
-        neighbors_of = system.neighbors_of
+        # Wakes are an engine computation, not a particle observation:
+        # they read the *live* neighbourhood even when the activated
+        # particle's own reads are served stale by a delay fault
+        # (identical to ``neighbors_of`` whenever no overlay is active).
+        neighbors_of = system.live_neighbors_of
+        # A precise wake list returned by a delayed particle was computed
+        # from stale data and may under-wake, so with delay faults active
+        # the conservative live-neighbourhood wake is forced instead.
+        force_conservative = (self._injector is not None
+                              and self._injector.spec.delay_rate > 0)
         # With reports_termination, terminating activations return the
         # TERMINATED sentinel, so the per-examination poll is skipped;
         # with reports_quiescence, quiescent activations return the
@@ -737,7 +879,8 @@ class EventDrivenScheduler(SequentialScheduler):
                     done.add(particle_id)
                     active.discard(particle_id)
                     continue
-                if type(acted) is not list and type(acted) is not tuple:
+                if force_conservative or (type(acted) is not list
+                                          and type(acted) is not tuple):
                     # Anything but a precise wake list (True, None, or any
                     # legacy truthy flag) keeps the conservative wake: the
                     # post-activation neighbourhood plus the movement
@@ -811,7 +954,8 @@ class EventDrivenScheduler(SequentialScheduler):
                     done.add(particle_id)
                     active.discard(particle_id)
                     continue
-                if type(acted) is not list and type(acted) is not tuple:
+                if force_conservative or (type(acted) is not list
+                                          and type(acted) is not tuple):
                     # Any non-list hint keeps the conservative wake:
                     # post-activation neighbourhood + movement events
                     # cover every pre-activation neighbour.
@@ -864,13 +1008,15 @@ def canonical_run_kwargs(order: "str | OrderPolicy", seed: int,
 
 
 def make_scheduler(engine: str = "sweep", order: str | OrderPolicy = "random",
-                   seed: int = 0, *,
+                   seed: int = 0,
+                   faults: "str | FaultSpec | None" = None, *,
                    scheduler_order: "Optional[str | OrderPolicy]" = None,
                    rng: Optional[int] = None) -> SequentialScheduler:
     """Build the scheduler for ``engine`` (``"sweep"`` or ``"event"``).
 
-    ``scheduler_order=`` and ``rng=`` are deprecated aliases of ``order=``
-    and ``seed=``.
+    ``faults`` is a :class:`~repro.amoebot.faults.FaultSpec` or its spec
+    string (None/"" = no fault injection).  ``scheduler_order=`` and
+    ``rng=`` are deprecated aliases of ``order=`` and ``seed=``.
     """
     order, seed = canonical_run_kwargs(order, seed, scheduler_order, rng)
     try:
@@ -879,13 +1025,14 @@ def make_scheduler(engine: str = "sweep", order: str | OrderPolicy = "random",
         raise ValueError(
             f"unknown activation engine {engine!r}; known: {sorted(ENGINES)}"
         ) from None
-    return cls(order=order, seed=seed)
+    return cls(order=order, seed=seed, faults=faults)
 
 
 def run_algorithm(algorithm: AmoebotAlgorithm, system: ParticleSystem,
                   order: str | OrderPolicy = "random", seed: int = 0,
                   max_rounds: int = 1_000_000,
-                  engine: str = "sweep", *,
+                  engine: str = "sweep",
+                  faults: "str | FaultSpec | None" = None, *,
                   scheduler_order: "Optional[str | OrderPolicy]" = None,
                   rng: Optional[int] = None) -> SchedulerResult:
     """Convenience wrapper: build a scheduler and run the algorithm.
@@ -894,5 +1041,5 @@ def run_algorithm(algorithm: AmoebotAlgorithm, system: ParticleSystem,
     and ``seed=``.
     """
     order, seed = canonical_run_kwargs(order, seed, scheduler_order, rng)
-    return make_scheduler(engine, order=order, seed=seed).run(
+    return make_scheduler(engine, order=order, seed=seed, faults=faults).run(
         algorithm, system, max_rounds=max_rounds)

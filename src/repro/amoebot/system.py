@@ -146,6 +146,11 @@ class ParticleSystem:
         self._occupied_cache: Optional[FrozenSet[Point]] = None
         self._occupied_version = -1
         self._ids_cache: Optional[List[int]] = None
+        #: Fault-layer visibility overlay: particle id -> frozen stale
+        #: neighbourhood tuple served by :meth:`neighbors_of` instead of
+        #: the live index.  None whenever no delay faults are active, so
+        #: the fault-free hot path pays one attribute check only.
+        self._stale_views: Optional[Dict[int, Tuple[Particle, ...]]] = None
 
     # -- change notifications -------------------------------------------------
 
@@ -292,6 +297,30 @@ class ParticleSystem:
         self._particles[particle.particle_id] = particle
         self._occupancy[packed] = particle.particle_id
         self._next_id += 1
+        self._ids_cache = None
+        self._notify_change((packed,))
+        return particle
+
+    def remove_particle(self, particle_id: int) -> Particle:
+        """Remove a contracted particle from the system.
+
+        Like :meth:`teleport` this is **not** an amoebot operation: it
+        exists for the fault layer's dynamic shape perturbations (and for
+        tests building configurations).  The vacated point publishes a
+        dirty-neighborhood event exactly like a contraction, so caches,
+        the event engine and the shape tracker all see the departure.
+        Connectivity is *not* checked here — callers wanting a
+        connectivity-preserving removal validate via
+        ``shape().without(point).is_connected()`` first.
+        """
+        particle = self._particles[particle_id]
+        if particle.is_expanded:
+            raise IllegalMoveError("cannot remove an expanded particle")
+        packed = pack_point(particle.head)
+        del self._particles[particle_id]
+        del self._occupancy[packed]
+        self._ids_cache = None
+        self._neighbor_cache.pop(particle_id, None)
         self._notify_change((packed,))
         return particle
 
@@ -309,14 +338,16 @@ class ParticleSystem:
         return [particles[i] for i in self.particle_ids()]
 
     def particle_ids(self) -> List[int]:
-        """All particle ids, ascending.  Ids are allocated monotonically and
-        never removed, so the sorted list is cached until a particle is
-        added (the schedulers ask for it every round)."""
+        """All particle ids, ascending.  Ids are allocated monotonically,
+        so the sorted list is cached until a particle is added or removed
+        (the schedulers ask for it every round)."""
         return list(self._ids_snapshot())
 
     def _ids_snapshot(self) -> List[int]:
         """The cached ascending id list itself (no defensive copy) — for
-        per-round readers that promise not to mutate it."""
+        per-round readers that promise not to mutate it.  ``add_particle``
+        and ``remove_particle`` drop the cache explicitly; the length
+        check only backstops direct ``_particles`` surgery in tests."""
         cached = self._ids_cache
         if cached is None or len(cached) != len(self._particles):
             cached = self._ids_cache = sorted(self._particles)
@@ -399,11 +430,40 @@ class ParticleSystem:
         which every occupancy-changing operation publishes automatically.
         The returned tuple is the cache entry itself — treat it as
         immutable.
+
+        When the fault layer installed a stale-view overlay
+        (:meth:`set_stale_views`) and it holds an entry for this particle,
+        that frozen snapshot is returned instead of the live index — the
+        delayed-visibility fault family.  Use :meth:`live_neighbors_of`
+        for reads that must never be delayed (the fault layer itself and
+        the event engine's wake computation).
         """
+        views = self._stale_views
+        if views is not None:
+            view = views.get(particle.particle_id)
+            if view is not None:
+                return view
         cached = self._neighbor_cache.get(particle.particle_id)
         if cached is None:
             cached = self._compute_neighbors(particle)
         return cached
+
+    def live_neighbors_of(self, particle: Particle) -> Tuple[Particle, ...]:
+        """:meth:`neighbors_of` bypassing any stale-view overlay — always
+        the current neighbourhood, identical to ``neighbors_of`` when no
+        delay faults are active."""
+        cached = self._neighbor_cache.get(particle.particle_id)
+        if cached is None:
+            cached = self._compute_neighbors(particle)
+        return cached
+
+    def set_stale_views(self, views: Optional[Dict[int, Tuple[Particle, ...]]]
+                        ) -> None:
+        """Install (or with None remove) the fault layer's stale-view
+        overlay consulted by :meth:`neighbors_of`.  The mapping is kept by
+        reference — the owning :class:`~repro.amoebot.faults.FaultInjector`
+        mutates it in place at round boundaries."""
+        self._stale_views = views if views else None
 
     def _compute_neighbors(self, particle: Particle) -> Tuple[Particle, ...]:
         pid = particle.particle_id
@@ -713,6 +773,9 @@ class ParticleSystem:
         self._occupied_cache = None
         self._occupied_version = -1
         self._ids_cache = None
+        # Any stale-view overlay belonged to the replaced state; the fault
+        # injector re-installs its own views after its restore.
+        self._stale_views = None
 
     def __repr__(self) -> str:
         expanded = sum(1 for p in self._particles.values() if p.is_expanded)

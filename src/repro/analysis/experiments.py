@@ -28,6 +28,7 @@ from ..state import CheckpointContext, run_checkpointed_stage
 __all__ = [
     "ExperimentRecord",
     "ALGORITHMS",
+    "FAULT_ALGORITHMS",
     "run_experiment",
     "run_scaling_experiment",
     "run_table1_experiment",
@@ -73,10 +74,10 @@ def _fresh_system(shape: Shape, seed: int) -> ParticleSystem:
 def _run_dle(shape: Shape, seed: int, order: str = "random",
              engine: str = "sweep",
              checkpoint: Optional[CheckpointContext] = None,
-             ) -> Dict[str, object]:
+             faults: str = "") -> Dict[str, object]:
     system = _fresh_system(shape, seed)
     algorithm = DLEAlgorithm()
-    scheduler = make_scheduler(engine, order=order, seed=seed)
+    scheduler = make_scheduler(engine, order=order, seed=seed, faults=faults)
     result = run_checkpointed_stage(checkpoint, "dle", algorithm, system,
                                     scheduler, 1_000_000)
     succeeded = result.terminated
@@ -90,6 +91,10 @@ def _run_dle(shape: Shape, seed: int, order: str = "random",
         "succeeded": succeeded,
         "moves": result.moves,
         "connected_after": system.is_connected(),
+        # Safety-violation detection for the robustness report: a run that
+        # *terminated* without a verified unique leader elected wrongly;
+        # one that merely failed to terminate lost liveness, not safety.
+        "terminated": result.terminated,
     }
 
 
@@ -165,32 +170,53 @@ def _run_full(shape: Shape, seed: int, order: str = "random",
 def _run_erosion(shape: Shape, seed: int, order: str = "random",
                  engine: str = "sweep",
                  checkpoint: Optional[CheckpointContext] = None,
-                 ) -> Dict[str, object]:
+                 faults: str = "") -> Dict[str, object]:
     system = _fresh_system(shape, seed)
     outcome = run_erosion_election(system, order=order, seed=seed,
-                                   engine=engine, checkpoint=checkpoint)
+                                   engine=engine, checkpoint=checkpoint,
+                                   faults=faults)
     return {
         "rounds": outcome.rounds,
         "succeeded": outcome.succeeded,
         "stalled": outcome.stalled,
         "num_leaders": outcome.num_leaders,
+        "terminated": outcome.terminated,
     }
 
 
 def _run_randomized(shape: Shape, seed: int, order: str = "random",
                     engine: str = "sweep",
                     checkpoint: Optional[CheckpointContext] = None,
-                    ) -> Dict[str, object]:
+                    faults: str = "") -> Dict[str, object]:
     # The randomized baseline drives its own internal phase schedule, so
     # neither the activation order nor the activation engine applies; its
     # ring elections finish in one shot, so there is nothing to checkpoint.
     system = _fresh_system(shape, seed)
     outcome = run_randomized_election(system, seed=seed)
-    return {
+    details: Dict[str, object] = {
         "rounds": outcome.rounds,
         "succeeded": outcome.succeeded,
         "phases": outcome.phases,
+        "terminated": outcome.succeeded,
     }
+    if faults:
+        # The baseline charges its round counts analytically rather than
+        # scheduling activations, so its fault plan is charged at the
+        # same fidelity (see :func:`repro.amoebot.faults.
+        # charged_fault_overlay`): a permanent crash on the charged
+        # boundary ring stalls the traversal; transient crashes and
+        # delays inflate the charged rounds by their outage lengths.
+        from ..amoebot.faults import FaultSpec, charged_fault_overlay
+
+        overlay = charged_fault_overlay(FaultSpec.parse(faults), system)
+        details["fault_overlay"] = overlay
+        if overlay["stalled"]:
+            details["succeeded"] = False
+            details["terminated"] = False
+        else:
+            details["rounds"] = int(details["rounds"]) \
+                + int(overlay["extra_rounds"])
+    return details
 
 
 #: Registry of runnable algorithms / pipelines.  Every driver takes
@@ -209,6 +235,13 @@ ALGORITHMS: Dict[str, Callable[..., Dict[str, object]]] = {
     "erosion": _run_erosion,
     "randomized": _run_randomized,
 }
+
+#: Algorithms whose drivers accept a fault plan (``faults=`` spec string).
+#: The pipeline drivers are excluded deliberately: their stage composition
+#: (OBD hand-off, Collect's analytically-charged movement) assumes a
+#: fault-free prefix, so a fault plan there would measure the harness, not
+#: the algorithm.  :meth:`RunConfig.validate` enforces this.
+FAULT_ALGORITHMS: frozenset = frozenset({"dle", "erosion", "randomized"})
 
 #: Algorithms compared in the Table 1 reproduction, with the paper row each
 #: stands for.
@@ -233,6 +266,7 @@ def run_experiment(algorithm: str, shape: Shape, family: str = "custom",
                    order: str = "random",
                    engine: str = "sweep",
                    checkpoint: Optional[CheckpointContext] = None,
+                   faults: str = "",
                    ) -> ExperimentRecord:
     """Run one algorithm on one shape and return the measurement record."""
     try:
@@ -241,11 +275,19 @@ def run_experiment(algorithm: str, shape: Shape, family: str = "custom",
         raise ValueError(
             f"unknown algorithm {algorithm!r}; known: {sorted(ALGORITHMS)}"
         ) from None
+    if faults and algorithm not in FAULT_ALGORITHMS:
+        raise ValueError(
+            f"algorithm {algorithm!r} does not support fault injection; "
+            f"fault-aware: {sorted(FAULT_ALGORITHMS)}")
     if metrics is None:
         metrics = compute_metrics(shape)
     # Old-style drivers (registered before checkpointing existed) accept
-    # four arguments; only hand them the checkpoint when one is active.
-    if checkpoint is not None:
+    # four arguments; only hand them the checkpoint — and the fault plan —
+    # when one is active.
+    if faults:
+        details = driver(shape, seed, order, engine, checkpoint,
+                         faults=faults)
+    elif checkpoint is not None:
         details = driver(shape, seed, order, engine, checkpoint)
     else:
         details = driver(shape, seed, order, engine)

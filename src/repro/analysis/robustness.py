@@ -1,0 +1,211 @@
+"""The guarantee-survival report: which guarantees outlive fault injection.
+
+DLE's headline claims — deterministic termination, a unique leader, round
+counts linear in the shape parameters — are proved for a fault-free (if
+adversarially scheduled) execution.  The fault layer
+(:mod:`repro.amoebot.faults`) lets a sweep re-measure those claims under
+seeded crash/delay/shape adversaries, and this module turns the resulting
+run ledger into the survival table: one row per (algorithm, fault plan)
+cell of the grid, reporting
+
+``termination``
+    The fraction of runs that terminated before the fault cap — the
+    liveness guarantee.
+
+``success``
+    The fraction that terminated *and* passed the algorithm's own
+    verification (unique leader, full follower coverage, ...).
+
+``violations``
+    Runs that terminated with a *wrong* answer (``terminated`` without
+    ``succeeded``) — safety violations, the failures that matter most:
+    a run that stops claiming the wrong leader is strictly worse than
+    one that never stops.
+
+``errors``
+    Runs the driver aborted with an exception (``failed`` ledger lines)
+    — typically a fault disconnecting a shape an algorithm assumes
+    connected.
+
+``inflation``
+    Mean round inflation against the same algorithm's fault-free runs,
+    matched pairwise on (family, size, seed, scheduler, engine) so the
+    ratio compares a faulty run with *its own* baseline, not with a
+    different shape's.
+
+The input is any :class:`~repro.orchestrator.store.RunLedger` — the
+report is a pure fold over ledger entries, so it can be regenerated from
+an old sweep without re-running anything (``repro report --robustness``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "RobustnessCell",
+    "format_robustness_table",
+    "robustness_report",
+    "robustness_rows",
+]
+
+#: Config keys identifying a run's fault-free twin for inflation pairing.
+_PAIR_KEYS = ("family", "size", "seed", "scheduler", "engine")
+
+
+@dataclass
+class RobustnessCell:
+    """Aggregated outcomes of one (algorithm, fault plan) grid cell."""
+
+    algorithm: str
+    faults: str
+    runs: int = 0
+    terminated: int = 0
+    succeeded: int = 0
+    violations: int = 0
+    errors: int = 0
+    rounds: List[int] = field(default_factory=list)
+    #: Pairwise rounds ratios against the fault-free twin runs.
+    inflations: List[float] = field(default_factory=list)
+
+    @property
+    def mean_rounds(self) -> Optional[float]:
+        return sum(self.rounds) / len(self.rounds) if self.rounds else None
+
+    @property
+    def mean_inflation(self) -> Optional[float]:
+        if not self.inflations:
+            return None
+        return sum(self.inflations) / len(self.inflations)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready row for ``repro report --robustness --json``."""
+        return {
+            "algorithm": self.algorithm,
+            "faults": self.faults,
+            "runs": self.runs,
+            "terminated": self.terminated,
+            "succeeded": self.succeeded,
+            "violations": self.violations,
+            "errors": self.errors,
+            "mean_rounds": self.mean_rounds,
+            "round_inflation": self.mean_inflation,
+        }
+
+
+def _dedupe(entries: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Latest entry per digest (a config retried or cache-served across
+    resumed sweeps is one measurement); digestless entries are kept."""
+    by_digest: Dict[str, Dict[str, Any]] = {}
+    loose: List[Dict[str, Any]] = []
+    for entry in entries:
+        digest = entry.get("digest")
+        if digest:
+            by_digest[digest] = entry
+        else:
+            loose.append(entry)
+    return list(by_digest.values()) + loose
+
+
+def _run_outcome(entry: Dict[str, Any]) -> Tuple[bool, bool, Optional[int]]:
+    """(terminated, succeeded, rounds) of one ``done`` ledger entry.
+
+    ``terminated`` prefers the driver's explicit detail (recorded by the
+    fault-aware drivers); records predating it fall back to ``succeeded``
+    — for fault-free runs the two coincide on every built-in algorithm.
+    """
+    record = entry.get("record") or {}
+    succeeded = bool(record.get("succeeded"))
+    details = record.get("details") or {}
+    terminated = bool(details.get("terminated", succeeded))
+    rounds = record.get("rounds")
+    return terminated, succeeded, (int(rounds) if rounds is not None else None)
+
+
+def robustness_rows(entries: Sequence[Dict[str, Any]]) -> List[RobustnessCell]:
+    """Fold ledger entries into survival cells, fault-free baselines first.
+
+    Entries whose config carries no ``faults`` key form the baseline
+    cells (``faults=""``) and feed the pairwise inflation ratios of every
+    faulty cell of the same algorithm.
+    """
+    entries = _dedupe(entries)
+    cells: Dict[Tuple[str, str], RobustnessCell] = {}
+    baseline_rounds: Dict[Tuple[Any, ...], int] = {}
+    for entry in entries:
+        config = entry.get("config") or {}
+        if not config.get("faults", "") and entry.get("status") == "done":
+            terminated, succeeded, rounds = _run_outcome(entry)
+            if succeeded and rounds is not None:
+                key = (config.get("algorithm"),) + tuple(
+                    config.get(k) for k in _PAIR_KEYS)
+                baseline_rounds[key] = rounds
+    for entry in entries:
+        config = entry.get("config") or {}
+        algorithm = str(config.get("algorithm", "?"))
+        faults = str(config.get("faults", ""))
+        cell = cells.setdefault((algorithm, faults),
+                                RobustnessCell(algorithm, faults))
+        cell.runs += 1
+        if entry.get("status") != "done":
+            cell.errors += 1
+            continue
+        terminated, succeeded, rounds = _run_outcome(entry)
+        if terminated:
+            cell.terminated += 1
+        if succeeded:
+            cell.succeeded += 1
+        if terminated and not succeeded:
+            cell.violations += 1
+        if rounds is not None:
+            cell.rounds.append(rounds)
+            if faults and terminated:
+                key = (algorithm,) + tuple(config.get(k)
+                                           for k in _PAIR_KEYS)
+                base = baseline_rounds.get(key)
+                if base:
+                    cell.inflations.append(rounds / base)
+    return sorted(cells.values(),
+                  key=lambda c: (c.faults != "", c.faults, c.algorithm))
+
+
+def format_robustness_table(cells: Sequence[RobustnessCell]) -> str:
+    """The survival table as aligned monospace text."""
+    headers = ("algorithm", "faults", "runs", "term", "ok",
+               "viol", "err", "rounds", "inflation")
+    rows: List[Tuple[str, ...]] = [headers]
+    for cell in cells:
+        share = (lambda k: f"{k}/{cell.runs}")
+        mean = cell.mean_rounds
+        inflation = cell.mean_inflation
+        rows.append((
+            cell.algorithm,
+            cell.faults or "(none)",
+            str(cell.runs),
+            share(cell.terminated),
+            share(cell.succeeded),
+            str(cell.violations),
+            str(cell.errors),
+            f"{mean:.1f}" if mean is not None else "-",
+            f"{inflation:.2f}x" if inflation is not None else "-",
+        ))
+    widths = [max(len(row[i]) for row in rows) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(rows):
+        lines.append("  ".join(col.ljust(width)
+                               for col, width in zip(row, widths)).rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def robustness_report(ledger_path: Union[str, Path]
+                      ) -> Tuple[List[RobustnessCell], str]:
+    """Load a sweep ledger and build the survival cells plus the table."""
+    from ..orchestrator.store import RunLedger
+
+    ledger = RunLedger(ledger_path)
+    cells = robustness_rows(list(ledger.entries()))
+    return cells, format_robustness_table(cells)

@@ -25,6 +25,15 @@ The simulator
     activation order and engine; ``ADVERSARY_FACTORIES`` — the named
     adversarial activation orders used by the scheduler ablation.
 
+Fault injection and robustness
+    ``FaultSpec`` (alias ``FaultPlan``) — the parsed, seeded fault plan
+    (crash/revive, visibility delays, shape perturbation);
+    ``FaultInjector`` — the per-run adversary the schedulers consult;
+    ``FAULT_ALGORITHMS`` — the algorithms that accept a fault plan;
+    ``RobustnessCell`` / ``robustness_rows`` / ``robustness_report`` /
+    ``format_robustness_table`` — the guarantee-survival report over a
+    sweep ledger (``repro report --robustness``).
+
 The paper's algorithms and baselines
     ``elect_leader`` / ``elect_leader_known_boundary`` (the full
     pipeline), ``DLEAlgorithm``, ``CollectSimulator``,
@@ -39,8 +48,8 @@ The paper's algorithms and baselines
 Shapes and geometry
     ``make_shape`` plus the named families (``hexagon``,
     ``hexagon_with_holes``, ``annulus``, ``random_blob``,
-    ``random_holey_blob``), ``compute_metrics``, ``grid_distance`` and
-    ``connected_components``.
+    ``random_holey_blob``, ``articulation_chain``, ``random_connected``),
+    ``compute_metrics``, ``grid_distance`` and ``connected_components``.
 
 Presentation and analysis
     ``render_system`` (ASCII art), ``format_table`` / ``format_records``
@@ -52,6 +61,7 @@ Presentation and analysis
 from __future__ import annotations
 
 from .amoebot.adversary import ADVERSARY_FACTORIES
+from .amoebot.faults import FaultInjector, FaultPlan, FaultSpec
 from .amoebot.scheduler import (
     Scheduler,
     SchedulerResult,
@@ -61,6 +71,7 @@ from .amoebot.scheduler import (
 from .amoebot.system import ParticleSystem
 from .analysis.experiments import (
     ALGORITHMS,
+    FAULT_ALGORITHMS,
     TABLE1_ALGORITHMS,
     TABLE1_FAMILIES,
     ExperimentRecord,
@@ -69,6 +80,12 @@ from .analysis.experiments import (
     run_table1_experiment,
 )
 from .analysis.fitting import fit_linear, fit_power_law
+from .analysis.robustness import (
+    RobustnessCell,
+    format_robustness_table,
+    robustness_report,
+    robustness_rows,
+)
 from .analysis.tables import (
     format_records,
     format_scaling_series,
@@ -90,10 +107,12 @@ from .core.full import ElectionOutcome, elect_leader, elect_leader_known_boundar
 from .grid.coords import grid_distance
 from .grid.generators import (
     annulus,
+    articulation_chain,
     hexagon,
     hexagon_with_holes,
     make_shape,
     random_blob,
+    random_connected,
     random_holey_blob,
 )
 from .grid.metrics import ShapeMetrics, compute_metrics
@@ -112,10 +131,15 @@ __all__ = [
     "DLEAlgorithm",
     "ElectionOutcome",
     "ExperimentRecord",
+    "FAULT_ALGORITHMS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
     "OMP_ROUNDS_PER_UNIT",
     "PRP_ROUNDS_PER_UNIT",
     "ParticleSystem",
     "ROTATIONS_PER_PHASE",
+    "RobustnessCell",
     "RunConfig",
     "SDP_ROUNDS_PER_UNIT",
     "Scheduler",
@@ -129,6 +153,7 @@ __all__ = [
     "TABLE1_ALGORITHMS",
     "TABLE1_FAMILIES",
     "annulus",
+    "articulation_chain",
     "compute_metrics",
     "connected_components",
     "elect_leader",
@@ -136,6 +161,7 @@ __all__ = [
     "fit_linear",
     "fit_power_law",
     "format_records",
+    "format_robustness_table",
     "format_scaling_series",
     "format_table",
     "format_table1",
@@ -145,8 +171,11 @@ __all__ = [
     "make_scheduler",
     "make_shape",
     "random_blob",
+    "random_connected",
     "random_holey_blob",
     "render_system",
+    "robustness_report",
+    "robustness_rows",
     "run_algorithm",
     "run_erosion_election",
     "run_experiment",

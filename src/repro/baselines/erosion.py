@@ -259,13 +259,19 @@ class ErosionOutcome:
     stalled: bool
     num_leaders: int
     leader_point: Optional[Point] = None
+    #: Whether the scheduler run terminated (vs hitting the round cap).
+    #: ``terminated and not succeeded`` distinguishes a *wrong* final
+    #: answer (a safety violation — e.g. zero or several leaders under
+    #: fault injection) from a mere liveness loss.
+    terminated: bool = True
 
 
 def run_erosion_election(system: ParticleSystem, order: str = "random",
                          seed: int = 0,
                          max_rounds: Optional[int] = None,
                          engine: str = "sweep",
-                         checkpoint=None, *,
+                         checkpoint=None,
+                         faults: str = "", *,
                          scheduler_order: Optional[str] = None
                          ) -> ErosionOutcome:
     """Run the erosion baseline and classify the outcome.
@@ -275,14 +281,16 @@ def run_erosion_election(system: ParticleSystem, order: str = "random",
     ends ``stalled`` (the documented restriction of this algorithm family).
     ``engine`` selects the activation engine (``"sweep"`` or ``"event"``);
     ``checkpoint`` is an optional
-    :class:`repro.state.CheckpointContext` making the run resumable.
+    :class:`repro.state.CheckpointContext` making the run resumable;
+    ``faults`` is a :class:`repro.amoebot.faults.FaultSpec` spec string
+    ("" = no fault injection).
     ``scheduler_order=`` is a deprecated alias of ``order=``.
     """
     order, seed = canonical_run_kwargs(order, seed, scheduler_order)
     if max_rounds is None:
         max_rounds = 10 * len(system) + 100
     algorithm = ErosionLeaderElection()
-    scheduler = make_scheduler(engine, order=order, seed=seed)
+    scheduler = make_scheduler(engine, order=order, seed=seed, faults=faults)
     result = run_checkpointed_stage(checkpoint, "erosion", algorithm, system,
                                     scheduler, max_rounds)
     leaders = [p for p in system.particles() if p.get(STATUS_KEY) == STATUS_LEADER]
@@ -299,4 +307,5 @@ def run_erosion_election(system: ParticleSystem, order: str = "random",
         stalled=algorithm.stalled,
         num_leaders=len(leaders),
         leader_point=leaders[0].head if len(leaders) == 1 else None,
+        terminated=result.terminated,
     )

@@ -125,6 +125,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="activation engine: 'sweep' activates every "
                             "particle each round, 'event' parks quiescent "
                             "particles (identical traces, less wall clock)")
+    sweep.add_argument("--faults", nargs="+", default=[""], metavar="PLAN",
+                       help="fault-plan axis: each PLAN is a spec string "
+                            "like 'crash:rate=0.05,rounds=30;delay:rate=0.5"
+                            ",max=3;shape:rate=0.01;seed=7' ('' = no "
+                            "faults); the sweep runs the whole grid once "
+                            "per plan — the input of 'repro report "
+                            "--robustness'")
     sweep.add_argument("--jobs", type=int, default=DEFAULT_JOBS,
                        help="worker processes (1 = in-process)")
     sweep.add_argument("--transport", default=None, choices=list(TRANSPORTS),
@@ -202,6 +209,9 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=sorted(SCHEDULER_ORDERS),
                      help="activation order the adversary uses")
     run.add_argument("--engine", default="sweep", choices=sorted(ENGINES))
+    run.add_argument("--faults", default="", metavar="PLAN",
+                     help="fault-plan spec string ('' = no faults), e.g. "
+                          "'crash:rate=0.05,rounds=30;seed=7'")
     run.add_argument("--checkpoint-every", type=int, metavar="N",
                      default=None,
                      help="write a checkpoint every N scheduler rounds "
@@ -438,6 +448,18 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("families", help="list the available shape families")
+
+    report = sub.add_parser(
+        "report",
+        help="derive analysis reports from a finished sweep ledger")
+    report.add_argument("--robustness", action="store_true",
+                        help="the guarantee-survival table: termination "
+                             "rate, safety violations and round inflation "
+                             "per (algorithm, fault plan) cell")
+    report.add_argument("--ledger", metavar="PATH", required=True,
+                        help="the JSONL run ledger a sweep wrote")
+    report.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the report rows to a JSON file")
     return parser
 
 
@@ -490,7 +512,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 2
     spec = SweepSpec(algorithms=args.algorithms, families=args.families,
                      sizes=args.sizes, seeds=args.seeds,
-                     scheduler=args.scheduler, engine=args.engine)
+                     scheduler=args.scheduler, engine=args.engine,
+                     faults=args.faults)
+    try:
+        spec.expand()
+    except ValueError as exc:
+        # Validate before anything runs so a fault-plan typo (or a plan on
+        # an algorithm that rejects faults) cannot discard a grid of work.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     transport = args.transport
     if transport == "queue":
@@ -637,11 +667,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
             config = {"algorithm": args.algorithm, "family": args.family,
                       "size": args.size, "seed": args.seed,
                       "scheduler": args.scheduler, "engine": args.engine}
+            if args.faults:
+                config["faults"] = args.faults
             session = Session.run(config,
                                   checkpoint_every=args.checkpoint_every,
                                   checkpoint_dir=args.checkpoint_dir,
                                   on_checkpoint=on_checkpoint)
-    except CheckpointError as exc:
+    except (CheckpointError, ValueError) as exc:
+        # ValueError covers config validation — e.g. a fault-plan typo or
+        # a plan on an algorithm that rejects fault injection.
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if session.resumed_round is not None:
@@ -1122,6 +1156,31 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    if not args.robustness:
+        print("error: report needs a report type (--robustness)",
+              file=sys.stderr)
+        return 2
+    if not Path(args.ledger).is_file():
+        print(f"error: no ledger at {args.ledger}", file=sys.stderr)
+        return 2
+    from .analysis.robustness import robustness_report
+
+    cells, table = robustness_report(args.ledger)
+    if not cells:
+        print(f"error: ledger {args.ledger} holds no run entries",
+              file=sys.stderr)
+        return 1
+    print(table)
+    if args.json:
+        Path(args.json).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.json).write_text(
+            json.dumps([cell.as_dict() for cell in cells], indent=2) + "\n",
+            encoding="utf-8")
+        print(f"report rows written to {args.json}")
+    return 0
+
+
 _COMMANDS = {
     "sweep": _cmd_sweep,
     "run": _cmd_run,
@@ -1137,6 +1196,7 @@ _COMMANDS = {
     "elect": _cmd_elect,
     "metrics": _cmd_metrics,
     "families": _cmd_families,
+    "report": _cmd_report,
 }
 
 

@@ -11,7 +11,11 @@ parameters appearing in the paper's bounds:
   ``D``, the regime where Algorithm DLE's ``O(D_A)`` bound beats the erosion
   baselines and where erosion-only algorithms are inapplicable;
 * spirals — long outer boundaries (large ``L_out``) stressing the OBD
-  primitive.
+  primitive;
+* articulation chains — blobs joined by 1-wide bridges where every bridge
+  point is a cut vertex, the degenerate case for connectivity-preserving
+  perturbation (the fault adversary can never remove a bridge point);
+* random connected shapes with a controlled density of punched holes.
 
 Every generator returns a connected :class:`~repro.grid.shape.Shape` and is a
 pure function of its arguments (random generators take an explicit seed).
@@ -36,6 +40,8 @@ __all__ = [
     "spiral",
     "random_holey_blob",
     "triangle",
+    "articulation_chain",
+    "random_connected",
     "SHAPE_FAMILIES",
     "make_shape",
 ]
@@ -225,6 +231,83 @@ def random_holey_blob(n: int, hole_fraction: float = 0.15, seed: int = 0,
     return Shape(points)
 
 
+def articulation_chain(blobs: int, blob_radius: int = 1,
+                       bridge_length: int = 2, start: Point = ORIGIN) -> Shape:
+    """A chain of hexagonal blobs joined by 1-wide bridges.
+
+    Every bridge point is a cut vertex (articulation point) of the shape:
+    removing any one of them disconnects the chain.  This is the worst
+    case for connectivity-preserving shape perturbation — the fault
+    adversary's remove step can never fire on a bridge — and a stress
+    case for erosion, which must consume the chain blob by blob.
+    """
+    if blobs < 1 or blob_radius < 0 or bridge_length < 1:
+        raise ValueError("need blobs >= 1, blob_radius >= 0, bridge_length >= 1")
+    spacing = 2 * blob_radius + bridge_length + 1
+    points: Set[Point] = set()
+    for index in range(blobs):
+        center = translate(start, 0, index * spacing)
+        points.update(disk(center, blob_radius))
+        if index + 1 < blobs:
+            bridge = translate(start, 0, index * spacing + blob_radius + 1)
+            points.update(line(bridge, 0, bridge_length))
+    return Shape(points)
+
+
+def random_connected(n: int, hole_density: float = 0.1, seed: int = 0,
+                     center: Point = ORIGIN) -> Shape:
+    """A random connected shape of exactly ``n`` points with a controlled
+    density of single-point holes.
+
+    Grows an Eden-style blob of ``n`` points (preferring frontier points
+    touching at least two occupied points, so the blob is compact enough
+    to have an interior), then repeatedly punches out a random *interior*
+    point and regrows one point on the outer frontier to keep the count
+    exact.  An interior point has all six neighbours
+    occupied, and those six form a cycle around it, so its removal can
+    never disconnect the shape; for the same reason no interior point is
+    ever adjacent to an existing hole, so the punched holes stay
+    isolated, permanently enclosed single-point holes.  The process
+    stops at roughly ``hole_density * n`` holes (or earlier when no
+    interior point remains, on very thin blobs).
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    if not 0.0 <= hole_density <= 0.2:
+        raise ValueError("hole_density must be in [0, 0.2]")
+    rng = random.Random(seed)
+    points: Set[Point] = {center}
+    frontier: Set[Point] = set(neighbors(center))
+    holes: Set[Point] = set()
+
+    def grow_one() -> None:
+        candidates = sorted(frontier - holes)
+        compact = [c for c in candidates
+                   if sum(1 for u in neighbors(c) if u in points) >= 2]
+        candidate = rng.choice(compact or candidates)
+        points.add(candidate)
+        frontier.discard(candidate)
+        for u in neighbors(candidate):
+            if u not in points:
+                frontier.add(u)
+
+    while len(points) < n:
+        grow_one()
+    target_holes = int(round(hole_density * n))
+    attempts = 0
+    while len(holes) < target_holes and attempts < 20 * max(1, target_holes):
+        attempts += 1
+        interior = [p for p in sorted(points)
+                    if all(u in points for u in neighbors(p))]
+        if not interior:
+            break
+        hole = rng.choice(interior)
+        points.discard(hole)
+        holes.add(hole)
+        grow_one()
+    return Shape(points)
+
+
 #: Registry of named shape families used by the benchmark harness.  Each
 #: entry maps a family name to a callable ``(size, seed) -> Shape`` where
 #: ``size`` is an abstract scale parameter (not the particle count).
@@ -241,6 +324,10 @@ SHAPE_FAMILIES: Dict[str, Callable[[int, int], Shape]] = {
     "spiral": lambda size, seed: spiral(arms=2 * size, arm_length=3),
     "holey_blob": lambda size, seed: random_holey_blob(3 * size * size + 10,
                                                        seed=seed),
+    "chain": lambda size, seed: articulation_chain(blobs=size + 1,
+                                                   bridge_length=size + 1),
+    "random_connected": lambda size, seed: random_connected(
+        3 * size * size + 7, hole_density=0.08, seed=seed),
 }
 
 

@@ -23,9 +23,15 @@ import itertools
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..amoebot.faults import FaultSpec
 from ..amoebot.scheduler import ENGINES as _ENGINE_REGISTRY
 from ..amoebot.scheduler import SCHEDULER_ORDERS as _SCHEDULER_ORDERS
-from ..analysis.experiments import ALGORITHMS, TABLE1_ALGORITHMS, TABLE1_FAMILIES
+from ..analysis.experiments import (
+    ALGORITHMS,
+    FAULT_ALGORITHMS,
+    TABLE1_ALGORITHMS,
+    TABLE1_FAMILIES,
+)
 from ..grid.generators import SHAPE_FAMILIES
 
 __all__ = [
@@ -68,6 +74,10 @@ class RunConfig:
     seed: int
     scheduler: str = "random"
     engine: str = "sweep"
+    #: Fault-plan spec string (see :class:`repro.amoebot.faults.FaultSpec`);
+    #: "" = no fault injection.  Part of the run's identity: a faulty run
+    #: and its fault-free twin never share a cache entry or a checkpoint.
+    faults: str = ""
 
     def validate(self) -> None:
         """Raise ``ValueError`` unless every field names a known entity."""
@@ -92,10 +102,21 @@ class RunConfig:
             )
         if self.size < 0:
             raise ValueError(f"size must be non-negative, got {self.size}")
+        if self.faults:
+            FaultSpec.parse(self.faults)  # raises on bad syntax
+            if self.algorithm not in FAULT_ALGORITHMS:
+                raise ValueError(
+                    f"algorithm {self.algorithm!r} does not support fault "
+                    f"injection; fault-aware: {sorted(FAULT_ALGORITHMS)}")
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-ready dictionary (the canonical form used for hashing)."""
-        return {
+        """JSON-ready dictionary (the canonical form used for hashing).
+
+        The ``faults`` key is present only when a plan is set, so every
+        fault-free config hashes exactly as it did before the fault layer
+        existed (cache entries and checkpoint filenames are preserved).
+        """
+        data = {
             "algorithm": self.algorithm,
             "family": self.family,
             "size": self.size,
@@ -103,6 +124,9 @@ class RunConfig:
             "scheduler": self.scheduler,
             "engine": self.engine,
         }
+        if self.faults:
+            data["faults"] = self.faults
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "RunConfig":
@@ -114,6 +138,7 @@ class RunConfig:
             seed=int(data["seed"]),
             scheduler=str(data.get("scheduler", "random")),
             engine=str(data.get("engine", "sweep")),
+            faults=str(data.get("faults", "")),
         )
 
     def describe(self) -> str:
@@ -123,6 +148,8 @@ class RunConfig:
             label += f" sched={self.scheduler}"
         if self.engine != "sweep":
             label += f" engine={self.engine}"
+        if self.faults:
+            label += f" faults={self.faults}"
         return label
 
 
@@ -131,9 +158,12 @@ class SweepSpec:
     """A declarative grid of experiment runs.
 
     ``expand()`` yields configs in a stable nesting order —
-    family → size → seed → algorithm — so the resulting record list lines
-    up with the layouts the table formatters expect regardless of how many
-    workers executed the sweep.
+    faults → family → size → seed → algorithm — so the resulting record
+    list lines up with the layouts the table formatters expect regardless
+    of how many workers executed the sweep.  ``faults`` is the outermost
+    axis (default: one disabled plan), so robustness grids group all runs
+    of one fault intensity together — the layout the survival report
+    aggregates over — and fault-free sweeps expand exactly as before.
     """
 
     algorithms: Sequence[str]
@@ -142,34 +172,43 @@ class SweepSpec:
     seeds: Sequence[int] = (0,)
     scheduler: str = "random"
     engine: str = "sweep"
+    faults: Sequence[str] = ("",)
 
     def __post_init__(self) -> None:
         self.algorithms = list(self.algorithms)
         self.families = list(self.families)
         self.sizes = [int(s) for s in self.sizes]
         self.seeds = [int(s) for s in self.seeds]
-        if not (self.algorithms and self.families and self.sizes and self.seeds):
+        self.faults = [str(f) for f in self.faults]
+        if not (self.algorithms and self.families and self.sizes
+                and self.seeds and self.faults):
             raise ValueError("SweepSpec axes must all be non-empty")
 
     def __len__(self) -> int:
         return (len(self.algorithms) * len(self.families)
-                * len(self.sizes) * len(self.seeds))
+                * len(self.sizes) * len(self.seeds) * len(self.faults))
 
     def expand(self) -> List[RunConfig]:
         """The full list of configs, validated, in canonical order."""
         configs = [
             RunConfig(algorithm=algorithm, family=family, size=size,
-                      seed=seed, scheduler=self.scheduler, engine=self.engine)
-            for family, size, seed, algorithm in itertools.product(
-                self.families, self.sizes, self.seeds, self.algorithms)
+                      seed=seed, scheduler=self.scheduler,
+                      engine=self.engine, faults=faults)
+            for faults, family, size, seed, algorithm in itertools.product(
+                self.faults, self.families, self.sizes, self.seeds,
+                self.algorithms)
         ]
         for config in configs:
             config.validate()
         return configs
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-ready dictionary describing the spec."""
-        return {
+        """JSON-ready dictionary describing the spec.
+
+        Like :meth:`RunConfig.to_dict`, the ``faults`` axis is recorded
+        only when it differs from the default single disabled plan.
+        """
+        data = {
             "kind": "sweep-spec",
             "algorithms": list(self.algorithms),
             "families": list(self.families),
@@ -178,6 +217,9 @@ class SweepSpec:
             "scheduler": self.scheduler,
             "engine": self.engine,
         }
+        if self.faults != [""]:
+            data["faults"] = list(self.faults)
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "SweepSpec":
@@ -191,6 +233,7 @@ class SweepSpec:
             seeds=data.get("seeds", [0]),
             scheduler=data.get("scheduler", "random"),
             engine=data.get("engine", "sweep"),
+            faults=data.get("faults", [""]),
         )
 
 

@@ -150,7 +150,7 @@ class Session:
                                 family=config.family, size=config.size,
                                 seed=config.seed, metrics=metrics,
                                 order=config.scheduler, engine=config.engine,
-                                checkpoint=context)
+                                checkpoint=context, faults=config.faults)
         if context is not None:
             self.resumed_round = context.resumed_round
             context.discard()

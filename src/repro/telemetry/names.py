@@ -51,11 +51,15 @@ KNOWN_METRICS: FrozenSet[str] = frozenset({
     "engine.event.runs", "engine.event.rounds", "engine.event.activations",
     "engine.event.skipped", "engine.event.moves",
     "engine.event.parks", "engine.event.wakes",
+    # fault-injection totals (amoebot/faults.py via amoebot/scheduler.py);
+    # published once per run as "fault." + injector counter name
+    "fault.crashes", "fault.revives", "fault.shape_adds",
+    "fault.shape_removes", "fault.view_refreshes",
 })
 
 #: Literal *prefixes* of dynamically-composed names (``prefix + tail``).
 KNOWN_METRIC_PREFIXES: Tuple[str, ...] = (
-    "engine.sweep.", "engine.event.", "engine.", "sweep.",
+    "engine.sweep.", "engine.event.", "engine.", "sweep.", "fault.",
 )
 
 #: Literal *suffixes* of dynamically-composed names (``head + suffix``).

@@ -14,9 +14,10 @@ from repro.amoebot.adversary import (
     alternating_order,
     inside_out_order,
     outside_in_order,
+    sticky_factory,
     sticky_order,
 )
-from repro.amoebot.scheduler import Scheduler
+from repro.amoebot.scheduler import Scheduler, make_scheduler
 from repro.amoebot.system import ParticleSystem
 from repro.baselines.erosion import run_erosion_election
 from repro.core.dle import DLEAlgorithm, verify_unique_leader
@@ -61,6 +62,45 @@ class TestPoliciesArePermutations:
         assert policy(0, ids, random.Random(0)) == [1, 2, 3]
         assert policy(1, ids, random.Random(0)) == [3, 2, 1]
 
+    def test_sticky_victim_selectable_by_index(self):
+        system = ParticleSystem.from_shape(hexagon(2))
+        ids = system.particle_ids()
+        policy = sticky_factory(system, victim_index=3)
+        for round_index in range(3):
+            order = policy(round_index, list(ids), random.Random(0))
+            assert order[-1] == ids[3]
+
+    def test_sticky_victim_seedable_and_held_for_the_run(self):
+        system = ParticleSystem.from_shape(hexagon(2))
+        ids = system.particle_ids()
+        first = sticky_factory(system, seed=11)
+        second = sticky_factory(system, seed=11)
+        victim = first(0, list(ids), random.Random(0))[-1]
+        assert second(0, list(ids), random.Random(99))[-1] == victim
+        # the drawn victim is held across rounds, not redrawn
+        assert first(5, list(ids), random.Random(123))[-1] == victim
+
+    def test_sticky_table_default_is_not_hardwired_to_index_zero(self):
+        # regression: the factory table used to pin ids[0] for every system
+        system = ParticleSystem.from_shape(hexagon(3))
+        ids = system.particle_ids()
+        victim = ADVERSARY_FACTORIES["sticky"](system)(
+            0, list(ids), random.Random(0))[-1]
+        other = sticky_factory(system, seed=len(system))(
+            0, list(ids), random.Random(0))[-1]
+        assert victim == other  # population-seeded, reproducible
+
+    @pytest.mark.parametrize("name", sorted(ADVERSARY_FACTORIES))
+    def test_factories_deterministic_under_fixed_rng(self, name):
+        runs = []
+        for _ in range(2):
+            system = ParticleSystem.from_shape(hexagon(2))
+            policy = ADVERSARY_FACTORIES[name](system)
+            ids = system.particle_ids()
+            rng = random.Random(7)
+            runs.append([policy(r, list(ids), rng) for r in range(4)])
+        assert runs[0] == runs[1]
+
 
 class TestAlgorithmsUnderAdversaries:
     SHAPES = {
@@ -88,6 +128,21 @@ class TestAlgorithmsUnderAdversaries:
         policy = ADVERSARY_FACTORIES[adversary](system)
         outcome = run_erosion_election(system, order=policy, seed=2)
         assert outcome.succeeded
+
+    @pytest.mark.parametrize("adversary", sorted(ADVERSARY_FACTORIES))
+    def test_adversaries_compose_with_both_engines(self, adversary):
+        # Both engines feed custom policies the full id list every round, so
+        # an adversary must produce the same election on either engine.
+        rounds = {}
+        for engine in ("sweep", "event"):
+            system = ParticleSystem.from_shape(hexagon(3), orientation_seed=4)
+            policy = ADVERSARY_FACTORIES[adversary](system)
+            scheduler = make_scheduler(engine, order=policy, seed=4)
+            result = scheduler.run(DLEAlgorithm(), system)
+            assert result.terminated
+            verify_unique_leader(system)
+            rounds[engine] = result.rounds
+        assert rounds["sweep"] == rounds["event"]
 
     def test_adversary_can_slow_dle_down(self):
         # The adversary changes the measured rounds (ordering matters) while
