@@ -1,0 +1,467 @@
+"""The sweep dashboard: one self-contained picture of a sweep.
+
+``python -m repro dashboard --ledger PATH`` joins every observability
+stream the harness produces — the run ledger (streamed through
+:mod:`repro.analysis.stream`, never materialised), the telemetry
+snapshot (``metrics.json``), the live status feed of a queue or TCP
+transport, and the robustness survival cells when fault plans are
+present — into a deterministic HTML page (inline CSS/JS, no network
+access) and a markdown twin.
+
+Determinism is a feature, not an accident: rendering the same ledger
+twice yields byte-identical output (golden-tested), because the page
+embeds no wall-clock unless the caller passes an explicit ``generated``
+stamp, group rows are sorted with the numeric-aware order of
+:func:`repro.analysis.stream.sort_key`, and every number is formatted
+through one shared set of helpers.  ``--watch`` republishes the page
+atomically on an interval, which turns the same renderer into a live
+sweep monitor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from html import escape
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..telemetry import counter as _metric
+from ..telemetry.snapshots import read_metrics_file
+from .robustness import RobustnessCell, format_robustness_table
+from .stream import (
+    DEFAULT_GROUP_BY,
+    DEFAULT_NOISE_MARGIN,
+    CohortDelta,
+    GroupCell,
+    LedgerAggregator,
+    aggregate_ledger,
+    compare_cohorts,
+)
+
+__all__ = [
+    "Dashboard",
+    "DashboardBuilder",
+    "build_dashboard",
+    "render_dashboard_html",
+    "render_dashboard_markdown",
+]
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class Dashboard:
+    """Everything one render needs, already joined and aggregated."""
+
+    title: str
+    ledger_label: str
+    group_by: Tuple[str, ...]
+    aggregator: LedgerAggregator
+    robustness: List[RobustnessCell] = field(default_factory=list)
+    #: Parsed ``metrics.json`` document (``None`` when not recorded).
+    metrics: Optional[Dict[str, Any]] = None
+    #: A ``repro status`` document (``None`` for offline dashboards).
+    status: Optional[Dict[str, Any]] = None
+    compare: Optional[List[CohortDelta]] = None
+    compare_label: Optional[str] = None
+    compare_metric: str = "rounds"
+    #: Caller-supplied stamp; ``None`` keeps the output byte-deterministic.
+    generated: Optional[str] = None
+
+
+class DashboardBuilder:
+    """Incremental dashboard state over a (possibly live) ledger.
+
+    The ledger is consumed through a follow-tail reader: each
+    :meth:`refresh` folds only the lines appended since the previous one
+    into the running aggregation, so a ``--watch`` loop does O(new
+    entries) work per tick no matter how large the ledger has grown.
+    """
+
+    def __init__(self, ledger: PathLike,
+                 telemetry: Optional[PathLike] = None,
+                 group_by: Sequence[str] = DEFAULT_GROUP_BY,
+                 compare_with: Optional[PathLike] = None,
+                 compare_metric: str = "rounds",
+                 noise: float = DEFAULT_NOISE_MARGIN,
+                 title: Optional[str] = None) -> None:
+        self.ledger_path = Path(ledger)
+        self.telemetry = Path(telemetry) if telemetry is not None else None
+        self.aggregator = LedgerAggregator(group_by=group_by)
+        self.compare_metric = compare_metric
+        self.noise = noise
+        self.title = title or self.ledger_path.name
+        self._compare_path = (Path(compare_with)
+                              if compare_with is not None else None)
+        self._compare_agg: Optional[LedgerAggregator] = None
+        from ..orchestrator.store import RunLedger
+
+        self._reader = RunLedger(self.ledger_path).iter_entries()
+
+    def refresh(self, status: Optional[Dict[str, Any]] = None,
+                generated: Optional[str] = None) -> Dashboard:
+        """Fold the ledger's new tail and assemble a fresh snapshot."""
+        self.aggregator.add_all(self._reader)
+        metrics = (read_metrics_file(self.telemetry)
+                   if self.telemetry is not None else None)
+        robustness: List[RobustnessCell] = []
+        if self.aggregator.fault_plans:
+            # The survival report needs baseline pairing across the whole
+            # ledger, so it re-streams the file; cells stay O(grid).
+            from ..orchestrator.store import RunLedger
+            from .robustness import robustness_rows
+
+            robustness = robustness_rows(
+                list(RunLedger(self.ledger_path).iter_entries()))
+        compare: Optional[List[CohortDelta]] = None
+        compare_label: Optional[str] = None
+        if self._compare_path is not None:
+            if self._compare_agg is None:  # the baseline ledger is fixed
+                self._compare_agg = aggregate_ledger(
+                    self._compare_path, group_by=self.aggregator.group_by)
+            compare = compare_cohorts(self._compare_agg, self.aggregator,
+                                      metric=self.compare_metric,
+                                      noise=self.noise)
+            compare_label = self._compare_path.name
+        _metric("dashboard.builds").inc()
+        return Dashboard(
+            title=self.title,
+            ledger_label=self.ledger_path.name,
+            group_by=self.aggregator.group_by,
+            aggregator=self.aggregator,
+            robustness=robustness,
+            metrics=metrics,
+            status=status,
+            compare=compare,
+            compare_label=compare_label,
+            compare_metric=self.compare_metric,
+            generated=generated,
+        )
+
+
+def build_dashboard(ledger: PathLike,
+                    telemetry: Optional[PathLike] = None,
+                    status: Optional[Dict[str, Any]] = None,
+                    group_by: Sequence[str] = DEFAULT_GROUP_BY,
+                    compare_with: Optional[PathLike] = None,
+                    compare_metric: str = "rounds",
+                    noise: float = DEFAULT_NOISE_MARGIN,
+                    title: Optional[str] = None,
+                    generated: Optional[str] = None) -> Dashboard:
+    """One-shot build: stream the ledger once and join every source."""
+    builder = DashboardBuilder(ledger, telemetry=telemetry,
+                               group_by=group_by, compare_with=compare_with,
+                               compare_metric=compare_metric, noise=noise,
+                               title=title)
+    return builder.refresh(status=status, generated=generated)
+
+
+# ---------------------------------------------------------------------------
+# Shared formatting (one code path for HTML and markdown → one behaviour)
+# ---------------------------------------------------------------------------
+
+def _num(value: Optional[float], places: int = 1) -> str:
+    """Fixed-point with trailing-zero trim; deterministic across platforms."""
+    if value is None:
+        return "-"
+    text = f"{value:.{places}f}"
+    if "." in text:
+        text = text.rstrip("0").rstrip(".")
+    return text or "0"
+
+
+def _pct(numerator: float, denominator: float) -> str:
+    if not denominator:
+        return "-"
+    return f"{100.0 * numerator / denominator:.1f}%"
+
+
+def _bar(fraction: float, width: int = 30) -> str:
+    fraction = min(1.0, max(0.0, fraction))
+    filled = int(round(fraction * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def _progress_rows(dash: Dashboard) -> List[Tuple[str, str]]:
+    """The progress/outcome facts, as (label, value) pairs."""
+    total = dash.aggregator.total
+    rows = [
+        ("ledger entries", str(dash.aggregator.entries)),
+        ("done / failed", f"{total.done} / {total.failed}"),
+        ("succeeded", f"{total.succeeded} ({_pct(total.succeeded, total.done)}"
+                      f" of done)"),
+        ("safety violations", str(total.violations)),
+    ]
+    coordinator = (dash.status or {}).get("coordinator")
+    if coordinator and coordinator.get("enqueued"):
+        enqueued = int(coordinator["enqueued"])
+        collected = int(coordinator.get("collected", 0))
+        rows.append(("sweep progress",
+                     f"[{_bar(collected / enqueued)}] "
+                     f"{collected}/{enqueued} collected, "
+                     f"{coordinator.get('outstanding', 0)} outstanding"))
+    if dash.aggregator.fault_plans:
+        rows.append(("fault plans",
+                     ", ".join(sorted(dash.aggregator.fault_plans))))
+    return rows
+
+
+def _group_table(dash: Dashboard) -> Tuple[List[str], List[List[str]]]:
+    """Header + rows of the per-group percentile table."""
+    headers = list(dash.group_by) + [
+        "runs", "ok", "fail", "viol",
+        "rounds p50", "rounds p90", "rounds p99", "rounds mean±std",
+        "elapsed p50", "elapsed p90",
+    ]
+    rows: List[List[str]] = []
+    for cell in dash.aggregator.cells():
+        rows.append(_group_row(cell))
+    return headers, rows
+
+
+def _group_row(cell: GroupCell) -> List[str]:
+    rounds = cell.stat("rounds")
+    elapsed = cell.stat("elapsed")
+    row = [str(component) for component in cell.key]
+    row += [str(cell.runs), str(cell.succeeded), str(cell.failed),
+            str(cell.violations)]
+    if rounds is not None and rounds.count:
+        row += [_num(rounds.quantile(0.5)), _num(rounds.quantile(0.9)),
+                _num(rounds.quantile(0.99)),
+                f"{_num(rounds.mean)}±{_num(rounds.std)}"]
+    else:
+        row += ["-", "-", "-", "-"]
+    if elapsed is not None and elapsed.count:
+        row += [_num(elapsed.quantile(0.5), 3), _num(elapsed.quantile(0.9), 3)]
+    else:
+        row += ["-", "-"]
+    return row
+
+
+def _metrics_rows(dash: Dashboard) -> List[Tuple[str, str]]:
+    """Cache / retry / reclaim facts folded in from ``metrics.json``."""
+    if not dash.metrics:
+        return []
+    block = dash.metrics.get("metrics") or {}
+    cache = block.get("cache") or {}
+    rows = [
+        ("cache hits / misses",
+         f"{cache.get('hits', 0)} / {cache.get('misses', 0)}"),
+        ("cache hit rate", f"{100.0 * cache.get('hit_rate', 0.0):.1f}%"),
+        ("retries", str(block.get("retries", 0))),
+        ("lease reclaims", str(block.get("reclaims", 0))),
+    ]
+    rounds = block.get("rounds") or {}
+    for engine in sorted(rounds):
+        rows.append((f"engine {engine} rounds", str(rounds[engine])))
+    counters = block.get("counters") or {}
+    if "ledger.appends" in counters:
+        rows.append(("ledger appends", str(counters["ledger.appends"])))
+    return rows
+
+
+def _worker_section(dash: Dashboard
+                    ) -> Tuple[List[Tuple[str, str]], List[List[str]]]:
+    """Board facts + per-worker rows from the live status feed."""
+    status = dash.status or {}
+    board = status.get("board") or {}
+    if not status:
+        return [], []
+    facts = [
+        ("source", f"{status.get('source', '?')} {status.get('target', '')}"
+                   .strip()),
+        ("board", f"{board.get('pending', 0)} pending, "
+                  f"{board.get('leased', 0)} leased, "
+                  f"{board.get('done', 0)} done"
+                  + (" [STOP requested]" if status.get("stop") else "")),
+    ]
+    ages = board.get("lease_ages") or {}
+    if ages.get("count"):
+        facts.append(("lease ages", f"p50 {_num(ages.get('p50'), 3)}s, "
+                                    f"p90 {_num(ages.get('p90'), 3)}s, "
+                                    f"max {_num(ages.get('max'), 3)}s"))
+    throughput = board.get("throughput") or {}
+    if throughput:
+        facts.append(("throughput",
+                      f"{throughput.get('completed', 0)} result(s) in "
+                      f"{_num(throughput.get('window', 0.0))}s "
+                      f"({_num(throughput.get('per_second', 0.0), 4)}/s)"))
+    workers: List[List[str]] = []
+    for worker in status.get("workers") or []:
+        beat = worker.get("heartbeat_age")
+        workers.append([
+            str(worker.get("id", "?")),
+            _num(beat, 3) + "s ago" if beat is not None else "-",
+            str(worker.get("host") or "-"),
+        ])
+    return facts, workers
+
+
+def _compare_table(dash: Dashboard) -> Tuple[List[str], List[List[str]]]:
+    headers = list(dash.group_by) + [
+        "base runs", "runs", f"base {dash.compare_metric} mean",
+        f"{dash.compare_metric} mean", "ratio", "significant"]
+    rows: List[List[str]] = []
+    for delta in dash.compare or []:
+        row = [str(component) for component in delta.key]
+        row += [str(delta.base_runs), str(delta.other_runs),
+                _num(delta.base_mean, 2), _num(delta.other_mean, 2),
+                f"{delta.ratio:.2f}x" if delta.ratio is not None else "-",
+                {True: "YES", False: "no", None: "-"}[delta.significant]]
+        rows.append(row)
+    return headers, rows
+
+
+# ---------------------------------------------------------------------------
+# Markdown
+# ---------------------------------------------------------------------------
+
+def _md_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join(" --- " for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def render_dashboard_markdown(dash: Dashboard) -> str:
+    """The markdown twin of the HTML page (same data, same ordering)."""
+    out: List[str] = [f"# Sweep dashboard — {dash.title}", ""]
+    if dash.generated:
+        out += [f"_generated {dash.generated}_", ""]
+    out += ["## Progress", ""]
+    out += [f"- **{label}:** {value}" for label, value in
+            _progress_rows(dash)]
+    headers, rows = _group_table(dash)
+    out += ["", f"## Results by ({', '.join(dash.group_by)})", ""]
+    if rows:
+        out += [_md_table(headers, rows)]
+    else:
+        out += ["(no ledger entries yet)"]
+    metrics_rows = _metrics_rows(dash)
+    if metrics_rows:
+        out += ["", "## Cache & retries", ""]
+        out += [f"- **{label}:** {value}" for label, value in metrics_rows]
+    facts, workers = _worker_section(dash)
+    if facts:
+        out += ["", "## Workers", ""]
+        out += [f"- **{label}:** {value}" for label, value in facts]
+        if workers:
+            out += ["", _md_table(["worker", "heartbeat", "host"], workers)]
+        else:
+            out += ["", "(no live workers)"]
+    if dash.robustness:
+        out += ["", "## Guarantee survival", "", "```",
+                format_robustness_table(dash.robustness), "```"]
+    if dash.compare is not None:
+        out += ["", f"## Cohort comparison vs {dash.compare_label}", ""]
+        headers, rows = _compare_table(dash)
+        out += [_md_table(headers, rows) if rows else "(no common groups)"]
+    return "\n".join(out) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# HTML (self-contained: inline CSS + a tiny inline table sorter, no network)
+# ---------------------------------------------------------------------------
+
+_CSS = """
+:root { color-scheme: light dark; }
+body { font: 14px/1.45 system-ui, sans-serif; margin: 1.5rem auto;
+       max-width: 72rem; padding: 0 1rem; }
+h1 { font-size: 1.4rem; border-bottom: 2px solid #8884; }
+h2 { font-size: 1.1rem; margin-top: 1.6rem; }
+table { border-collapse: collapse; margin: .4rem 0; }
+th, td { border: 1px solid #8886; padding: .25rem .55rem;
+         text-align: right; font-variant-numeric: tabular-nums; }
+th { cursor: pointer; background: #8882; }
+td:first-child, th:first-child { text-align: left; }
+dl { display: grid; grid-template-columns: max-content auto; gap: .2rem .8rem; }
+dt { font-weight: 600; }
+dd { margin: 0; }
+pre { background: #8881; padding: .6rem; overflow-x: auto; }
+.bar { font-family: monospace; }
+.viol { color: #b33; font-weight: 600; }
+""".strip()
+
+# Click a header to sort its column (numeric-aware); click again to flip.
+_JS = """
+document.querySelectorAll("table.sortable th").forEach(function (th) {
+  th.addEventListener("click", function () {
+    var table = th.closest("table"), body = table.tBodies[0];
+    var index = Array.prototype.indexOf.call(th.parentNode.children, th);
+    var dir = th.dataset.dir === "asc" ? -1 : 1;
+    th.dataset.dir = dir === 1 ? "asc" : "desc";
+    var rows = Array.prototype.slice.call(body.rows);
+    rows.sort(function (a, b) {
+      var x = a.cells[index].textContent, y = b.cells[index].textContent;
+      var nx = parseFloat(x), ny = parseFloat(y);
+      if (!isNaN(nx) && !isNaN(ny)) return (nx - ny) * dir;
+      return x.localeCompare(y) * dir;
+    });
+    rows.forEach(function (row) { body.appendChild(row); });
+  });
+});
+""".strip()
+
+
+def _html_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    head = "".join(f"<th>{escape(h)}</th>" for h in headers)
+    body = "\n".join(
+        "<tr>" + "".join(f"<td>{escape(value)}</td>" for value in row)
+        + "</tr>" for row in rows)
+    return (f'<table class="sortable"><thead><tr>{head}</tr></thead>\n'
+            f"<tbody>\n{body}\n</tbody></table>")
+
+
+def _html_facts(rows: Sequence[Tuple[str, str]]) -> str:
+    items = "\n".join(f"<dt>{escape(label)}</dt>"
+                      f"<dd>{escape(value)}</dd>" for label, value in rows)
+    return f"<dl>\n{items}\n</dl>"
+
+
+def render_dashboard_html(dash: Dashboard,
+                          refresh: Optional[float] = None) -> str:
+    """The self-contained HTML page.
+
+    ``refresh`` adds a ``<meta http-equiv="refresh">`` so a browser
+    pointed at a ``--watch``-maintained file re-reads it on the watch
+    cadence; leave it ``None`` for byte-deterministic archival output.
+    """
+    parts: List[str] = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>Sweep dashboard — {escape(dash.title)}</title>",
+    ]
+    if refresh is not None:
+        parts.append(f'<meta http-equiv="refresh" '
+                     f'content="{max(1, int(refresh))}">')
+    parts += [f"<style>{_CSS}</style>", "</head><body>",
+              f"<h1>Sweep dashboard — {escape(dash.title)}</h1>"]
+    if dash.generated:
+        parts.append(f"<p><em>generated {escape(dash.generated)} from "
+                     f"{escape(dash.ledger_label)}</em></p>")
+    parts += ["<h2>Progress</h2>", _html_facts(_progress_rows(dash))]
+    headers, rows = _group_table(dash)
+    parts.append(f"<h2>Results by ({escape(', '.join(dash.group_by))})</h2>")
+    parts.append(_html_table(headers, rows) if rows
+                 else "<p>(no ledger entries yet)</p>")
+    metrics_rows = _metrics_rows(dash)
+    if metrics_rows:
+        parts += ["<h2>Cache &amp; retries</h2>", _html_facts(metrics_rows)]
+    facts, workers = _worker_section(dash)
+    if facts:
+        parts += ["<h2>Workers</h2>", _html_facts(facts)]
+        parts.append(_html_table(["worker", "heartbeat", "host"], workers)
+                     if workers else "<p>(no live workers)</p>")
+    if dash.robustness:
+        parts += ["<h2>Guarantee survival</h2>",
+                  f"<pre>{escape(format_robustness_table(dash.robustness))}"
+                  f"</pre>"]
+    if dash.compare is not None:
+        parts.append(f"<h2>Cohort comparison vs "
+                     f"{escape(dash.compare_label or '?')}</h2>")
+        headers, rows = _compare_table(dash)
+        parts.append(_html_table(headers, rows) if rows
+                     else "<p>(no common groups)</p>")
+    parts += [f"<script>{_JS}</script>", "</body></html>"]
+    return "\n".join(parts) + "\n"

@@ -1,0 +1,467 @@
+"""Streaming ledger analytics: single-pass, fixed-memory aggregation.
+
+Million-config sweeps produce JSONL ledgers that the ``records()``-into-
+memory analysis path cannot hold.  This module is the scale-matched
+alternative: every statistic here is computed in **one pass** over
+:meth:`repro.orchestrator.store.RunLedger.iter_entries` with memory
+proportional to the number of *groups*, never to the number of ledger
+lines.
+
+Three layers, each built on the one below:
+
+* :class:`StreamStat` — count / mean / Welford variance / min / max of
+  one numeric field, plus streaming percentiles through the telemetry
+  registry's fixed-bucket :class:`~repro.telemetry.registry.Histogram`
+  (the same estimator ``repro status`` already trusts for lease ages).
+* :class:`LedgerAggregator` — grouped outcome counts and per-field
+  :class:`StreamStat` values keyed by arbitrary record fields
+  (``algorithm``, ``family``, ``size``, ``engine``, ``faults``, any
+  shape metric…).  Incremental by construction: feed it a finished
+  ledger, or keep feeding it the live tail of a running one.
+* :func:`compare_cohorts` — per-cell deltas between two aggregations
+  (two sweeps, two engines, before/after a change), flagged against the
+  same noise margin the bench gate uses.
+
+:func:`follow_entries` is the live side: a polling follow-tail over a
+ledger that tolerates torn final lines (an in-flight ``os.write``), so a
+dashboard can watch a sweep that is still appending.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from ..telemetry import counter as _metric
+from ..telemetry.registry import DEFAULT_BUCKETS, Histogram
+
+__all__ = [
+    "DEFAULT_GROUP_BY",
+    "ROUND_BUCKETS",
+    "CohortDelta",
+    "GroupCell",
+    "LedgerAggregator",
+    "StreamStat",
+    "aggregate_entries",
+    "aggregate_ledger",
+    "compare_cohorts",
+    "compare_ledgers",
+    "entry_field",
+    "follow_entries",
+]
+
+PathLike = Union[str, Path]
+
+#: Default grouping for sweep ledgers: one cell per scaling-series point.
+DEFAULT_GROUP_BY: Tuple[str, ...] = ("algorithm", "family", "size")
+
+#: Fixed bucket boundaries for round counts (a 1-2-5 decade ladder wide
+#: enough for million-round runs); :data:`~repro.telemetry.registry.
+#: DEFAULT_BUCKETS` covers the seconds-scale ``elapsed`` field.
+ROUND_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+    1e3, 2e3, 5e3, 1e4, 2e4, 5e4, 1e5, 2e5, 5e5, 1e6)
+
+#: Numeric fields aggregated per group by default, with their buckets.
+DEFAULT_FIELDS: Mapping[str, Sequence[float]] = {
+    "rounds": ROUND_BUCKETS,
+    "elapsed": DEFAULT_BUCKETS,
+}
+
+#: Percentiles every summary reports.
+SUMMARY_QUANTILES: Tuple[Tuple[str, float], ...] = (
+    ("p50", 0.5), ("p90", 0.9), ("p99", 0.99))
+
+
+def entry_field(entry: Dict[str, Any], name: str) -> Any:
+    """Resolve ``name`` against one ledger entry, most-specific first:
+    the run config, the entry itself (``status``, ``elapsed``, ``digest``),
+    the record payload (``rounds``, ``succeeded``), its shape metrics,
+    then its details.  ``None`` when nowhere to be found."""
+    config = entry.get("config") or {}
+    if name in config:
+        return config[name]
+    if name == "faults":
+        return ""  # fault-free configs omit the key by design
+    if name in entry:
+        return entry[name]
+    record = entry.get("record") or {}
+    if name in record:
+        return record[name]
+    for nested in ("metrics", "details"):
+        payload = record.get(nested) or {}
+        if name in payload:
+            return payload[name]
+    return None
+
+
+class StreamStat:
+    """Single-pass statistics of one numeric field.
+
+    Welford's online algorithm gives exact count/mean/variance in O(1)
+    memory; a fixed-bucket histogram (reused from the telemetry
+    registry) gives streaming percentiles with bounded error and *no*
+    growth with observation count — the combination the whole module is
+    built on.
+    """
+
+    __slots__ = ("count", "mean", "_m2", "min", "max", "_hist")
+
+    def __init__(self, buckets: Optional[Sequence[float]] = None) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._hist = Histogram("stream", buckets=buckets)
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        self._hist.observe(value)
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n-1 denominator); 0.0 below two observations."""
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    def quantile(self, q: float) -> float:
+        """Streaming ``q``-quantile: the histogram's interpolated answer."""
+        return self._hist.quantile(q)
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-ready summary (count, mean, std, min/max, percentiles)."""
+        data: Dict[str, Any] = {
+            "count": self.count,
+            "mean": round(self.mean, 6),
+            "std": round(self.std, 6),
+            "min": self.min,
+            "max": self.max,
+        }
+        for label, q in SUMMARY_QUANTILES:
+            data[label] = round(self.quantile(q), 6)
+        return data
+
+
+@dataclass
+class GroupCell:
+    """Aggregated outcomes and statistics of one group of ledger entries."""
+
+    key: Tuple[Any, ...]
+    runs: int = 0
+    done: int = 0
+    failed: int = 0
+    succeeded: int = 0
+    terminated: int = 0
+    #: Runs that terminated with a *wrong* answer — safety violations.
+    violations: int = 0
+    stats: Dict[str, StreamStat] = field(default_factory=dict)
+
+    def stat(self, name: str) -> Optional[StreamStat]:
+        """The named field's statistics, ``None`` when never observed."""
+        return self.stats.get(name)
+
+    def as_dict(self, group_by: Sequence[str] = ()) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            name: value for name, value in zip(group_by, self.key)}
+        data.update({
+            "runs": self.runs,
+            "done": self.done,
+            "failed": self.failed,
+            "succeeded": self.succeeded,
+            "terminated": self.terminated,
+            "violations": self.violations,
+            "fields": {name: stat.summary()
+                       for name, stat in sorted(self.stats.items())},
+        })
+        return data
+
+
+def _sort_component(value: Any) -> Tuple[int, Any]:
+    """Stable ordering across mixed-type keys: numbers first (numeric
+    order), then everything else by string."""
+    if isinstance(value, bool):
+        return (1, str(value))
+    if isinstance(value, (int, float)):
+        return (0, value)
+    return (1, str(value))
+
+
+def sort_key(key: Tuple[Any, ...]) -> Tuple[Tuple[int, Any], ...]:
+    """Deterministic sort key for group tuples (used by every renderer)."""
+    return tuple(_sort_component(component) for component in key)
+
+
+class LedgerAggregator:
+    """Grouped, single-pass aggregation over run-ledger entries.
+
+    Memory is O(groups × fields), independent of how many lines are fed
+    in — the property the bounded-memory test in ``tests/test_stream.py``
+    pins down.  Entries are counted per appearance (no digest
+    deduplication: remembering seen digests would grow with the ledger);
+    ledgers produced by ``--resume`` sweeps therefore count a re-served
+    config once per ledger line, exactly like ``repro status`` counts
+    results.
+    """
+
+    def __init__(self, group_by: Sequence[str] = DEFAULT_GROUP_BY,
+                 fields: Optional[Mapping[str, Sequence[float]]] = None
+                 ) -> None:
+        self.group_by = tuple(group_by)
+        self.fields: Dict[str, Tuple[float, ...]] = {
+            name: tuple(buckets)
+            for name, buckets in (fields or DEFAULT_FIELDS).items()}
+        self._cells: Dict[Tuple[Any, ...], GroupCell] = {}
+        self.total = GroupCell(key=())
+        self.entries = 0
+        #: Distinct fault plans seen (bounded by the sweep's fault axis).
+        self.fault_plans: Set[str] = set()
+
+    def add(self, entry: Dict[str, Any]) -> None:
+        """Fold one ledger entry into the aggregation."""
+        self.entries += 1
+        key = tuple(entry_field(entry, name) for name in self.group_by)
+        cell = self._cells.get(key)
+        if cell is None:
+            cell = self._cells.setdefault(key, GroupCell(key=key))
+        plan = entry_field(entry, "faults")
+        if plan:
+            self.fault_plans.add(str(plan))
+        for target in (cell, self.total):
+            self._fold(target, entry)
+
+    def add_all(self, entries: Iterable[Dict[str, Any]]) -> int:
+        """Fold a batch of entries; returns how many were folded."""
+        before = self.entries
+        for entry in entries:
+            self.add(entry)
+        folded = self.entries - before
+        if folded:
+            _metric("report.stream_entries").inc(folded)
+        return folded
+
+    def _fold(self, cell: GroupCell, entry: Dict[str, Any]) -> None:
+        cell.runs += 1
+        status = entry.get("status")
+        if status == "done":
+            cell.done += 1
+            record = entry.get("record") or {}
+            succeeded = bool(record.get("succeeded"))
+            details = record.get("details") or {}
+            terminated = bool(details.get("terminated", succeeded))
+            if succeeded:
+                cell.succeeded += 1
+            if terminated:
+                cell.terminated += 1
+            if terminated and not succeeded:
+                cell.violations += 1
+        else:
+            cell.failed += 1
+        for name, buckets in self.fields.items():
+            value = entry_field(entry, name)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            stat = cell.stats.get(name)
+            if stat is None:
+                stat = cell.stats.setdefault(name, StreamStat(buckets))
+            stat.add(float(value))
+
+    def cells(self) -> List[GroupCell]:
+        """All group cells in deterministic (numeric-aware) key order."""
+        return sorted(self._cells.values(), key=lambda c: sort_key(c.key))
+
+    def cell(self, key: Tuple[Any, ...]) -> Optional[GroupCell]:
+        return self._cells.get(key)
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """One JSON-ready document (the dashboard's raw data block)."""
+        return {
+            "kind": "ledger-aggregate",
+            "group_by": list(self.group_by),
+            "entries": self.entries,
+            "fault_plans": sorted(self.fault_plans),
+            "total": self.total.as_dict(),
+            "groups": [cell.as_dict(self.group_by)
+                       for cell in self.cells()],
+        }
+
+
+def aggregate_entries(entries: Iterable[Dict[str, Any]],
+                      group_by: Sequence[str] = DEFAULT_GROUP_BY,
+                      fields: Optional[Mapping[str, Sequence[float]]] = None
+                      ) -> LedgerAggregator:
+    """Fold an entry stream into a fresh :class:`LedgerAggregator`."""
+    aggregator = LedgerAggregator(group_by=group_by, fields=fields)
+    aggregator.add_all(entries)
+    return aggregator
+
+
+def aggregate_ledger(path: PathLike,
+                     group_by: Sequence[str] = DEFAULT_GROUP_BY,
+                     fields: Optional[Mapping[str, Sequence[float]]] = None
+                     ) -> LedgerAggregator:
+    """Single-pass aggregation of a ledger file (O(groups) memory)."""
+    from ..orchestrator.store import RunLedger
+
+    return aggregate_entries(RunLedger(path).iter_entries(),
+                             group_by=group_by, fields=fields)
+
+
+def follow_entries(path: PathLike, poll: float = 0.5,
+                   idle_timeout: Optional[float] = None,
+                   stop: Optional[Callable[[], bool]] = None,
+                   sleep: Callable[[float], None] = time.sleep
+                   ) -> Iterator[Dict[str, Any]]:
+    """Yield ledger entries as they are appended — the live tail.
+
+    Drains everything currently complete, then polls every ``poll``
+    seconds for more.  A torn final line (a writer's in-flight append)
+    is never mis-read: the underlying reader leaves it for the next poll
+    and picks it up whole once the newline lands.  The generator ends
+    when ``stop()`` answers true (checked *after* a drain, so a finished
+    sweep's last entries are always delivered) or after ``idle_timeout``
+    seconds without new data; with neither, it follows forever.
+    ``sleep`` is injectable for tests.
+    """
+    from ..orchestrator.store import RunLedger
+
+    reader = RunLedger(path).iter_entries()
+    idle = 0.0
+    while True:
+        saw = False
+        for entry in reader:  # resumes from the reader's offset
+            saw = True
+            yield entry
+        if saw:
+            idle = 0.0
+        if stop is not None and stop():
+            return
+        if idle_timeout is not None and idle >= idle_timeout:
+            return
+        sleep(poll)
+        idle += poll
+
+
+@dataclass
+class CohortDelta:
+    """One group's change between two aggregations (base → other)."""
+
+    key: Tuple[Any, ...]
+    metric: str
+    base_runs: int
+    other_runs: int
+    base_mean: Optional[float]
+    other_mean: Optional[float]
+    #: ``other_mean / base_mean``; ``None`` when either side is missing
+    #: or the base mean is zero.
+    ratio: Optional[float]
+    #: Outside the noise margin?  ``None`` when the ratio is undefined.
+    significant: Optional[bool]
+
+    @property
+    def delta(self) -> Optional[float]:
+        if self.base_mean is None or self.other_mean is None:
+            return None
+        return self.other_mean - self.base_mean
+
+    def as_dict(self, group_by: Sequence[str] = ()) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            name: value for name, value in zip(group_by, self.key)}
+        data.update({
+            "metric": self.metric,
+            "base_runs": self.base_runs,
+            "other_runs": self.other_runs,
+            "base_mean": self.base_mean,
+            "other_mean": self.other_mean,
+            "delta": self.delta,
+            "ratio": self.ratio,
+            "significant": self.significant,
+        })
+        return data
+
+
+#: The bench gate's default noise margin (±25% on the ratio) — reused so
+#: "significant" means the same thing here as in ``repro bench``.
+DEFAULT_NOISE_MARGIN = 0.25
+
+
+def compare_cohorts(base: LedgerAggregator, other: LedgerAggregator,
+                    metric: str = "rounds",
+                    noise: float = DEFAULT_NOISE_MARGIN
+                    ) -> List[CohortDelta]:
+    """Per-cell deltas between two aggregations over the same grouping.
+
+    Cells present on only one side are reported with the missing side's
+    mean as ``None`` (a grid that grew or shrank is itself a finding).
+    A ratio is *significant* when it leaves the ``[1/(1+noise), 1+noise]``
+    band — the bench gate's regression margin, so scheduler noise does
+    not read as a result.
+    """
+    if base.group_by != other.group_by:
+        raise ValueError(
+            f"cohorts group differently: {base.group_by} vs {other.group_by}")
+    keys = {cell.key for cell in base.cells()} \
+        | {cell.key for cell in other.cells()}
+    deltas: List[CohortDelta] = []
+    for key in sorted(keys, key=sort_key):
+        base_cell, other_cell = base.cell(key), other.cell(key)
+        base_stat = base_cell.stat(metric) if base_cell else None
+        other_stat = other_cell.stat(metric) if other_cell else None
+        base_mean = base_stat.mean if base_stat and base_stat.count else None
+        other_mean = other_stat.mean if other_stat and other_stat.count \
+            else None
+        ratio: Optional[float] = None
+        significant: Optional[bool] = None
+        if base_mean and other_mean is not None:
+            ratio = other_mean / base_mean
+            significant = not (1.0 / (1.0 + noise) <= ratio <= 1.0 + noise)
+        deltas.append(CohortDelta(
+            key=key, metric=metric,
+            base_runs=base_cell.runs if base_cell else 0,
+            other_runs=other_cell.runs if other_cell else 0,
+            base_mean=base_mean, other_mean=other_mean,
+            ratio=ratio, significant=significant))
+    if deltas:
+        _metric("report.cohort_cells").inc(len(deltas))
+    return deltas
+
+
+def compare_ledgers(base_path: PathLike, other_path: PathLike,
+                    group_by: Sequence[str] = DEFAULT_GROUP_BY,
+                    metric: str = "rounds",
+                    noise: float = DEFAULT_NOISE_MARGIN
+                    ) -> List[CohortDelta]:
+    """Cohort comparison of two ledger files (each streamed once)."""
+    return compare_cohorts(aggregate_ledger(base_path, group_by=group_by),
+                           aggregate_ledger(other_path, group_by=group_by),
+                           metric=metric, noise=noise)

@@ -56,6 +56,20 @@ Presentation and analysis
     / ``format_scaling_series`` / ``format_table1`` (result tables),
     ``summarize_scaling`` and ``fit_linear`` / ``fit_power_law``
     (scaling-law fits).
+
+Streaming ledger analytics and dashboards
+    ``RunLedger`` — the append-only JSONL run ledger every sweep writes,
+    with streaming ``iter_entries()`` access; ``LedgerAggregator`` /
+    ``StreamStat`` / ``aggregate_ledger`` — single-pass, fixed-memory
+    grouped statistics (count, mean, Welford variance, histogram
+    percentiles) over ledgers of any size; ``follow_entries`` — the
+    torn-tail-tolerant live tail of a running sweep's ledger;
+    ``compare_cohorts`` / ``compare_ledgers`` / ``CohortDelta`` —
+    per-group deltas between two sweeps with the bench gate's noise
+    margins; ``build_dashboard`` / ``render_dashboard_html`` /
+    ``render_dashboard_markdown`` / ``DashboardBuilder`` — the
+    deterministic, self-contained sweep dashboard behind
+    ``repro dashboard``.
 """
 
 from __future__ import annotations
@@ -79,12 +93,30 @@ from .analysis.experiments import (
     run_scaling_experiment,
     run_table1_experiment,
 )
+from .analysis.dashboard import (
+    Dashboard,
+    DashboardBuilder,
+    build_dashboard,
+    render_dashboard_html,
+    render_dashboard_markdown,
+)
 from .analysis.fitting import fit_linear, fit_power_law
 from .analysis.robustness import (
     RobustnessCell,
     format_robustness_table,
     robustness_report,
     robustness_rows,
+)
+from .analysis.stream import (
+    CohortDelta,
+    GroupCell,
+    LedgerAggregator,
+    StreamStat,
+    aggregate_entries,
+    aggregate_ledger,
+    compare_cohorts,
+    compare_ledgers,
+    follow_entries,
 )
 from .analysis.tables import (
     format_records,
@@ -119,6 +151,7 @@ from .grid.metrics import ShapeMetrics, compute_metrics
 from .grid.shape import Shape, connected_components
 from .orchestrator.pool import SweepResult, run_sweep
 from .orchestrator.spec import RunConfig, SweepSpec, scaling_spec, table1_spec
+from .orchestrator.store import LedgerReader, RunLedger
 from .session import Session
 from .state import CheckpointError
 from .viz import render_system
@@ -127,20 +160,27 @@ __all__ = [
     "ADVERSARY_FACTORIES",
     "ALGORITHMS",
     "CheckpointError",
+    "CohortDelta",
     "CollectSimulator",
     "DLEAlgorithm",
+    "Dashboard",
+    "DashboardBuilder",
     "ElectionOutcome",
     "ExperimentRecord",
     "FAULT_ALGORITHMS",
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
+    "GroupCell",
+    "LedgerAggregator",
+    "LedgerReader",
     "OMP_ROUNDS_PER_UNIT",
     "PRP_ROUNDS_PER_UNIT",
     "ParticleSystem",
     "ROTATIONS_PER_PHASE",
     "RobustnessCell",
     "RunConfig",
+    "RunLedger",
     "SDP_ROUNDS_PER_UNIT",
     "Scheduler",
     "SchedulerResult",
@@ -148,18 +188,25 @@ __all__ = [
     "Shape",
     "ShapeMetrics",
     "SpanningTreeAlgorithm",
+    "StreamStat",
     "SweepResult",
     "SweepSpec",
     "TABLE1_ALGORITHMS",
     "TABLE1_FAMILIES",
+    "aggregate_entries",
+    "aggregate_ledger",
     "annulus",
     "articulation_chain",
+    "build_dashboard",
+    "compare_cohorts",
+    "compare_ledgers",
     "compute_metrics",
     "connected_components",
     "elect_leader",
     "elect_leader_known_boundary",
     "fit_linear",
     "fit_power_law",
+    "follow_entries",
     "format_records",
     "format_robustness_table",
     "format_scaling_series",
@@ -173,6 +220,8 @@ __all__ = [
     "random_blob",
     "random_connected",
     "random_holey_blob",
+    "render_dashboard_html",
+    "render_dashboard_markdown",
     "render_system",
     "robustness_report",
     "robustness_rows",

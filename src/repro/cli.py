@@ -19,7 +19,14 @@ The CLI exposes the experiment harness without writing any Python:
 * ``python -m repro status --coordinator HOST:PORT``  — live board depth,
   per-worker lease ages and rolling throughput for a running distributed
   sweep (``--queue-dir DIR`` inspects a filesystem queue instead;
-  ``--watch N`` re-polls, ``--json`` emits the raw snapshot)
+  ``--watch N`` re-polls, ``--json`` emits the raw snapshot — one NDJSON
+  document per tick under ``--watch``, so tooling can consume the feed)
+* ``python -m repro dashboard --ledger PATH``  — render a deterministic,
+  self-contained HTML (and markdown) sweep dashboard from a run ledger,
+  folding in ``--telemetry DIR`` metrics, the live ``--coordinator`` /
+  ``--queue-dir`` status feed, robustness survival cells and
+  ``--compare OTHER_LEDGER`` cohort deltas; ``--watch N`` republishes
+  the page atomically on an interval (a live sweep monitor)
 * ``python -m repro queue-gc runs/queue --ttl 86400`` — prune finished
   results, dead worker registrations and stale leases from a long-lived
   queue directory
@@ -78,7 +85,7 @@ from .orchestrator import (
     run_sweep,
 )
 from .orchestrator.net import DEFAULT_PORT
-from .telemetry import LOG_LEVELS, configure_logging, get_logger
+from .telemetry import LOG_LEVELS, configure_logging, counter, get_logger
 from .viz.ascii_art import render_system
 
 __all__ = ["main", "build_parser"]
@@ -345,6 +352,67 @@ def build_parser() -> argparse.ArgumentParser:
                         help="re-poll every SECONDS until Ctrl-C")
     status.add_argument("--json", action="store_true",
                         help="print the snapshot as JSON on stdout")
+
+    dashboard = sub.add_parser(
+        "dashboard",
+        help="render a self-contained HTML/markdown sweep dashboard from "
+             "a run ledger (optionally live, via --watch)")
+    dashboard.add_argument("--ledger", metavar="PATH", required=True,
+                           help="the JSONL run ledger to analyse (with "
+                                "--watch it may not exist yet; the "
+                                "dashboard follows its tail as it grows)")
+    dashboard.add_argument("--telemetry", metavar="DIR", default=None,
+                           help="fold in the metrics.json a '--telemetry "
+                                "DIR' sweep wrote (cache hit rate, "
+                                "retries, lease reclaims)")
+    dashboard.add_argument("--coordinator", metavar="HOST:PORT", default=None,
+                           help="fold in the live status feed of a TCP "
+                                "coordinator (worker liveness, lease ages)")
+    dashboard.add_argument("--queue-dir", metavar="PATH", default=None,
+                           help="fold in the live status of a filesystem "
+                                "task queue instead")
+    dashboard.add_argument("--secret", default=None,
+                           help="shared secret for the coordinator "
+                                "handshake (default: the REPRO_SECRET "
+                                "environment variable)")
+    dashboard.add_argument("--out", metavar="PATH", default="sweep.html",
+                           help="HTML output path (default sweep.html; "
+                                "republished atomically under --watch)")
+    dashboard.add_argument("--markdown", metavar="PATH", nargs="?",
+                           const="-", default=None,
+                           help="also emit the markdown dashboard ('-' or "
+                                "no value = stdout)")
+    dashboard.add_argument("--group-by", nargs="+", metavar="FIELD",
+                           default=None,
+                           help="record fields the percentile tables group "
+                                "by (default: algorithm family size; any "
+                                "config/record/metric field works, e.g. "
+                                "engine, faults, n, l_out)")
+    dashboard.add_argument("--compare", metavar="LEDGER", default=None,
+                           help="baseline ledger for the cohort-comparison "
+                                "section (per-group deltas, flagged "
+                                "against --noise)")
+    dashboard.add_argument("--metric", default="rounds",
+                           help="numeric field the cohort comparison "
+                                "reports (default rounds)")
+    dashboard.add_argument("--noise", type=float, default=0.25,
+                           help="noise margin for a 'significant' cohort "
+                                "ratio (default 0.25 = ±25%%, the bench "
+                                "gate's margin)")
+    dashboard.add_argument("--watch", type=float, metavar="SECONDS",
+                           default=None,
+                           help="re-render every SECONDS, following the "
+                                "ledger tail, until Ctrl-C")
+    dashboard.add_argument("--ticks", type=int, metavar="N", default=None,
+                           help="with --watch: stop after N renders "
+                                "(smoke tests and CI)")
+    dashboard.add_argument("--title", default=None,
+                           help="dashboard title (default: the ledger "
+                                "filename)")
+    dashboard.add_argument("--stamp", action="store_true",
+                           help="embed a generation timestamp (off by "
+                                "default: output is byte-deterministic "
+                                "for a fixed ledger)")
 
     queue_gc = sub.add_parser(
         "queue-gc",
@@ -770,23 +838,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 130
 
 
-def _status_snapshot(args: argparse.Namespace) -> dict:
-    """One unified status document for both backends.
+def collect_status(coordinator: Optional[str] = None,
+                   queue_dir: Optional[str] = None,
+                   secret: Optional[str] = None) -> dict:
+    """One unified status document for both backends (``repro status``
+    and the sweep dashboard share it).
 
     Schema: ``kind`` / ``source`` (``"tcp"`` or ``"queue"``) / ``target`` /
     ``lease_ttl`` / ``board`` (pending, leased, done, lease_ages, leases,
     throughput, counters where available) / ``workers`` (list of dicts with
     at least ``id``) / ``stop``.
     """
-    if args.coordinator:
+    if coordinator:
         from .orchestrator.net import fetch_status
 
-        status = fetch_status(args.coordinator,
-                              secret=_secret_or_env(args.secret))
+        status = fetch_status(coordinator, secret=_secret_or_env(secret))
         return {
             "kind": "repro-status",
             "source": "tcp",
-            "target": args.coordinator,
+            "target": coordinator,
             "lease_ttl": status.get("lease_ttl"),
             "board": status.get("board", {}),
             "workers": [{"id": worker}
@@ -796,11 +866,11 @@ def _status_snapshot(args: argparse.Namespace) -> dict:
     from .orchestrator.fsutil import read_json
     from .orchestrator.queue import STATUS_FILENAME, FileTaskQueue
 
-    snapshot = FileTaskQueue(args.queue_dir).status_snapshot()
+    snapshot = FileTaskQueue(queue_dir).status_snapshot()
     document = {
         "kind": "repro-status",
         "source": "queue",
-        "target": str(args.queue_dir),
+        "target": str(queue_dir),
         "lease_ttl": snapshot["lease_ttl"],
         "board": snapshot["board"],
         "workers": snapshot["workers"],
@@ -808,15 +878,26 @@ def _status_snapshot(args: argparse.Namespace) -> dict:
     }
     # The coordinator's published snapshot adds what directory listings
     # cannot know: how much of the sweep it has collected so far.
-    published = read_json(Path(args.queue_dir) / STATUS_FILENAME)
+    published = read_json(Path(queue_dir) / STATUS_FILENAME)
     if published is not None and "coordinator" in published:
         document["coordinator"] = published["coordinator"]
     return document
 
 
-def _render_status(document: dict, as_json: bool) -> None:
+def _status_snapshot(args: argparse.Namespace) -> dict:
+    return collect_status(coordinator=args.coordinator,
+                          queue_dir=args.queue_dir, secret=args.secret)
+
+
+def _render_status(document: dict, as_json: bool,
+                   stream: bool = False) -> None:
     if as_json:
-        print(json.dumps(document, indent=2))
+        # Under --watch the feed is NDJSON: one compact document per
+        # tick, flushed, so `repro status --watch --json | tool` works.
+        if stream:
+            print(json.dumps(document, separators=(",", ":")), flush=True)
+        else:
+            print(json.dumps(document, indent=2))
         return
     board = document.get("board", {})
     line = (f"{document['source']} {document['target']}: "
@@ -884,7 +965,7 @@ def _watch_status(args: argparse.Namespace,
             if down:
                 print("status: target answering again", file=sys.stderr)
             down = False
-            _render_status(document, args.json)
+            _render_status(document, args.json, stream=True)
         try:
             sleep(args.watch)
         except KeyboardInterrupt:
@@ -905,6 +986,88 @@ def _cmd_status(args: argparse.Namespace) -> int:
     except (OSError, ConnectionError, RuntimeError) as exc:
         print(f"status: {exc}", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_dashboard(args: argparse.Namespace) -> int:
+    from .analysis.dashboard import (
+        DashboardBuilder,
+        render_dashboard_html,
+        render_dashboard_markdown,
+    )
+    from .analysis.stream import DEFAULT_GROUP_BY
+    from .orchestrator.fsutil import write_text_atomic
+
+    if args.coordinator and args.queue_dir:
+        print("error: pass at most one of --coordinator or --queue-dir",
+              file=sys.stderr)
+        return 2
+    if args.ticks is not None and not args.watch:
+        print("error: --ticks requires --watch", file=sys.stderr)
+        return 2
+    if not args.watch and not Path(args.ledger).is_file():
+        # With --watch a not-yet-written ledger is fine: the follow-tail
+        # picks it up the moment the sweep creates it.
+        print(f"error: no ledger at {args.ledger}", file=sys.stderr)
+        return 2
+    if args.compare and not Path(args.compare).is_file():
+        print(f"error: no ledger at {args.compare}", file=sys.stderr)
+        return 2
+
+    log = get_logger("dashboard")
+    builder = DashboardBuilder(
+        args.ledger, telemetry=args.telemetry,
+        group_by=args.group_by or DEFAULT_GROUP_BY,
+        compare_with=args.compare, compare_metric=args.metric,
+        noise=args.noise, title=args.title)
+    status_down = False
+    ticks = 0
+    while True:
+        status = None
+        if args.coordinator or args.queue_dir:
+            try:
+                status = collect_status(coordinator=args.coordinator,
+                                        queue_dir=args.queue_dir,
+                                        secret=args.secret)
+                status_down = False
+            except (OSError, ConnectionError, RuntimeError) as exc:
+                # A restarting coordinator must not kill a live monitor:
+                # render without the feed and keep polling.
+                if not status_down:
+                    log.warning(f"dashboard: status unavailable ({exc}); "
+                                f"rendering without the live feed")
+                status_down = True
+                if not args.watch:
+                    return 1
+        generated = None
+        if args.stamp:
+            generated = time.strftime("%Y-%m-%d %H:%M:%S UTC",
+                                      time.gmtime())
+        dash = builder.refresh(status=status, generated=generated)
+        write_text_atomic(Path(args.out),
+                          render_dashboard_html(dash, refresh=args.watch))
+        if args.markdown:
+            markdown = render_dashboard_markdown(dash)
+            if args.markdown == "-":
+                print(markdown, end="")
+            else:
+                write_text_atomic(Path(args.markdown), markdown)
+        ticks += 1
+        if not args.watch:
+            break
+        counter("dashboard.watch_ticks").inc()
+        if args.ticks is not None and ticks >= args.ticks:
+            break
+        try:
+            time.sleep(args.watch)
+        except KeyboardInterrupt:
+            return 130
+    if args.markdown != "-":
+        targets = args.out + (f" and {args.markdown}" if args.markdown
+                              else "")
+        log.info(f"dashboard: {builder.aggregator.entries} ledger "
+                 f"entr{'y' if builder.aggregator.entries == 1 else 'ies'} "
+                 f"rendered to {targets}")
     return 0
 
 
@@ -1187,6 +1350,7 @@ _COMMANDS = {
     "worker": _cmd_worker,
     "serve": _cmd_serve,
     "status": _cmd_status,
+    "dashboard": _cmd_dashboard,
     "queue-gc": _cmd_queue_gc,
     "bench": _cmd_bench,
     "profile": _cmd_profile,

@@ -65,7 +65,7 @@ from .spec import (
     scaling_spec,
     table1_spec,
 )
-from .store import RunLedger
+from .store import LedgerReader, RunLedger
 from .transport import (
     TRANSPORT_HELP,
     TRANSPORTS,
@@ -89,6 +89,7 @@ __all__ = [
     "QueueTransport",
     "ResultCache",
     "RunConfig",
+    "LedgerReader",
     "RunLedger",
     "RunResult",
     "SweepResult",

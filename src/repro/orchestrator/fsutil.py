@@ -17,17 +17,22 @@ import tempfile
 from pathlib import Path
 from typing import Any, Dict, Optional
 
-__all__ = ["read_json", "write_json_atomic"]
+__all__ = ["read_json", "write_json_atomic", "write_text_atomic"]
 
 
-def write_json_atomic(path: Path, payload: Dict[str, Any]) -> None:
-    """Publish ``payload`` at ``path`` atomically and durably."""
+def write_text_atomic(path: Path, text: str) -> None:
+    """Publish ``text`` at ``path`` atomically and durably.
+
+    The dashboard's ``--watch`` loop republishes through this, so a
+    browser (or a tailing script) always reads a complete page, never a
+    half-rendered one.
+    """
     path.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp = tempfile.mkstemp(dir=str(path.parent), prefix=".",
                                suffix=".tmp")
     try:
-        with os.fdopen(fd, "w") as handle:
-            json.dump(payload, handle)
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, path)
@@ -37,6 +42,11 @@ def write_json_atomic(path: Path, payload: Dict[str, Any]) -> None:
         except OSError:
             pass
         raise
+
+
+def write_json_atomic(path: Path, payload: Dict[str, Any]) -> None:
+    """Publish ``payload`` at ``path`` atomically and durably."""
+    write_text_atomic(path, json.dumps(payload))
 
 
 def read_json(path: Path) -> Optional[Dict[str, Any]]:

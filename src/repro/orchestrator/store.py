@@ -35,11 +35,60 @@ try:  # advisory locking is POSIX-only; the O_APPEND write stands alone
 except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None  # type: ignore[assignment]
 
-__all__ = ["LEDGER_KIND", "RunLedger"]
+__all__ = ["LEDGER_KIND", "LedgerReader", "RunLedger"]
 
 PathLike = Union[str, Path]
 
 LEDGER_KIND = "sweep-run"
+
+
+class LedgerReader:
+    """Single-pass, torn-tail-tolerant stream over one ledger file.
+
+    Iterating yields parsed ledger entries one line at a time — O(1)
+    memory regardless of ledger size, which is what lets the streaming
+    analysis layer (:mod:`repro.analysis.stream`) fold million-line
+    ledgers without materialising them.
+
+    Only lines terminated by a newline are consumed: a torn final line
+    (a writer crashed mid-append — or is still appending right now) is
+    left unread and :attr:`offset` stops just before it.  Iterating the
+    same reader again resumes from :attr:`offset`, so the reader doubles
+    as the follow-tail primitive: poll, drain, sleep, repeat, and the
+    once-torn line is picked up whole on a later pass.
+
+    Complete-but-unparseable lines and entries of a foreign ``kind`` are
+    skipped (they belong to other tooling), but do advance the offset.
+    """
+
+    def __init__(self, path: PathLike, start: int = 0) -> None:
+        self.path = Path(path)
+        #: Byte position after the last *complete* line consumed.
+        self.offset = int(start)
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        try:
+            handle = open(self.path, "rb")
+        except OSError:
+            return  # no ledger yet: a follow-tail simply polls again
+        try:
+            handle.seek(self.offset)
+            while True:
+                line = handle.readline()
+                if not line or not line.endswith(b"\n"):
+                    return  # EOF, or a torn tail: do not advance offset
+                self.offset += len(line)
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                try:
+                    entry = json.loads(stripped)
+                except ValueError:
+                    continue  # complete but corrupt: skip, keep streaming
+                if isinstance(entry, dict) and entry.get("kind") == LEDGER_KIND:
+                    yield entry
+        finally:
+            handle.close()
 
 
 class RunLedger:
@@ -95,21 +144,21 @@ class RunLedger:
 
     # -- reading ------------------------------------------------------------
 
+    def iter_entries(self, start: int = 0) -> LedgerReader:
+        """A streaming, torn-tail-tolerant :class:`LedgerReader` over the
+        ledger, beginning at byte offset ``start``.
+
+        Every reading method of this class goes through it, so no
+        analysis path materialises the whole file; re-iterating the
+        returned reader resumes where the previous pass stopped (the
+        follow-tail idiom behind :func:`repro.analysis.stream.
+        follow_entries`).
+        """
+        return LedgerReader(self.path, start=start)
+
     def entries(self) -> Iterator[Dict[str, Any]]:
         """Parsed ledger lines, skipping blank or truncated ones."""
-        if not self.path.is_file():
-            return
-        with self.path.open() as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    entry = json.loads(line)
-                except ValueError:
-                    continue  # interrupted mid-write; the run will re-run
-                if isinstance(entry, dict) and entry.get("kind") == LEDGER_KIND:
-                    yield entry
+        return iter(self.iter_entries())
 
     def completed_digests(self) -> Set[str]:
         """Digests of configs that finished successfully (``done`` lines).

@@ -36,6 +36,13 @@ from .names import (
     KNOWN_METRICS,
     is_known_metric,
 )
+from .snapshots import (
+    EVENTS_FILENAME,
+    METRICS_FILENAME,
+    METRICS_KIND,
+    iter_events,
+    read_metrics_file,
+)
 from .registry import (
     DEFAULT_BUCKETS,
     NULL_REGISTRY,
@@ -56,10 +63,13 @@ from .registry import (
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "EVENTS_FILENAME",
     "KNOWN_METRICS",
     "KNOWN_METRIC_PREFIXES",
     "KNOWN_METRIC_SUFFIXES",
     "LOG_LEVELS",
+    "METRICS_FILENAME",
+    "METRICS_KIND",
     "NULL_EVENT_LOG",
     "NULL_REGISTRY",
     "Counter",
@@ -78,7 +88,9 @@ __all__ = [
     "get_registry",
     "histogram",
     "is_known_metric",
+    "iter_events",
     "quantile",
+    "read_metrics_file",
     "set_event_log",
     "set_registry",
     "summarize_ages",

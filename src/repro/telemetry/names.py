@@ -55,6 +55,11 @@ KNOWN_METRICS: FrozenSet[str] = frozenset({
     # published once per run as "fault." + injector counter name
     "fault.crashes", "fault.revives", "fault.shape_adds",
     "fault.shape_removes", "fault.view_refreshes",
+    # sweep dashboard renderer (analysis/dashboard.py)
+    "dashboard.builds", "dashboard.watch_ticks",
+    # streaming ledger analytics (analysis/stream.py); recorded once per
+    # fold/comparison, never per ledger line
+    "report.stream_entries", "report.cohort_cells",
 })
 
 #: Literal *prefixes* of dynamically-composed names (``prefix + tail``).

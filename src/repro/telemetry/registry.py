@@ -164,20 +164,32 @@ class Histogram:
                 self.max = value
 
     def quantile(self, q: float) -> float:
-        """Approximate ``q``-quantile: the upper bound of the bucket the
-        quantile falls in (the overflow bucket answers with the observed
-        maximum)."""
+        """Approximate ``q``-quantile, linearly interpolated within the
+        bucket the quantile falls in (observations are assumed uniform
+        across a bucket, the usual fixed-bucket estimator).
+
+        The first bucket interpolates up from the observed minimum, the
+        overflow bucket answers with the observed maximum, and every
+        answer is clamped to ``[min, max]`` so an almost-empty wide
+        bucket can never report a value outside what was observed.
+        """
         with self._lock:
-            if self.count == 0:
+            if self.count == 0 or self.min is None or self.max is None:
                 return 0.0
             target = min(1.0, max(0.0, float(q))) * self.count
             cumulative = 0
             for index, bucket_count in enumerate(self._counts):
+                below = cumulative
                 cumulative += bucket_count
                 if cumulative >= target and bucket_count:
-                    if index < len(self.buckets):
-                        return self.buckets[index]
-                    return float(self.max)
+                    if index >= len(self.buckets):
+                        return float(self.max)  # overflow bucket
+                    upper = self.buckets[index]
+                    lower = self.buckets[index - 1] if index else self.min
+                    lower = min(lower, upper)
+                    fraction = (target - below) / bucket_count
+                    value = lower + (upper - lower) * fraction
+                    return min(float(self.max), max(float(self.min), value))
             return float(self.max)
 
     def snapshot(self) -> Dict[str, Any]:

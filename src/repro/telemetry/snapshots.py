@@ -1,0 +1,84 @@
+"""Reading telemetry artefacts back from disk.
+
+``repro sweep --telemetry DIR`` leaves two files behind: ``events.jsonl``
+(the structured event log) and ``metrics.json`` (the final registry
+snapshot plus the distilled ``metrics`` block ``--summary-json`` embeds).
+This module is the consumer side: the canonical filenames, a tolerant
+reader for the metrics snapshot, and a streaming reader for the event
+log — shared by the sweep dashboard (:mod:`repro.analysis.dashboard`)
+and any external tooling that wants the same view.
+
+Readers are deliberately forgiving: a missing or half-written file (the
+sweep may still be running) answers ``None`` / nothing rather than
+raising, because a live dashboard must keep rendering through it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Union
+
+__all__ = [
+    "EVENTS_FILENAME",
+    "METRICS_FILENAME",
+    "METRICS_KIND",
+    "iter_events",
+    "read_metrics_file",
+]
+
+PathLike = Union[str, Path]
+
+#: Filenames ``repro sweep --telemetry DIR`` writes into ``DIR``.
+METRICS_FILENAME = "metrics.json"
+EVENTS_FILENAME = "events.jsonl"
+
+#: The ``kind`` tag of the metrics snapshot document.
+METRICS_KIND = "sweep-metrics"
+
+
+def read_metrics_file(path: PathLike) -> Optional[Dict[str, Any]]:
+    """Parse a ``metrics.json`` snapshot; ``None`` if missing or invalid.
+
+    ``path`` may be the file itself or the telemetry directory holding
+    it.  Only documents tagged ``kind == "sweep-metrics"`` are accepted,
+    so a stray JSON file can never be mistaken for telemetry.
+    """
+    target = Path(path)
+    if target.is_dir():
+        target = target / METRICS_FILENAME
+    try:
+        data = json.loads(target.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    if not isinstance(data, dict) or data.get("kind") != METRICS_KIND:
+        return None
+    return data
+
+
+def iter_events(path: PathLike) -> Iterator[Dict[str, Any]]:
+    """Stream the event objects of an ``events.jsonl`` log, one line at a
+    time (O(1) memory), skipping blank or torn lines.
+
+    ``path`` may be the file itself or the telemetry directory.
+    """
+    target = Path(path)
+    if target.is_dir():
+        target = target / EVENTS_FILENAME
+    try:
+        handle = open(target, "rb")
+    except OSError:
+        return
+    with handle:
+        for line in handle:
+            if not line.endswith(b"\n"):
+                return  # torn tail: the writer is mid-append
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                event = json.loads(stripped)
+            except ValueError:
+                continue
+            if isinstance(event, dict):
+                yield event

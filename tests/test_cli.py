@@ -388,3 +388,30 @@ class TestStatusWatch:
 
         assert _watch_status(self._args(), snapshot=snapshot,
                              sleep=lambda s: None) == 130
+
+    def test_watch_json_is_ndjson_one_document_per_tick(self, capsys):
+        from repro.cli import _watch_status
+
+        documents = [
+            {"kind": "repro-status", "source": "tcp",
+             "target": "localhost:1", "board": {"pending": tick},
+             "workers": [], "stop": False}
+            for tick in (2, 1, 0)]
+        remaining = list(documents)
+
+        def snapshot(args):
+            return remaining.pop(0)
+
+        def sleep(seconds):
+            if not remaining:
+                raise KeyboardInterrupt
+
+        code = _watch_status(self._args(as_json=True), snapshot=snapshot,
+                             sleep=sleep)
+        assert code == 130
+        lines = capsys.readouterr().out.splitlines()
+        # One compact JSON document per tick — pipeable NDJSON, no
+        # pretty-printing spread across lines.
+        assert len(lines) == 3
+        assert [json.loads(line) for line in lines] == documents
+        assert all("\n" not in line and ": " not in line for line in lines)

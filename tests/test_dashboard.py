@@ -1,0 +1,318 @@
+"""Tests for the sweep dashboard: determinism, incrementality, the CLI.
+
+The golden-file tests are the determinism contract stated in the module
+docstring: the same ledger renders to byte-identical HTML and markdown,
+run after run, machine after machine.  Regenerate the goldens after an
+intentional rendering change with::
+
+    REPRO_UPDATE_GOLDENS=1 PYTHONPATH=src python -m pytest tests/test_dashboard.py
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.dashboard import (
+    DashboardBuilder,
+    build_dashboard,
+    render_dashboard_html,
+    render_dashboard_markdown,
+)
+from repro.cli import main
+from repro.orchestrator import RunConfig
+from repro.orchestrator.store import RunLedger
+
+from test_stream import append_run
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+FAULT_PLAN = "delay:rate=0.5,max=3;seed=4"
+
+#: A frozen ``metrics.json`` document, as ``repro sweep --telemetry``
+#: writes it.
+METRICS_DOC = {
+    "kind": "sweep-metrics",
+    "spec": {"algorithms": ["dle", "erosion"], "sizes": [2, 3]},
+    "metrics": {
+        "cache": {"hits": 6, "misses": 10, "hit_rate": 0.375},
+        "retries": 2,
+        "reclaims": 1,
+        "rounds": {"sweep": 1968, "local": 0},
+        "counters": {"ledger.appends": 11},
+    },
+    "snapshot": {"counters": {}, "gauges": {}, "histograms": {}},
+}
+
+#: A frozen ``repro status`` document (queue transport, one live worker).
+STATUS_DOC = {
+    "kind": "repro-status",
+    "source": "queue",
+    "target": "work/queue",
+    "board": {
+        "pending": 3, "leased": 2, "done": 11,
+        "lease_ages": {"count": 2, "p50": 1.25, "p90": 2.5, "max": 2.5},
+        "leases": [],
+        "throughput": {"completed": 11, "window": 60.0,
+                       "per_second": 0.1833},
+        "counters": {"queue.leases": 13, "queue.completions": 11},
+    },
+    "workers": [
+        {"id": "w-1", "heartbeat_age": 0.75, "host": "node-a"},
+        {"id": "w-2", "heartbeat_age": 4.5, "host": "node-b"},
+    ],
+    "stop": False,
+    "coordinator": {"collected": 11, "enqueued": 16, "outstanding": 5},
+}
+
+
+def write_fixture_ledger(path):
+    """A deterministic ledger with baselines, faults, and one failure."""
+    ledger = RunLedger(path)
+    rounds = {(2, 0): 40, (2, 1): 42, (3, 0): 90, (3, 1): 94}
+    for (size, seed), value in sorted(rounds.items()):
+        append_run(ledger, RunConfig("dle", "hexagon", size, seed), value,
+                   elapsed=0.01 * value)
+        append_run(ledger,
+                   RunConfig("dle", "hexagon", size, seed,
+                             faults=FAULT_PLAN),
+                   value * 2, elapsed=0.02 * value)
+    append_run(ledger, RunConfig("erosion", "hexagon", 2, 0), 61,
+               elapsed=0.55)
+    append_run(ledger, RunConfig("dle", "hexagon", 3, 9), 0,
+               status="failed")
+    # One faulty run that terminated with a WRONG answer: a violation.
+    append_run(ledger, RunConfig("dle", "hexagon", 2, 7, faults=FAULT_PLAN),
+               77, succeeded=False, terminated=True, elapsed=0.77)
+    return ledger
+
+
+def write_compare_ledger(path):
+    """A slower baseline cohort for the comparison section."""
+    ledger = RunLedger(path)
+    for (size, seed), value in ((2, 0), 60), ((2, 1), 62), ((3, 0), 95):
+        append_run(ledger, RunConfig("dle", "hexagon", size, seed), value,
+                   elapsed=0.01 * value)
+    return ledger
+
+
+def build_fixture_dashboard(tmp_path):
+    write_fixture_ledger(tmp_path / "runs.jsonl")
+    write_compare_ledger(tmp_path / "base.jsonl")
+    telemetry = tmp_path / "telemetry"
+    telemetry.mkdir()
+    (telemetry / "metrics.json").write_text(json.dumps(METRICS_DOC))
+    return build_dashboard(tmp_path / "runs.jsonl", telemetry=telemetry,
+                           status=STATUS_DOC,
+                           compare_with=tmp_path / "base.jsonl")
+
+
+def _check_golden(name, rendered):
+    golden = GOLDEN_DIR / name
+    if os.environ.get("REPRO_UPDATE_GOLDENS"):
+        golden.parent.mkdir(exist_ok=True)
+        golden.write_text(rendered)
+    expected = golden.read_text()
+    assert rendered == expected, (
+        f"{name} drifted from its golden; if the rendering change is "
+        f"intentional, regenerate with REPRO_UPDATE_GOLDENS=1")
+
+
+# ---------------------------------------------------------------------------
+# Determinism
+# ---------------------------------------------------------------------------
+
+class TestGoldenDeterminism:
+    def test_html_matches_golden_byte_for_byte(self, tmp_path):
+        dash = build_fixture_dashboard(tmp_path)
+        _check_golden("sweep_dashboard.html", render_dashboard_html(dash))
+
+    def test_markdown_matches_golden_byte_for_byte(self, tmp_path):
+        dash = build_fixture_dashboard(tmp_path)
+        _check_golden("sweep_dashboard.md",
+                      render_dashboard_markdown(dash))
+
+    def test_two_independent_builds_render_identically(self, tmp_path):
+        first = build_fixture_dashboard(tmp_path / "a")
+        (tmp_path / "b").mkdir()
+        second = build_fixture_dashboard(tmp_path / "b")
+        assert render_dashboard_html(first) == render_dashboard_html(second)
+        assert (render_dashboard_markdown(first)
+                == render_dashboard_markdown(second))
+
+    def test_no_absolute_paths_or_wallclock_leak(self, tmp_path):
+        dash = build_fixture_dashboard(tmp_path)
+        for rendered in (render_dashboard_html(dash),
+                         render_dashboard_markdown(dash)):
+            assert str(tmp_path) not in rendered
+            assert "generated" not in rendered  # only with an explicit stamp
+
+    def test_explicit_stamp_and_refresh_are_opt_in(self, tmp_path):
+        write_fixture_ledger(tmp_path / "runs.jsonl")
+        dash = build_dashboard(tmp_path / "runs.jsonl",
+                               generated="2026-08-08 12:00:00 UTC")
+        html = render_dashboard_html(dash, refresh=2.0)
+        assert "generated 2026-08-08 12:00:00 UTC" in html
+        assert '<meta http-equiv="refresh" content="2">' in html
+        markdown = render_dashboard_markdown(dash)
+        assert "_generated 2026-08-08 12:00:00 UTC_" in markdown
+
+
+# ---------------------------------------------------------------------------
+# Content
+# ---------------------------------------------------------------------------
+
+class TestDashboardContent:
+    def test_all_sections_present(self, tmp_path):
+        dash = build_fixture_dashboard(tmp_path)
+        markdown = render_dashboard_markdown(dash)
+        for heading in ("## Progress",
+                        "## Results by (algorithm, family, size)",
+                        "## Cache & retries", "## Workers",
+                        "## Guarantee survival",
+                        "## Cohort comparison vs base.jsonl"):
+            assert heading in markdown
+        assert "cache hit rate:** 37.5%" in markdown
+        assert "w-1" in markdown and "node-b" in markdown
+        assert FAULT_PLAN in markdown
+        assert "safety violations:** 1" in markdown
+        # The coordinator feed renders a progress bar.
+        assert "11/16 collected, 5 outstanding" in markdown
+
+    def test_sections_without_sources_are_omitted(self, tmp_path):
+        write_fixture_ledger(tmp_path / "runs.jsonl")
+        dash = build_dashboard(tmp_path / "runs.jsonl")
+        markdown = render_dashboard_markdown(dash)
+        assert "## Cache & retries" not in markdown
+        assert "## Workers" not in markdown
+        assert "## Cohort comparison" not in markdown
+        assert "## Guarantee survival" in markdown  # faults in the ledger
+
+    def test_fault_free_ledger_has_no_survival_section(self, tmp_path):
+        write_compare_ledger(tmp_path / "runs.jsonl")
+        dash = build_dashboard(tmp_path / "runs.jsonl")
+        assert "## Guarantee survival" \
+            not in render_dashboard_markdown(dash)
+
+    def test_empty_ledger_renders_placeholder(self, tmp_path):
+        (tmp_path / "runs.jsonl").write_text("")
+        dash = build_dashboard(tmp_path / "runs.jsonl")
+        assert "(no ledger entries yet)" in render_dashboard_markdown(dash)
+        assert "(no ledger entries yet)" in render_dashboard_html(dash)
+
+    def test_html_escapes_untrusted_strings(self, tmp_path):
+        write_compare_ledger(tmp_path / "runs.jsonl")
+        dash = build_dashboard(tmp_path / "runs.jsonl",
+                               title="<script>alert(1)</script>")
+        html = render_dashboard_html(dash)
+        assert "<script>alert(1)</script>" not in html
+        assert "&lt;script&gt;" in html
+
+
+# ---------------------------------------------------------------------------
+# Incremental refresh (the --watch engine)
+# ---------------------------------------------------------------------------
+
+class TestDashboardBuilder:
+    def test_refresh_folds_only_the_new_tail(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        ledger = RunLedger(path)
+        append_run(ledger, RunConfig("dle", "hexagon", 2, 0), 40)
+        builder = DashboardBuilder(path)
+        first = builder.refresh()
+        assert first.aggregator.entries == 1
+        # The sweep appends while the watcher sleeps...
+        append_run(ledger, RunConfig("dle", "hexagon", 2, 1), 44)
+        append_run(ledger, RunConfig("dle", "hexagon", 3, 0), 90)
+        second = builder.refresh()
+        assert second.aggregator.entries == 3
+        assert len(second.aggregator) == 2
+        # ...and an idle tick folds nothing but still renders.
+        third = builder.refresh()
+        assert third.aggregator.entries == 3
+
+    def test_watch_over_a_not_yet_created_ledger(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        builder = DashboardBuilder(path)
+        assert builder.refresh().aggregator.entries == 0
+        append_run(RunLedger(path), RunConfig("dle", "hexagon", 2, 0), 40)
+        assert builder.refresh().aggregator.entries == 1
+
+
+# ---------------------------------------------------------------------------
+# The CLI
+# ---------------------------------------------------------------------------
+
+class TestDashboardCli:
+    def test_renders_html_and_markdown_files(self, tmp_path, capsys):
+        write_fixture_ledger(tmp_path / "runs.jsonl")
+        out = tmp_path / "sweep.html"
+        md = tmp_path / "sweep.md"
+        code = main(["dashboard", "--ledger", str(tmp_path / "runs.jsonl"),
+                     "--out", str(out), "--markdown", str(md)])
+        assert code == 0
+        html = out.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "Results by (algorithm, family, size)" in html
+        assert "## Guarantee survival" in md.read_text()
+
+    def test_markdown_to_stdout(self, tmp_path, capsys):
+        write_fixture_ledger(tmp_path / "runs.jsonl")
+        code = main(["dashboard", "--ledger", str(tmp_path / "runs.jsonl"),
+                     "--out", str(tmp_path / "sweep.html"), "--markdown"])
+        assert code == 0
+        assert "# Sweep dashboard — runs.jsonl" in capsys.readouterr().out
+
+    def test_compare_and_group_by_flags(self, tmp_path, capsys):
+        write_fixture_ledger(tmp_path / "runs.jsonl")
+        write_compare_ledger(tmp_path / "base.jsonl")
+        code = main(["dashboard", "--ledger", str(tmp_path / "runs.jsonl"),
+                     "--compare", str(tmp_path / "base.jsonl"),
+                     "--group-by", "algorithm", "size",
+                     "--out", str(tmp_path / "sweep.html"), "--markdown"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "## Results by (algorithm, size)" in output
+        assert "## Cohort comparison vs base.jsonl" in output
+
+    def test_missing_ledger_is_an_error_without_watch(self, tmp_path,
+                                                      capsys):
+        code = main(["dashboard", "--ledger", str(tmp_path / "nope.jsonl"),
+                     "--out", str(tmp_path / "sweep.html")])
+        assert code == 2
+        assert "no ledger" in capsys.readouterr().err
+
+    def test_ticks_requires_watch(self, tmp_path, capsys):
+        write_fixture_ledger(tmp_path / "runs.jsonl")
+        code = main(["dashboard", "--ledger", str(tmp_path / "runs.jsonl"),
+                     "--ticks", "2",
+                     "--out", str(tmp_path / "sweep.html")])
+        assert code == 2
+        assert "--ticks requires --watch" in capsys.readouterr().err
+
+    def test_watch_with_ticks_terminates_and_publishes(self, tmp_path):
+        write_fixture_ledger(tmp_path / "runs.jsonl")
+        out = tmp_path / "sweep.html"
+        code = main(["dashboard", "--ledger", str(tmp_path / "runs.jsonl"),
+                     "--watch", "0.01", "--ticks", "2",
+                     "--out", str(out)])
+        assert code == 0
+        # The watch variant embeds the browser-side refresh.
+        assert '<meta http-equiv="refresh" content="1">' in out.read_text()
+
+    def test_stamp_embeds_a_timestamp(self, tmp_path):
+        write_fixture_ledger(tmp_path / "runs.jsonl")
+        out = tmp_path / "sweep.html"
+        code = main(["dashboard", "--ledger", str(tmp_path / "runs.jsonl"),
+                     "--stamp", "--out", str(out)])
+        assert code == 0
+        assert "generated " in out.read_text()
+
+    def test_rejects_two_status_sources(self, tmp_path, capsys):
+        write_fixture_ledger(tmp_path / "runs.jsonl")
+        code = main(["dashboard", "--ledger", str(tmp_path / "runs.jsonl"),
+                     "--coordinator", "localhost:1", "--queue-dir",
+                     str(tmp_path), "--out", str(tmp_path / "sweep.html")])
+        assert code == 2
+        assert "at most one" in capsys.readouterr().err

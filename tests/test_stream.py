@@ -1,0 +1,407 @@
+"""Tests for the streaming ledger analytics layer.
+
+The bounded-memory test at the bottom is the module's defining contract:
+aggregating a ~100k-line ledger must peak at essentially the same memory
+as aggregating a ~1k-line one, because every statistic is single-pass
+with state proportional to the number of *groups*.
+"""
+
+import json
+import statistics
+import tracemalloc
+
+import pytest
+
+from repro.analysis.stream import (
+    DEFAULT_GROUP_BY,
+    LedgerAggregator,
+    StreamStat,
+    aggregate_entries,
+    aggregate_ledger,
+    compare_cohorts,
+    compare_ledgers,
+    entry_field,
+    follow_entries,
+    sort_key,
+)
+from repro.orchestrator import RunConfig
+from repro.orchestrator.store import LEDGER_KIND, LedgerReader, RunLedger
+
+METRICS = {"n": 7, "n_A": 7, "D": 2, "D_A": 2, "D_G": 2,
+           "L_out": 6, "L_max": 6, "holes": 0}
+
+
+def make_record(config, rounds, succeeded=True, terminated=None):
+    details = {"terminated": succeeded if terminated is None else terminated}
+    return {
+        "algorithm": config.algorithm,
+        "family": config.family,
+        "size": config.size,
+        "seed": config.seed,
+        "rounds": rounds,
+        "succeeded": succeeded,
+        "metrics": METRICS,
+        "details": details,
+    }
+
+
+def append_run(ledger, config, rounds, status="done", succeeded=True,
+               terminated=None, elapsed=0.25):
+    record = (make_record(config, rounds, succeeded, terminated)
+              if status == "done" else None)
+    ledger.append(f"{config.algorithm}-{config.family}-"
+                  f"{config.size}-{config.seed}-{config.faults}",
+                  config, status, record_dict=record,
+                  error=None if status == "done" else "boom",
+                  elapsed=elapsed)
+
+
+def seed_ledger(path):
+    """A small two-algorithm, two-size ledger with one failure."""
+    ledger = RunLedger(path)
+    for seed in range(3):
+        append_run(ledger, RunConfig("dle", "hexagon", 2, seed), 40 + seed)
+        append_run(ledger, RunConfig("dle", "hexagon", 3, seed), 90 + seed)
+        append_run(ledger, RunConfig("erosion", "hexagon", 2, seed),
+                   60 + seed)
+    append_run(ledger, RunConfig("dle", "hexagon", 2, 99), 0, status="failed")
+    return ledger
+
+
+# ---------------------------------------------------------------------------
+# LedgerReader: streaming, torn tails, offset resume
+# ---------------------------------------------------------------------------
+
+class TestLedgerReader:
+    def test_streams_entries_in_order(self, tmp_path):
+        ledger = seed_ledger(tmp_path / "runs.jsonl")
+        entries = list(ledger.iter_entries())
+        assert len(entries) == 10
+        assert all(entry["kind"] == LEDGER_KIND for entry in entries)
+        assert entries[0]["config"]["size"] == 2
+
+    def test_torn_tail_left_unread_then_resumed(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        ledger = RunLedger(path)
+        append_run(ledger, RunConfig("dle", "hexagon", 2, 0), 40)
+        whole = (json.dumps({"kind": LEDGER_KIND, "digest": "x",
+                             "status": "done", "elapsed": 0.1,
+                             "config": {"algorithm": "dle"}}) + "\n")
+        torn_at = len(whole) // 2
+        with open(path, "ab") as handle:
+            handle.write(whole[:torn_at].encode())
+        reader = ledger.iter_entries()
+        assert len(list(reader)) == 1  # the torn line is not consumed
+        resume_offset = reader.offset
+        with open(path, "ab") as handle:
+            handle.write(whole[torn_at:].encode())
+        # Re-iterating the SAME reader resumes at the stored offset and
+        # now sees the healed line whole.
+        healed = list(reader)
+        assert [entry["digest"] for entry in healed] == ["x"]
+        assert reader.offset == resume_offset + len(whole)
+
+    def test_missing_file_yields_nothing(self, tmp_path):
+        assert list(LedgerReader(tmp_path / "absent.jsonl")) == []
+
+    def test_foreign_kind_and_garbage_advance_offset(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        with open(path, "w") as handle:
+            handle.write(json.dumps({"kind": "other-tool"}) + "\n")
+            handle.write("not json at all\n")
+            handle.write("\n")
+        ledger = RunLedger(path)
+        append_run(ledger, RunConfig("dle", "hexagon", 2, 0), 40)
+        reader = ledger.iter_entries()
+        entries = list(reader)
+        assert len(entries) == 1
+        assert reader.offset == path.stat().st_size
+
+    def test_reading_methods_route_through_streaming_reader(self, tmp_path):
+        ledger = seed_ledger(tmp_path / "runs.jsonl")
+        assert len(ledger) == 10
+        assert len(ledger.completed()) == 9
+        assert set(ledger.failures()) == {"dle-hexagon-2-99-"}
+        records = ledger.records()
+        assert len(records) == 9
+        assert {record.algorithm for record in records} == {"dle", "erosion"}
+
+
+# ---------------------------------------------------------------------------
+# StreamStat: Welford + histogram percentiles
+# ---------------------------------------------------------------------------
+
+class TestStreamStat:
+    def test_matches_exact_mean_and_stdev(self):
+        values = [3.0, 1.5, 4.25, 9.0, 2.0, 7.75, 0.5]
+        stat = StreamStat(buckets=(1.0, 2.0, 5.0, 10.0))
+        for value in values:
+            stat.add(value)
+        assert stat.count == len(values)
+        assert stat.mean == pytest.approx(statistics.mean(values))
+        assert stat.std == pytest.approx(statistics.stdev(values))
+        assert stat.min == 0.5 and stat.max == 9.0
+
+    def test_quantiles_bounded_by_observations(self):
+        stat = StreamStat(buckets=(10.0, 100.0))
+        for value in (5.0, 50.0, 500.0):
+            stat.add(value)
+        for q in (0.0, 0.5, 1.0):
+            assert 5.0 <= stat.quantile(q) <= 500.0
+
+    def test_summary_is_json_ready(self):
+        stat = StreamStat()
+        stat.add(1.0)
+        summary = stat.summary()
+        assert summary["count"] == 1
+        assert {"mean", "std", "min", "max", "p50", "p90", "p99"} \
+            <= set(summary)
+        json.dumps(summary)  # must serialise
+
+
+# ---------------------------------------------------------------------------
+# LedgerAggregator: grouping, outcomes, determinism
+# ---------------------------------------------------------------------------
+
+class TestLedgerAggregator:
+    def test_groups_and_outcomes(self, tmp_path):
+        seed_ledger(tmp_path / "runs.jsonl")
+        agg = aggregate_ledger(tmp_path / "runs.jsonl")
+        assert agg.entries == 10
+        assert agg.group_by == DEFAULT_GROUP_BY
+        keys = [cell.key for cell in agg.cells()]
+        assert keys == [("dle", "hexagon", 2), ("dle", "hexagon", 3),
+                        ("erosion", "hexagon", 2)]
+        cell = agg.cell(("dle", "hexagon", 2))
+        assert cell.runs == 4 and cell.done == 3 and cell.failed == 1
+        assert cell.succeeded == 3 and cell.violations == 0
+        rounds = cell.stat("rounds")
+        assert rounds.count == 3 and rounds.mean == pytest.approx(41.0)
+        total = agg.total
+        assert total.runs == 10 and total.failed == 1
+
+    def test_violation_counts_terminated_but_wrong(self):
+        config = RunConfig("dle", "hexagon", 2, 0)
+        entry = {"kind": LEDGER_KIND, "status": "done",
+                 "config": config.to_dict(),
+                 "record": make_record(config, 10, succeeded=False,
+                                       terminated=True)}
+        agg = aggregate_entries([entry])
+        assert agg.total.terminated == 1
+        assert agg.total.succeeded == 0
+        assert agg.total.violations == 1
+
+    def test_fault_plans_collected(self):
+        faulty = RunConfig("dle", "hexagon", 2, 0,
+                           faults="crash:rate=0.1;seed=1")
+        clean = RunConfig("dle", "hexagon", 2, 0)
+        entries = [
+            {"kind": LEDGER_KIND, "status": "done",
+             "config": config.to_dict(),
+             "record": make_record(config, 10)}
+            for config in (clean, faulty)]
+        agg = aggregate_entries(entries)
+        assert agg.fault_plans == {"crash:rate=0.1;seed=1"}
+
+    def test_custom_group_by_and_numeric_sort(self):
+        entries = []
+        for size in (10, 2, 100):
+            config = RunConfig("dle", "hexagon", size, 0)
+            entries.append({"kind": LEDGER_KIND, "status": "done",
+                            "config": config.to_dict(),
+                            "record": make_record(config, size)})
+        agg = aggregate_entries(entries, group_by=("size",))
+        assert [cell.key for cell in agg.cells()] == [(2,), (10,), (100,)]
+
+    def test_sort_key_orders_numbers_before_strings(self):
+        keys = [("b",), (10,), ("a",), (2,)]
+        assert sorted(keys, key=sort_key) == [(2,), (10,), ("a",), ("b",)]
+
+    def test_as_dict_round_trips_through_json(self, tmp_path):
+        seed_ledger(tmp_path / "runs.jsonl")
+        agg = aggregate_ledger(tmp_path / "runs.jsonl")
+        doc = json.loads(json.dumps(agg.as_dict()))
+        assert doc["kind"] == "ledger-aggregate"
+        assert doc["entries"] == 10
+        assert len(doc["groups"]) == 3
+        assert doc["groups"][0]["fields"]["rounds"]["count"] == 3
+
+    def test_entry_field_resolution_order(self):
+        config = RunConfig("dle", "hexagon", 2, 0)
+        entry = {"kind": LEDGER_KIND, "status": "done", "elapsed": 1.5,
+                 "config": config.to_dict(),
+                 "record": make_record(config, 10)}
+        assert entry_field(entry, "algorithm") == "dle"  # config wins
+        assert entry_field(entry, "status") == "done"  # then the entry
+        assert entry_field(entry, "rounds") == 10  # then the record
+        assert entry_field(entry, "n") == 7  # then its shape metrics
+        assert entry_field(entry, "terminated") is True  # then details
+        assert entry_field(entry, "faults") == ""  # omitted key reads ""
+        assert entry_field(entry, "nope") is None
+
+
+# ---------------------------------------------------------------------------
+# follow_entries: the live tail
+# ---------------------------------------------------------------------------
+
+class TestFollowEntries:
+    def test_delivers_appends_then_stops_after_final_drain(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        ledger = RunLedger(path)
+        append_run(ledger, RunConfig("dle", "hexagon", 2, 0), 40)
+        state = {"polls": 0}
+
+        def sleep(_interval):
+            state["polls"] += 1
+            # New data lands while the follower sleeps; stop after it.
+            append_run(ledger, RunConfig("dle", "hexagon", 2, state["polls"]),
+                       40 + state["polls"])
+
+        def stop():
+            return state["polls"] >= 2
+
+        seeds = [entry["config"]["seed"]
+                 for entry in follow_entries(path, poll=0.01, stop=stop,
+                                             sleep=sleep)]
+        # The entry appended during the final sleep is still delivered:
+        # stop() is only honoured after a full drain.
+        assert seeds == [0, 1, 2]
+
+    def test_torn_tail_healed_across_polls(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        whole = (json.dumps({"kind": LEDGER_KIND, "digest": "t",
+                             "status": "done",
+                             "config": {"algorithm": "dle"}}) + "\n")
+        with open(path, "w") as handle:
+            handle.write(whole[:10])
+        state = {"healed": False}
+
+        def sleep(_interval):
+            if not state["healed"]:
+                state["healed"] = True
+                with open(path, "a") as handle:
+                    handle.write(whole[10:])
+
+        digests = [entry["digest"]
+                   for entry in follow_entries(path, poll=0.01,
+                                               stop=lambda: state["healed"],
+                                               sleep=sleep)]
+        assert digests == ["t"]
+
+    def test_idle_timeout_ends_the_follow(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        RunLedger(path)  # never written
+        naps = []
+        entries = list(follow_entries(path, poll=0.5, idle_timeout=1.0,
+                                      sleep=naps.append))
+        assert entries == []
+        assert naps == [0.5, 0.5]  # two idle polls, then give up
+
+
+# ---------------------------------------------------------------------------
+# Cohort comparison
+# ---------------------------------------------------------------------------
+
+class TestCompareCohorts:
+    def _agg(self, rounds_by_size):
+        entries = []
+        for size, rounds_list in rounds_by_size.items():
+            for seed, rounds in enumerate(rounds_list):
+                config = RunConfig("dle", "hexagon", size, seed)
+                entries.append({"kind": LEDGER_KIND, "status": "done",
+                                "config": config.to_dict(),
+                                "record": make_record(config, rounds)})
+        return aggregate_entries(entries)
+
+    def test_identical_cohorts_are_insignificant(self):
+        base = self._agg({2: [40, 42], 3: [90, 92]})
+        deltas = compare_cohorts(base, self._agg({2: [40, 42],
+                                                  3: [90, 92]}))
+        assert [delta.ratio for delta in deltas] == [1.0, 1.0]
+        assert all(delta.significant is False for delta in deltas)
+        assert all(delta.delta == 0.0 for delta in deltas)
+
+    def test_inflation_beyond_noise_margin_is_significant(self):
+        base = self._agg({2: [100, 100]})
+        worse = self._agg({2: [130, 130]})  # +30% > the 25% margin
+        slower = compare_cohorts(base, worse, noise=0.25)
+        assert slower[0].ratio == pytest.approx(1.3)
+        assert slower[0].significant is True
+        within = compare_cohorts(base, self._agg({2: [110, 110]}),
+                                 noise=0.25)
+        assert within[0].significant is False
+        # The band is symmetric in ratio: 1/1.3 is just as significant.
+        faster = compare_cohorts(worse, base, noise=0.25)
+        assert faster[0].significant is True
+
+    def test_missing_cells_reported_not_dropped(self):
+        base = self._agg({2: [40]})
+        other = self._agg({3: [90]})
+        deltas = compare_cohorts(base, other)
+        assert len(deltas) == 2
+        grown = next(d for d in deltas if d.key == ("dle", "hexagon", 3))
+        assert grown.base_mean is None and grown.other_mean == 90.0
+        assert grown.ratio is None and grown.significant is None
+        assert grown.base_runs == 0 and grown.other_runs == 1
+
+    def test_mismatched_grouping_raises(self):
+        base = LedgerAggregator(group_by=("algorithm",))
+        other = LedgerAggregator(group_by=("size",))
+        with pytest.raises(ValueError, match="group differently"):
+            compare_cohorts(base, other)
+
+    def test_compare_ledgers_end_to_end(self, tmp_path):
+        seed_ledger(tmp_path / "base.jsonl")
+        seed_ledger(tmp_path / "other.jsonl")
+        deltas = compare_ledgers(tmp_path / "base.jsonl",
+                                 tmp_path / "other.jsonl")
+        assert len(deltas) == 3
+        assert all(delta.significant is False for delta in deltas)
+        for delta in deltas:
+            json.dumps(delta.as_dict(DEFAULT_GROUP_BY))
+
+
+# ---------------------------------------------------------------------------
+# Bounded memory: the whole point of the module
+# ---------------------------------------------------------------------------
+
+def _write_synthetic_ledger(path, lines):
+    """Write ``lines`` ledger entries quickly (bypassing per-append fsync)."""
+    config = RunConfig("dle", "hexagon", 2, 0)
+    with open(path, "w") as handle:
+        for index in range(lines):
+            entry = {
+                "kind": LEDGER_KIND,
+                "digest": f"d{index}",
+                "config": dict(config.to_dict(), seed=index),
+                "status": "done",
+                "elapsed": 0.001 * (index % 97),
+                "record": make_record(config, 40 + index % 13),
+            }
+            handle.write(json.dumps(entry) + "\n")
+
+
+def _peak_aggregating(path):
+    tracemalloc.start()
+    try:
+        agg = aggregate_ledger(path)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return agg, peak
+
+
+@pytest.mark.slow
+def test_aggregation_memory_is_independent_of_ledger_size(tmp_path):
+    small_path = tmp_path / "small.jsonl"
+    big_path = tmp_path / "big.jsonl"
+    _write_synthetic_ledger(small_path, 1_000)
+    _write_synthetic_ledger(big_path, 100_000)
+    small_agg, small_peak = _peak_aggregating(small_path)
+    big_agg, big_peak = _peak_aggregating(big_path)
+    assert small_agg.entries == 1_000 and big_agg.entries == 100_000
+    assert len(big_agg) == 1  # everything lands in one group
+    # 100x the lines must NOT cost 100x the memory: the peak is one
+    # in-flight entry plus O(groups) state, so allow only a constant
+    # slack over the small run, far below any per-line growth.
+    assert big_peak < small_peak + 256 * 1024

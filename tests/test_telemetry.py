@@ -91,13 +91,37 @@ class TestRegistry:
         assert snapshot["max"] == 3.0
         assert snapshot["sum"] == pytest.approx(5.25)
 
-    def test_histogram_quantile_uses_bucket_upper_bounds(self):
+    def test_histogram_quantile_interpolates_within_bucket(self):
         hist = Histogram("h", buckets=(1.0, 10.0))
         for _ in range(99):
             hist.observe(0.5)
         hist.observe(5.0)
-        assert hist.quantile(0.5) == 1.0
-        assert hist.quantile(1.0) == 10.0
+        # The median falls in the first bucket, which spans [min, 1.0]:
+        # linear interpolation puts rank 50-of-99 at 0.5 + 0.5 * 50/99.
+        assert hist.quantile(0.5) == pytest.approx(0.5 + 0.5 * 50 / 99)
+        # The top quantile would interpolate to the second bucket's upper
+        # bound (10.0), but no observation exceeded 5.0 — clamp to max.
+        assert hist.quantile(1.0) == 5.0
+
+    def test_histogram_quantile_finite_buckets_linear(self):
+        # 100 evenly-spread values per decade bucket: interpolated
+        # quantiles should land close to the exact ones.
+        hist = Histogram("h", buckets=(10.0, 20.0, 30.0, 40.0))
+        values = [0.4 * i for i in range(1, 101)]  # 0.4 .. 40.0
+        for value in values:
+            hist.observe(value)
+        for q in (0.1, 0.25, 0.5, 0.75, 0.9):
+            assert hist.quantile(q) == pytest.approx(40.0 * q, abs=0.5)
+        assert hist.quantile(0.0) == pytest.approx(0.4, abs=0.5)
+        assert hist.quantile(1.0) == 40.0
+
+    def test_histogram_quantile_overflow_and_empty(self):
+        hist = Histogram("h", buckets=(1.0,))
+        assert hist.quantile(0.5) == 0.0  # no observations yet
+        hist.observe(0.5)
+        hist.observe(100.0)  # overflow bucket
+        assert hist.quantile(1.0) == 100.0  # overflow answers observed max
+        assert hist.quantile(0.0) >= 0.5  # never below observed min
 
     def test_quantile_exact_interpolation(self):
         values = [1.0, 2.0, 3.0, 4.0]
